@@ -1,0 +1,176 @@
+//! The TENT rule of Fang, Gao & Guibas (INFOCOM 2004) — local stuck-node
+//! detection.
+//!
+//! A node `u` is *stuck* for some destination direction exactly when two
+//! angularly adjacent neighbors `v1, v2` span an angle `∠v1·u·v2 > 120°`:
+//! inside such a gap there are destinations for which neither neighbor
+//! makes greedy progress. The paper's GF baseline builds this "boundary
+//! information \[5\]" before routing (§5).
+
+use sp_geom::{Angle, TAU};
+use sp_net::{Network, NodeId};
+
+/// One angular gap between consecutive neighbors of a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AngularGap {
+    /// Neighbor on the clockwise edge of the gap.
+    pub from: NodeId,
+    /// Neighbor on the counter-clockwise edge of the gap.
+    pub to: NodeId,
+    /// Direction (radians, `[0, 2π)`) where the gap begins (at `from`).
+    pub start: f64,
+    /// Width of the gap in radians.
+    pub width: f64,
+}
+
+/// The TENT threshold: gaps wider than 120° flag a stuck node.
+pub const TENT_THRESHOLD: f64 = 2.0 * std::f64::consts::PI / 3.0;
+
+/// All angular gaps around `u` wider than `threshold`, in start-angle
+/// order. A node with no neighbors yields a single full-circle gap
+/// anchored at itself; a single neighbor yields one `2π` gap.
+pub fn wide_gaps(net: &Network, u: NodeId, threshold: f64) -> Vec<AngularGap> {
+    let pu = net.position(u);
+    let mut dirs: Vec<(NodeId, f64)> = net
+        .neighbors(u)
+        .iter()
+        .map(|&v| (v, Angle::of_vec(net.position(v) - pu).radians()))
+        .collect();
+    if dirs.is_empty() {
+        return vec![AngularGap {
+            from: u,
+            to: u,
+            start: 0.0,
+            width: TAU,
+        }];
+    }
+    dirs.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let mut gaps = Vec::new();
+    for i in 0..dirs.len() {
+        let (v1, a1) = dirs[i];
+        let (v2, a2) = dirs[(i + 1) % dirs.len()];
+        let width = if dirs.len() == 1 {
+            TAU
+        } else {
+            let w = (a2 - a1).rem_euclid(TAU);
+            // Distinct neighbors at identical angle: zero-width gap.
+            if w == 0.0 && v1 != v2 {
+                0.0
+            } else {
+                w
+            }
+        };
+        if width > threshold {
+            gaps.push(AngularGap {
+                from: v1,
+                to: v2,
+                start: a1,
+                width,
+            });
+        }
+    }
+    gaps
+}
+
+/// TENT rule: is `u` a stuck node (local minimum for *some* destination)?
+pub fn is_stuck_node(net: &Network, u: NodeId) -> bool {
+    !wide_gaps(net, u, TENT_THRESHOLD).is_empty()
+}
+
+/// All stuck nodes of the network, ascending.
+pub fn stuck_nodes(net: &Network) -> Vec<NodeId> {
+    net.node_ids().filter(|&u| is_stuck_node(net, u)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_geom::{Point, Rect};
+
+    fn area() -> Rect {
+        Rect::from_corners(Point::new(0.0, 0.0), Point::new(200.0, 200.0))
+    }
+
+    #[test]
+    fn isolated_and_leaf_nodes_are_stuck() {
+        let net = Network::from_positions(
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(100.0, 100.0),
+                Point::new(112.0, 100.0),
+            ],
+            15.0,
+            area(),
+        );
+        // n0 isolated; n1 and n2 are mutual leaves.
+        assert!(is_stuck_node(&net, NodeId(0)));
+        assert!(is_stuck_node(&net, NodeId(1)));
+        assert!(is_stuck_node(&net, NodeId(2)));
+        assert_eq!(stuck_nodes(&net).len(), 3);
+        let gaps = wide_gaps(&net, NodeId(0), TENT_THRESHOLD);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].width, TAU);
+    }
+
+    #[test]
+    fn surrounded_node_is_not_stuck() {
+        // Six neighbors at 60° spacing: all gaps are exactly 60°.
+        let mut pos = vec![Point::new(100.0, 100.0)];
+        for i in 0..6 {
+            let t = i as f64 * TAU / 6.0;
+            pos.push(Point::new(100.0 + 12.0 * t.cos(), 100.0 + 12.0 * t.sin()));
+        }
+        let net = Network::from_positions(pos, 15.0, area());
+        assert!(!is_stuck_node(&net, NodeId(0)));
+    }
+
+    #[test]
+    fn half_plane_coverage_leaves_a_wide_gap() {
+        // Neighbors only in the west half-plane: the eastern gap is 180°.
+        let net = Network::from_positions(
+            vec![
+                Point::new(100.0, 100.0),
+                Point::new(88.0, 106.0),
+                Point::new(88.0, 94.0),
+            ],
+            15.0,
+            area(),
+        );
+        let gaps = wide_gaps(&net, NodeId(0), TENT_THRESHOLD);
+        assert_eq!(gaps.len(), 1);
+        let g = gaps[0];
+        assert!(g.width > TENT_THRESHOLD);
+        // The gap opens from the southwest neighbor (n2, below the axis)
+        // sweeping CCW across east to the northwest neighbor (n1).
+        assert_eq!(g.from, NodeId(2));
+        assert_eq!(g.to, NodeId(1));
+    }
+
+    #[test]
+    fn ninety_degree_spacing_is_not_stuck() {
+        // Four neighbors at 90° spacing: every gap is well under the
+        // 120° threshold. (Three neighbors can never all be under it —
+        // their gaps average exactly 120°.)
+        let mut pos = vec![Point::new(100.0, 100.0)];
+        for i in 0..4 {
+            let t = i as f64 * TAU / 4.0 + 0.1;
+            pos.push(Point::new(100.0 + 12.0 * t.cos(), 100.0 + 12.0 * t.sin()));
+        }
+        let net = Network::from_positions(pos, 15.0, area());
+        let gaps = wide_gaps(&net, NodeId(0), TENT_THRESHOLD);
+        assert!(gaps.is_empty(), "90° gaps are not wide, got {gaps:?}");
+        assert!(!is_stuck_node(&net, NodeId(0)));
+    }
+
+    #[test]
+    fn dense_interior_is_mostly_unstuck() {
+        let cfg = sp_net::DeploymentConfig::paper_default(700);
+        let net = Network::from_positions(cfg.deploy_uniform(1), cfg.radius, cfg.area);
+        let stuck = stuck_nodes(&net);
+        assert!(
+            (stuck.len() as f64) < 0.5 * net.len() as f64,
+            "dense uniform networks should have few stuck nodes: {}",
+            stuck.len()
+        );
+    }
+}

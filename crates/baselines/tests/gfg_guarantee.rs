@@ -1,0 +1,124 @@
+//! The guaranteed-delivery property of GFG (Bose et al. \[2\]), exercised
+//! at scale: on every connected source/destination pair of a unit disk
+//! graph, greedy-face-greedy over the Gabriel planarization must
+//! deliver. This is the property the paper's own perimeter phase (an
+//! untried-neighbor sweep) does *not* have — demonstrated here too.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sp_baselines::{GfgRouter, GfRouter};
+use sp_core::{LgfRouter, Routing};
+use sp_net::{DeploymentConfig, FaModel, Network, NodeId};
+
+fn random_pairs(net: &Network, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let comp = net.largest_component();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count && comp.len() >= 2 {
+        let s = comp[rng.random_range(0..comp.len())];
+        let d = comp[rng.random_range(0..comp.len())];
+        if s != d {
+            out.push((s, d));
+        }
+    }
+    out
+}
+
+#[test]
+fn gfg_delivers_every_connected_pair_across_densities() {
+    for &n in &[400usize, 550, 700] {
+        let cfg = DeploymentConfig::paper_default(n);
+        for seed in 0..3u64 {
+            let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+            let gfg = GfgRouter::new(&net);
+            for (s, d) in random_pairs(&net, 12, seed ^ 0xf00d) {
+                let r = gfg.route(&net, s, d);
+                assert!(
+                    r.delivered(),
+                    "n={n} seed={seed} {s}->{d}: {:?} after {} hops",
+                    r.outcome,
+                    r.hops()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gfg_delivers_on_forbidden_area_deployments() {
+    let cfg = DeploymentConfig::paper_default(600);
+    let fa = FaModel {
+        obstacle_count: 5,
+        min_size_radii: 2.0,
+        max_size_radii: 4.0,
+    };
+    for seed in 0..4u64 {
+        let obstacles = fa.generate_obstacles(&cfg, seed);
+        let net = Network::from_positions(
+            cfg.deploy_with_obstacles(&obstacles, seed),
+            cfg.radius,
+            cfg.area,
+        );
+        let gfg = GfgRouter::new(&net);
+        for (s, d) in random_pairs(&net, 10, seed ^ 0xbeef) {
+            let r = gfg.route(&net, s, d);
+            assert!(
+                r.delivered(),
+                "seed={seed} {s}->{d}: {:?} after {} hops",
+                r.outcome,
+                r.hops()
+            );
+        }
+    }
+}
+
+#[test]
+fn gfg_recovers_routes_the_untried_sweep_loses() {
+    // Find pairs where LGF's simplified perimeter fails; GFG must still
+    // deliver them (this is exactly why it exists as baseline A8).
+    let cfg = DeploymentConfig::paper_default(450);
+    let mut lgf_failures = 0usize;
+    let mut gfg_saves = 0usize;
+    for seed in 0..6u64 {
+        let fa = FaModel::paper_default();
+        let obstacles = fa.generate_obstacles(&cfg, seed);
+        let net = Network::from_positions(
+            cfg.deploy_with_obstacles(&obstacles, seed),
+            cfg.radius,
+            cfg.area,
+        );
+        let gfg = GfgRouter::new(&net);
+        let lgf = LgfRouter::new();
+        for (s, d) in random_pairs(&net, 15, seed ^ 0xcafe) {
+            if !lgf.route(&net, s, d).delivered() {
+                lgf_failures += 1;
+                if gfg.route(&net, s, d).delivered() {
+                    gfg_saves += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        lgf_failures, gfg_saves,
+        "GFG must deliver every pair the untried sweep loses"
+    );
+}
+
+#[test]
+fn gfg_and_gf_agree_on_greedy_only_routes() {
+    // Where no recovery is needed, GFG and GF are the same greedy walk.
+    let cfg = DeploymentConfig::paper_default(750);
+    let net = Network::from_positions(cfg.deploy_uniform(21), cfg.radius, cfg.area);
+    let gfg = GfgRouter::new(&net);
+    let gf = GfRouter::new(&net);
+    let mut compared = 0usize;
+    for (s, d) in random_pairs(&net, 20, 77) {
+        let rg = gfg.route(&net, s, d);
+        let rf = gf.route(&net, s, d);
+        if rg.perimeter_entries == 0 && rf.perimeter_entries == 0 {
+            assert_eq!(rg.path, rf.path, "{s}->{d}");
+            compared += 1;
+        }
+    }
+    assert!(compared >= 10, "dense nets are mostly greedy: {compared}");
+}

@@ -1,0 +1,46 @@
+//! A10 — synchronous vs asynchronous information construction.
+//!
+//! Times Algorithm 2 on the lock-step engine against the event-driven
+//! engine with per-message random delays, and prints the message-cost
+//! comparison rows the A10 figure reports.
+//!
+//! Full-scale figure: `cargo run -p sp-experiments --bin repro-figures -- a10`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_core::{construct_async, construct_distributed};
+use sp_net::{DeploymentConfig, Network};
+use std::hint::black_box;
+
+fn async_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a10_construction");
+    for n in [300usize, 500] {
+        let cfg = DeploymentConfig::paper_default(n);
+        let net = Network::from_positions(cfg.deploy_uniform(3), cfg.radius, cfg.area);
+
+        // Print the cost rows once per size.
+        let sync_run = construct_distributed(&net).expect("quiesces");
+        let async_run = construct_async(&net, 1).expect("quiesces");
+        eprintln!(
+            "n={n}: sync {} tx ({} rounds) | async {} tx (t={:.1})",
+            sync_run.stats.transmissions(),
+            sync_run.stats.rounds,
+            async_run.stats.transmissions(),
+            async_run.stats.virtual_time,
+        );
+
+        group.bench_function(BenchmarkId::new("sync", n), |b| {
+            b.iter(|| black_box(construct_distributed(black_box(&net)).unwrap()));
+        });
+        group.bench_function(BenchmarkId::new("async", n), |b| {
+            b.iter(|| black_box(construct_async(black_box(&net), 1).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = async_benches
+}
+criterion_main!(benches);

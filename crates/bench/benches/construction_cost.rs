@@ -1,0 +1,37 @@
+//! A1 — information-construction cost: the centralized Definition-1
+//! fixed point versus the faithful distributed protocol (Algorithm 2),
+//! across the paper's density range.
+//!
+//! Prints the regenerated A1 rows, then times both constructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_core::{construct_distributed, SafetyInfo};
+use sp_experiments::{figures, DeploymentKind, SweepConfig};
+use sp_metrics::render_text;
+use sp_net::Network;
+use std::hint::black_box;
+
+fn construction_benches(c: &mut Criterion) {
+    let cfg = SweepConfig::quick(DeploymentKind::Ia);
+    eprintln!(
+        "{}",
+        render_text(&figures::construction_cost_figure(&cfg, 2))
+    );
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for n in [400usize, 600, 800] {
+        let dc = cfg.deployment_config(n);
+        let net = Network::from_positions(dc.deploy_uniform(5), dc.radius, dc.area);
+        group.bench_function(BenchmarkId::new("centralized", n), |b| {
+            b.iter(|| black_box(SafetyInfo::build(&net)));
+        });
+        group.bench_function(BenchmarkId::new("distributed", n), |b| {
+            b.iter(|| black_box(construct_distributed(&net).expect("quiesces")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction_benches);
+criterion_main!(benches);

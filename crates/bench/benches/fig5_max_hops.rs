@@ -1,0 +1,38 @@
+//! Fig. 5 — maximum hops of GF/LGF/SLGF/SLGF2 under IA and FA.
+//!
+//! Running this bench first regenerates the figure's rows (printed to
+//! stderr) from a reduced sweep, then times the full per-instance
+//! evaluation pipeline the figure is built from (deploy → UDG →
+//! information construction → route all four schemes).
+//!
+//! The full-scale figure (9 node counts × 100 networks) is produced by
+//! `cargo run -p sp-experiments --bin repro-figures -- 5a 5b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_experiments::{figures, run_instance, run_sweep, DeploymentKind, Scheme, SweepConfig};
+use sp_metrics::render_text;
+use std::hint::black_box;
+
+fn fig5_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_max_hops");
+    group.sample_size(10);
+    for kind in [DeploymentKind::Ia, DeploymentKind::fa_default()] {
+        let cfg = SweepConfig::quick(kind);
+        let results = run_sweep(&cfg, &Scheme::PAPER_SET);
+        eprintln!("{}", render_text(&figures::fig5(&results)));
+        group.bench_function(BenchmarkId::new("instance_pipeline", kind.tag()), |b| {
+            b.iter(|| {
+                black_box(run_instance(
+                    &cfg,
+                    &Scheme::PAPER_SET,
+                    600,
+                    cfg.instance_seed(1, 0),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_benches);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 6 — average hops of GF/LGF/SLGF/SLGF2 under IA and FA.
+//!
+//! Prints the regenerated rows from a reduced sweep, then times a
+//! single route per scheme on one prepared 600-node network (the unit
+//! of work the averages are made of).
+//!
+//! Full-scale: `cargo run -p sp-experiments --bin repro-figures -- 6a 6b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_experiments::{
+    figures, random_connected_pair, run_sweep, DeploymentKind, PreparedNetwork, Scheme,
+    SweepConfig,
+};
+use sp_metrics::render_text;
+use sp_net::Network;
+use std::hint::black_box;
+
+fn fig6_benches(c: &mut Criterion) {
+    for kind in [DeploymentKind::Ia, DeploymentKind::fa_default()] {
+        let cfg = SweepConfig::quick(kind);
+        let results = run_sweep(&cfg, &Scheme::PAPER_SET);
+        eprintln!("{}", render_text(&figures::fig6(&results)));
+    }
+
+    // Route timing on a prepared network (IA, n=600).
+    let cfg = SweepConfig::quick(DeploymentKind::Ia);
+    let dc = cfg.deployment_config(600);
+    let net = Network::from_positions(cfg.deployment.deploy(&dc, 42), dc.radius, dc.area);
+    let prepared = PreparedNetwork::new(net);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (s, d) = random_connected_pair(&prepared.net, &mut rng).expect("connected pair");
+
+    let mut group = c.benchmark_group("fig6_route");
+    for scheme in Scheme::PAPER_SET {
+        group.bench_function(BenchmarkId::new("route_n600", scheme.name()), |b| {
+            b.iter(|| black_box(prepared.route(scheme, s, d)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_benches);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 7 — average Euclidean path length under IA and FA.
+//!
+//! Prints the regenerated rows from a reduced sweep, then times the
+//! sweep point (all instances at one node count) that the curves
+//! aggregate.
+//!
+//! Full-scale: `cargo run -p sp-experiments --bin repro-figures -- 7a 7b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_experiments::{figures, run_sweep, DeploymentKind, Scheme, SweepConfig};
+use sp_metrics::render_text;
+use std::hint::black_box;
+
+fn fig7_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_path_length");
+    group.sample_size(10);
+    for kind in [DeploymentKind::Ia, DeploymentKind::fa_default()] {
+        let cfg = SweepConfig::quick(kind);
+        let results = run_sweep(&cfg, &Scheme::PAPER_SET);
+        eprintln!("{}", render_text(&figures::fig7(&results)));
+
+        let point_cfg = SweepConfig {
+            node_counts: vec![500],
+            networks_per_point: 4,
+            ..cfg
+        };
+        group.bench_function(BenchmarkId::new("sweep_point_n500x4", kind.tag()), |b| {
+            b.iter(|| black_box(run_sweep(&point_cfg, &Scheme::PAPER_SET)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7_benches);
+criterion_main!(benches);

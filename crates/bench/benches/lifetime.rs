@@ -1,0 +1,47 @@
+//! A15 — the streaming-lifetime unit of work.
+//!
+//! Prints the per-scheme lifetime on one 400-node instance, then times
+//! a short streaming burst (the inner loop of the A15 figure: route,
+//! charge the ledger, repair on depletion).
+//!
+//! Full-scale figure: `cargo run -p sp-experiments --bin repro-figures -- a15`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_experiments::{run_lifetime, Scheme, StreamingConfig};
+use sp_net::{DeploymentConfig, Network};
+use std::hint::black_box;
+
+fn lifetime_benches(c: &mut Criterion) {
+    let dc = DeploymentConfig::paper_default(400);
+    let net = Network::from_positions(dc.deploy_uniform(15), dc.radius, dc.area);
+    let cfg = StreamingConfig {
+        flows: 3,
+        packet_bits: 1024.0,
+        node_energy_nj: 2.0e6,
+        max_rounds: 5_000,
+    };
+
+    eprintln!("scheme  packets  depleted  spent%");
+    for scheme in [Scheme::Lgf, Scheme::Slgf2, Scheme::Gfg] {
+        let r = run_lifetime(&net, scheme, &cfg, 15);
+        eprintln!(
+            "{:<7} {:>7} {:>9} {:>6.1}",
+            scheme.name(),
+            r.packets_delivered,
+            r.nodes_depleted,
+            100.0 * r.energy_spent
+        );
+    }
+
+    let mut group = c.benchmark_group("a15_lifetime");
+    group.sample_size(10);
+    for scheme in [Scheme::Slgf2, Scheme::Gfg] {
+        group.bench_function(BenchmarkId::new("stream_to_death", scheme.name()), |b| {
+            b.iter(|| black_box(run_lifetime(&net, scheme, &cfg, 15)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lifetime_benches);
+criterion_main!(benches);

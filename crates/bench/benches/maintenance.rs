@@ -1,0 +1,72 @@
+//! A9 — incremental safety-information repair vs full relabeling.
+//!
+//! Times one `InfoMaintainer::kill` repair against one full
+//! `SafetyMap::label_with_pinned` rebuild at several node counts; the
+//! ratio is the payoff of the monotone worklist (`DESIGN.md` ablation
+//! A9).
+//!
+//! Full-scale figure: `cargo run -p sp-experiments --bin repro-figures -- a9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_core::{InfoMaintainer, SafetyMap};
+use sp_net::{edge_nodes::edge_node_mask, DeploymentConfig, Network, NodeId};
+use std::hint::black_box;
+
+fn maintenance_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a9_maintenance");
+    for n in [400usize, 600, 800] {
+        let cfg = DeploymentConfig::paper_default(n);
+        let net = Network::from_positions(cfg.deploy_uniform(9), cfg.radius, cfg.area);
+        let victim = net
+            .node_ids()
+            .max_by_key(|&u| net.degree(u))
+            .expect("non-empty network");
+
+        group.bench_function(BenchmarkId::new("incremental_kill", n), |b| {
+            b.iter_batched(
+                || InfoMaintainer::new(net.clone()),
+                |mut maint| black_box(maint.kill(victim)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+
+        let degraded = net.without_nodes(&[victim]);
+        let pinned = edge_node_mask(&degraded, degraded.radius());
+        group.bench_function(BenchmarkId::new("full_relabel", n), |b| {
+            b.iter(|| {
+                black_box(SafetyMap::label_with_pinned(
+                    black_box(&degraded),
+                    pinned.clone(),
+                ))
+            });
+        });
+    }
+    group.finish();
+
+    // How the repair scales with the number of sequential failures.
+    let cfg = DeploymentConfig::paper_default(600);
+    let net = Network::from_positions(cfg.deploy_uniform(5), cfg.radius, cfg.area);
+    let victims: Vec<NodeId> = net.node_ids().step_by(37).take(10).collect();
+    let mut group = c.benchmark_group("a9_kill_sequences");
+    for kills in [1usize, 5, 10] {
+        group.bench_function(BenchmarkId::new("kills", kills), |b| {
+            b.iter_batched(
+                || InfoMaintainer::new(net.clone()),
+                |mut maint| {
+                    for &v in victims.iter().take(kills) {
+                        black_box(maint.kill(v));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = maintenance_benches
+}
+criterion_main!(benches);

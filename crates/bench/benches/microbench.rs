@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the substrate: geometry primitives, UDG
+//! construction, planarization, hole-boundary construction, labeling,
+//! and one route per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_baselines::HoleAtlas;
+use sp_core::{SafetyInfo, SafetyMap, ShapeMap};
+use sp_experiments::{random_connected_pair, PreparedNetwork, Scheme};
+use sp_geom::{ccw_order_in_quadrant, Point, Quadrant};
+use sp_net::{deploy::DeploymentConfig, Network, PlanarGraph, Planarization};
+use std::hint::black_box;
+
+fn geometry_benches(c: &mut Criterion) {
+    let origin = Point::new(100.0, 100.0);
+    let candidates: Vec<(usize, Point)> = (0..24)
+        .map(|i| {
+            let t = i as f64 * std::f64::consts::TAU / 24.0;
+            (i, Point::new(100.0 + 15.0 * t.cos(), 100.0 + 15.0 * t.sin()))
+        })
+        .collect();
+    c.bench_function("geom/quadrant_of", |b| {
+        b.iter(|| {
+            for &(_, p) in &candidates {
+                black_box(Quadrant::of(origin, p));
+            }
+        });
+    });
+    c.bench_function("geom/ccw_order_in_quadrant_24", |b| {
+        b.iter(|| {
+            black_box(ccw_order_in_quadrant(
+                origin,
+                Quadrant::I,
+                candidates.iter().copied(),
+            ))
+        });
+    });
+}
+
+fn substrate_benches(c: &mut Criterion) {
+    let cfg = DeploymentConfig::paper_default(600);
+    let positions = cfg.deploy_uniform(3);
+    let net = Network::from_positions(positions.clone(), cfg.radius, cfg.area);
+
+    let mut group = c.benchmark_group("substrate_n600");
+    group.sample_size(20);
+    group.bench_function("udg_build", |b| {
+        b.iter(|| {
+            black_box(Network::from_positions(
+                positions.clone(),
+                cfg.radius,
+                cfg.area,
+            ))
+        });
+    });
+    group.bench_function("gabriel_planarize", |b| {
+        b.iter(|| black_box(PlanarGraph::build(&net, Planarization::Gabriel)));
+    });
+    group.bench_function("hole_atlas", |b| {
+        b.iter(|| black_box(HoleAtlas::build(&net)));
+    });
+    group.bench_function("safety_labeling", |b| {
+        b.iter(|| black_box(SafetyMap::label(&net)));
+    });
+    let safety = SafetyMap::label(&net);
+    group.bench_function("shape_map", |b| {
+        b.iter(|| black_box(ShapeMap::build(&net, &safety)));
+    });
+    group.bench_function("safety_info_full", |b| {
+        b.iter(|| black_box(SafetyInfo::build(&net)));
+    });
+    group.finish();
+}
+
+fn route_benches(c: &mut Criterion) {
+    let cfg = DeploymentConfig::paper_default(600);
+    let net = Network::from_positions(cfg.deploy_uniform(8), cfg.radius, cfg.area);
+    let prepared = PreparedNetwork::new(net);
+    let mut rng = StdRng::seed_from_u64(1);
+    let (s, d) = random_connected_pair(&prepared.net, &mut rng).expect("pair");
+    let mut group = c.benchmark_group("route_n600");
+    for scheme in Scheme::PAPER_SET {
+        group.bench_function(BenchmarkId::new("single", scheme.name()), |b| {
+            b.iter(|| black_box(prepared.route(scheme, s, d)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, geometry_benches, substrate_benches, route_benches);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! A8 / A12 — the recovery-scheme family on one hard FA instance.
+//!
+//! Prints hops/delivery for every scheme (paper set + GFG + SLGF2-F) on
+//! a forbidden-area network, then times a single route of each recovery
+//! flavor — the per-packet cost the delivery guarantees are bought with.
+//!
+//! Full-scale figures: `repro-figures -- a8 a12`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_experiments::{random_connected_pair, PreparedNetwork, Scheme};
+use sp_net::{DeploymentConfig, FaModel, Network};
+use std::hint::black_box;
+
+const ALL: [Scheme; 8] = [
+    Scheme::Gf,
+    Scheme::Lgf,
+    Scheme::Slgf,
+    Scheme::Slgf2,
+    Scheme::Slgf2NoSuperseding,
+    Scheme::Slgf2NoBackup,
+    Scheme::Gfg,
+    Scheme::Slgf2Face,
+];
+
+fn recovery_benches(c: &mut Criterion) {
+    let cfg = DeploymentConfig::paper_default(550);
+    let fa = FaModel {
+        obstacle_count: 5,
+        min_size_radii: 2.0,
+        max_size_radii: 4.0,
+    };
+    let obstacles = fa.generate_obstacles(&cfg, 13);
+    let net = Network::from_positions(
+        cfg.deploy_with_obstacles(&obstacles, 13),
+        cfg.radius,
+        cfg.area,
+    );
+    let prepared = PreparedNetwork::new(net);
+    let mut rng = StdRng::seed_from_u64(31);
+    let (s, d) = random_connected_pair(&prepared.net, &mut rng).expect("connected");
+
+    eprintln!("scheme      delivered  hops  perimeter");
+    for scheme in ALL {
+        let r = prepared.route(scheme, s, d);
+        eprintln!(
+            "{:<11} {:<9} {:>5} {:>6}",
+            scheme.name(),
+            r.delivered(),
+            r.hops(),
+            r.perimeter_entries
+        );
+    }
+
+    let mut group = c.benchmark_group("recovery_route_fa550");
+    for scheme in ALL {
+        group.bench_function(BenchmarkId::new("route", scheme.name()), |b| {
+            b.iter(|| black_box(prepared.route(scheme, s, d)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = recovery_benches
+}
+criterion_main!(benches);

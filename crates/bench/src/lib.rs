@@ -1,0 +1,4 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench
+//! regenerates one of the paper's figures at reduced scale and times
+//! the pipeline that produces it; `repro-figures` (in
+//! `sp-experiments`) produces the full-scale tables.

@@ -1,0 +1,478 @@
+//! Unsafe-area shape estimation — `G_i(u)`, `u^{(1)}`, `u^{(2)}`, `E_i(u)`.
+//!
+//! §3: for a type-i unsafe node `u`, the *greedy region* `G_i(u)` holds
+//! every type-i unsafe node reachable from `u` by type-i forwarding.
+//! Scanning `G_i(u)` counter-clockwise, `u^{(1)}` and `u^{(2)}` are "the
+//! farthest nodes that can be reached on the first and the last greedy
+//! forwarding paths", and the unsafe area near `u` is estimated as the
+//! rectangle `E_i(u) = [x_u : x_{u^{(1)}}, y_u : y_{u^{(2)}}]`.
+//!
+//! Algo. 2 computes the chains distributively: when `N(u) ∩ Q_i(u) = ∅`
+//! then `u^{(1)} = u^{(2)} = u`; otherwise `u^{(1)} = v_1^{(1)}` and
+//! `u^{(2)} = v_2^{(2)}` where `v_1`/`v_2` are the first/last type-i
+//! unsafe neighbors in the counter-clockwise scan of `Q_i(u)`. We compute
+//! the identical values centrally by processing nodes in decreasing
+//! quadrant depth (every chain step strictly increases
+//! `s_x·x + s_y·y`, so dependencies are acyclic).
+//!
+//! The paper spells out the corner assignment for type 1 only, where the
+//! first-scanned chain hugs the x-axis and the last hugs the y-axis. For
+//! types 2 and 4 the scan starts at the *y*-axis, so the roles swap:
+//! there the x-extent comes from `u^{(2)}` and the y-extent from
+//! `u^{(1)}` (`DESIGN.md` §2 item 4).
+
+use crate::SafetyMap;
+use sp_geom::{ccw_order_in_quadrant, Point, Quadrant, Rect};
+use sp_net::{Network, NodeId};
+
+/// The estimated shape of the unsafe area seen from one type-i unsafe
+/// node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeEstimate {
+    /// `u^{(1)}`: far end of the first-scanned greedy chain.
+    pub first_far: NodeId,
+    /// `u^{(2)}`: far end of the last-scanned greedy chain.
+    pub last_far: NodeId,
+    /// `E_i(u)`: the rectangle estimating the unsafe area.
+    pub rect: Rect,
+    /// The corner of `E_i(u)` opposite `u` — the target of the ray that
+    /// splits `Q_i(u)` into critical and forbidden regions (§4).
+    pub far_corner: Point,
+}
+
+/// Shape estimates for every (node, type) pair that is unsafe.
+#[derive(Debug, Clone)]
+pub struct ShapeMap {
+    per_type: [Vec<Option<ShapeEstimate>>; 4],
+}
+
+impl ShapeMap {
+    /// Computes every estimate from a stabilized [`SafetyMap`].
+    pub fn build(net: &Network, safety: &SafetyMap) -> ShapeMap {
+        let n = net.len();
+        let mut per_type: [Vec<Option<ShapeEstimate>>; 4] =
+            std::array::from_fn(|_| vec![None; n]);
+        for q in Quadrant::ALL {
+            let mut unsafe_ids: Vec<NodeId> = safety.unsafe_nodes(q);
+            // Deepest-in-quadrant first: chain targets resolve before
+            // their predecessors.
+            let (sx, sy) = q.signs();
+            let key = |u: NodeId| {
+                let p = net.position(u);
+                sx * p.x + sy * p.y
+            };
+            unsafe_ids.sort_by(|&a, &b| key(b).total_cmp(&key(a)).then_with(|| a.cmp(&b)));
+
+            // Chain endpoints per node for this type.
+            let mut first_far: Vec<Option<NodeId>> = vec![None; n];
+            let mut last_far: Vec<Option<NodeId>> = vec![None; n];
+            for &u in &unsafe_ids {
+                let pu = net.position(u);
+                let in_zone: Vec<(usize, Point)> = net
+                    .neighbor_points(u)
+                    .filter(|&(v, _)| !safety.is_safe(NodeId(v), q))
+                    .collect();
+                let order = ccw_order_in_quadrant(pu, q, in_zone);
+                match (order.first(), order.last()) {
+                    (Some(&v1), Some(&v2)) => {
+                        let f = first_far[v1]
+                            .expect("chain target processed first (depth order)");
+                        let l = last_far[v2]
+                            .expect("chain target processed first (depth order)");
+                        first_far[u.index()] = Some(f);
+                        last_far[u.index()] = Some(l);
+                    }
+                    _ => {
+                        // Empty type-i forwarding zone: u is its own bound.
+                        first_far[u.index()] = Some(u);
+                        last_far[u.index()] = Some(u);
+                    }
+                }
+            }
+
+            for &u in &unsafe_ids {
+                let u1 = first_far[u.index()].expect("every unsafe node got a chain");
+                let u2 = last_far[u.index()].expect("every unsafe node got a chain");
+                per_type[q.array_index()][u.index()] =
+                    Some(make_estimate(net, u, q, u1, u2));
+            }
+        }
+        ShapeMap { per_type }
+    }
+
+    /// Computes the **exact** unsafe-area shapes: for every unsafe
+    /// `(u, q)` the tight bounding box of the true greedy region
+    /// `G_q(u)`, instead of the two-chain estimate of Algorithm 2.
+    ///
+    /// This is the paper's §6 future work ("a further study on more
+    /// accurate information for unsafe areas") made concrete, and the
+    /// oracle that ablation A14 measures the two-chain estimate
+    /// against. The chain endpoints reported are the region nodes
+    /// attaining the box extremes, mapped with the same per-type corner
+    /// convention as [`ShapeMap::build`], so the result is a drop-in
+    /// replacement (the estimate rectangle is always contained in the
+    /// exact one — the chains walk inside the region).
+    pub fn build_exact(net: &Network, safety: &SafetyMap) -> ShapeMap {
+        let n = net.len();
+        let mut per_type: [Vec<Option<ShapeEstimate>>; 4] =
+            std::array::from_fn(|_| vec![None; n]);
+        for q in Quadrant::ALL {
+            let (sx, sy) = q.signs();
+            for u in safety.unsafe_nodes(q) {
+                let region = greedy_region(net, safety, u, q);
+                let pu = net.position(u);
+                // The region node deepest along each axis (quadrant
+                // signs orient "deepest"); ties break by id for
+                // determinism.
+                let deepest = |key: &dyn Fn(Point) -> f64| -> (NodeId, Point) {
+                    let mut best = (u, pu);
+                    for &v in &region {
+                        let pv = net.position(v);
+                        if key(pv) > key(best.1) + 1e-12 {
+                            best = (v, pv);
+                        }
+                    }
+                    best
+                };
+                let (x_node, x_pos) = deepest(&|p: Point| sx * p.x);
+                let (y_node, y_pos) = deepest(&|p: Point| sy * p.y);
+                let far_corner = Point::new(x_pos.x, y_pos.y);
+                // Same roles as make_estimate: the "first" chain
+                // supplies the x-extent for types I/III and the
+                // y-extent for II/IV.
+                let (first, last) = match q {
+                    Quadrant::I | Quadrant::III => (x_node, y_node),
+                    Quadrant::II | Quadrant::IV => (y_node, x_node),
+                };
+                per_type[q.array_index()][u.index()] = Some(ShapeEstimate {
+                    first_far: first,
+                    last_far: last,
+                    rect: Rect::from_corners(pu, far_corner),
+                    far_corner,
+                });
+            }
+        }
+        ShapeMap { per_type }
+    }
+
+    /// Wraps estimates computed elsewhere (the distributed protocol of
+    /// [`crate::distributed`] produces them via message passing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four per-type vectors have different lengths.
+    pub fn from_estimates(per_type: [Vec<Option<ShapeEstimate>>; 4]) -> ShapeMap {
+        let n = per_type[0].len();
+        assert!(
+            per_type.iter().all(|v| v.len() == n),
+            "per-type estimate vectors must have equal lengths"
+        );
+        ShapeMap { per_type }
+    }
+
+    /// `E_i(u)` and its chain endpoints, or `None` when `u` is type-`q`
+    /// safe (safe nodes carry no estimate).
+    pub fn estimate(&self, u: NodeId, q: Quadrant) -> Option<&ShapeEstimate> {
+        self.per_type[q.array_index()][u.index()].as_ref()
+    }
+
+    /// Number of (node, type) estimates stored.
+    pub fn len(&self) -> usize {
+        self.per_type
+            .iter()
+            .map(|v| v.iter().filter(|e| e.is_some()).count())
+            .sum()
+    }
+
+    /// True when no node is unsafe in any type.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds one estimate, applying the per-type corner mapping.
+fn make_estimate(
+    net: &Network,
+    u: NodeId,
+    q: Quadrant,
+    first: NodeId,
+    last: NodeId,
+) -> ShapeEstimate {
+    let pu = net.position(u);
+    let pf = net.position(first);
+    let pl = net.position(last);
+    // The chain nearer the x-axis supplies the x-extent. For types I/III
+    // the scan starts on the x-axis, so that is the *first* chain; for
+    // types II/IV the scan starts on the y-axis, so it is the *last*.
+    let far_corner = match q {
+        Quadrant::I | Quadrant::III => Point::new(pf.x, pl.y),
+        Quadrant::II | Quadrant::IV => Point::new(pl.x, pf.y),
+    };
+    ShapeEstimate {
+        first_far: first,
+        last_far: last,
+        rect: Rect::from_corners(pu, far_corner),
+        far_corner,
+    }
+}
+
+/// The exact greedy region `G_i(u)`: all type-`q` unsafe nodes reachable
+/// from `u` through type-`q` unsafe nodes by steps into `Q_q` (used by
+/// tests to validate the distributed chain computation; `u` itself is
+/// included).
+pub fn greedy_region(net: &Network, safety: &SafetyMap, u: NodeId, q: Quadrant) -> Vec<NodeId> {
+    if safety.is_safe(u, q) {
+        return Vec::new();
+    }
+    let mut seen = vec![false; net.len()];
+    seen[u.index()] = true;
+    let mut stack = vec![u];
+    let mut out = vec![u];
+    while let Some(a) = stack.pop() {
+        let pa = net.position(a);
+        for &b in net.neighbors(a) {
+            if seen[b.index()] || safety.is_safe(b, q) {
+                continue;
+            }
+            if Quadrant::of(pa, net.position(b)) == Some(q) {
+                seen[b.index()] = true;
+                out.push(b);
+                stack.push(b);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_geom::Rect as GRect;
+
+    fn area() -> GRect {
+        GRect::from_corners(Point::new(0.0, 0.0), Point::new(200.0, 200.0))
+    }
+
+    /// Fig. 3(b)-style: u at the SW tip of a NE-pointing unsafe wedge.
+    ///
+    /// Radius 17. Adjacency: u–n1, u–n2, n1–n2, n1–n4, n2–n3; the tips
+    /// n3/n4 have empty NE zones, so type-1 unsafety cascades back to u.
+    ///
+    /// ```text
+    ///        n3(20,34)          <- far end of the "last" (north) chain
+    ///    n2(15,22)
+    ///  u=n0(10,10) n1(22,15) n4(34,20)  <- far end of "first" (east) chain
+    /// ```
+    fn wedge() -> (Network, SafetyMap) {
+        let net = Network::from_positions(
+            vec![
+                Point::new(10.0, 10.0), // 0 = u
+                Point::new(22.0, 15.0), // 1 first chain hop (nearer east)
+                Point::new(15.0, 22.0), // 2 last chain hop (nearer north)
+                Point::new(20.0, 34.0), // 3 far north tip
+                Point::new(34.0, 20.0), // 4 far east tip
+            ],
+            17.0,
+            area(),
+        );
+        let map = SafetyMap::label_with_pinned(&net, vec![false; 5]);
+        (net, map)
+    }
+
+    #[test]
+    fn wedge_is_type1_unsafe_throughout() {
+        let (net, map) = wedge();
+        for u in net.node_ids() {
+            assert!(
+                !map.is_safe(u, Quadrant::I),
+                "{u} should be type-1 unsafe: {}",
+                map.tuple(u)
+            );
+        }
+    }
+
+    #[test]
+    fn chains_follow_first_and_last_scan() {
+        let (net, map) = wedge();
+        let shapes = ShapeMap::build(&net, &map);
+        let est = shapes.estimate(NodeId(0), Quadrant::I).expect("unsafe");
+        // Check adjacency assumptions: u(0) sees 1 and 2 only.
+        assert_eq!(net.neighbors(NodeId(0)).len(), 2);
+        // First chain: 0 -> 1 -> 4 (east-hugging); last: 0 -> 2 -> 3.
+        assert_eq!(est.first_far, NodeId(4));
+        assert_eq!(est.last_far, NodeId(3));
+        // E_1(u) = [x_u : x_{u(1)}, y_u : y_{u(2)}] = [10:34, 10:34].
+        assert_eq!(
+            est.rect,
+            Rect::from_corners(Point::new(10.0, 10.0), Point::new(34.0, 34.0))
+        );
+        assert_eq!(est.far_corner, Point::new(34.0, 34.0));
+    }
+
+    #[test]
+    fn tip_nodes_estimate_is_degenerate() {
+        let (net, map) = wedge();
+        let shapes = ShapeMap::build(&net, &map);
+        // n3 and n4 have empty NE zones: their own location bounds.
+        for tip in [NodeId(3), NodeId(4)] {
+            let est = shapes.estimate(tip, Quadrant::I).unwrap();
+            assert_eq!(est.first_far, tip);
+            assert_eq!(est.last_far, tip);
+            assert_eq!(est.rect.area(), 0.0);
+        }
+    }
+
+    #[test]
+    fn safe_nodes_have_no_estimate() {
+        let (net, map) = wedge();
+        let shapes = ShapeMap::build(&net, &map);
+        // Type III looking back southwest: node 0 has no SW neighbor ->
+        // type-3 unsafe; but nodes deeper in the wedge see 0.
+        // Regardless: for a type where a node is safe, no estimate.
+        for u in net.node_ids() {
+            for q in Quadrant::ALL {
+                assert_eq!(
+                    shapes.estimate(u, q).is_some(),
+                    !map.is_safe(u, q),
+                    "estimate presence must match unsafety at {u} {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_region_contains_chain_endpoints() {
+        let (net, map) = wedge();
+        let shapes = ShapeMap::build(&net, &map);
+        let region = greedy_region(&net, &map, NodeId(0), Quadrant::I);
+        assert_eq!(
+            region,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        let est = shapes.estimate(NodeId(0), Quadrant::I).unwrap();
+        assert!(region.contains(&est.first_far));
+        assert!(region.contains(&est.last_far));
+    }
+
+    #[test]
+    fn greedy_region_of_safe_node_is_empty() {
+        let cfg = sp_net::DeploymentConfig::paper_default(300);
+        let net = Network::from_positions(cfg.deploy_uniform(4), cfg.radius, cfg.area);
+        let map = SafetyMap::label(&net);
+        let safe = net
+            .node_ids()
+            .find(|&u| map.tuple(u).fully_safe())
+            .expect("dense net has safe nodes");
+        assert!(greedy_region(&net, &map, safe, Quadrant::I).is_empty());
+    }
+
+    #[test]
+    fn estimates_on_random_networks_are_well_formed() {
+        let cfg = sp_net::DeploymentConfig::paper_default(450);
+        for seed in 0..3 {
+            let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+            let map = SafetyMap::label(&net);
+            let shapes = ShapeMap::build(&net, &map);
+            for u in net.node_ids() {
+                for q in Quadrant::ALL {
+                    let Some(est) = shapes.estimate(u, q) else {
+                        continue;
+                    };
+                    let region = greedy_region(&net, &map, u, q);
+                    assert!(region.contains(&est.first_far), "u(1) outside G_i(u)");
+                    assert!(region.contains(&est.last_far), "u(2) outside G_i(u)");
+                    assert!(est.rect.contains(net.position(u)));
+                    assert!(est.rect.contains(est.far_corner));
+                    // Chain endpoints are themselves type-q unsafe.
+                    assert!(!map.is_safe(est.first_far, q));
+                    assert!(!map.is_safe(est.last_far, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_shapes_contain_the_chain_estimates() {
+        // The chains walk inside G_i(u), so the Algorithm-2 rectangle is
+        // always a sub-rectangle of the exact bounding box.
+        let cfg = sp_net::DeploymentConfig::paper_default(400);
+        for seed in 0..3 {
+            let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+            let map = SafetyMap::label(&net);
+            let est = ShapeMap::build(&net, &map);
+            let exact = ShapeMap::build_exact(&net, &map);
+            let mut total = 0usize;
+            let mut equal = 0usize;
+            for u in net.node_ids() {
+                for q in Quadrant::ALL {
+                    match (est.estimate(u, q), exact.estimate(u, q)) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            total += 1;
+                            assert!(
+                                b.rect.contains_rect(&a.rect),
+                                "estimate {} not inside exact {} at {u} {q}",
+                                a.rect,
+                                b.rect
+                            );
+                            if a.rect == b.rect {
+                                equal += 1;
+                            }
+                        }
+                        _ => panic!("presence mismatch at {u} {q}"),
+                    }
+                }
+            }
+            // Theorem 2 calls the estimate "accurate": most shapes
+            // must coincide exactly with the true region box.
+            assert!(
+                equal * 2 > total,
+                "seed {seed}: only {equal}/{total} estimates exact"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_shape_on_wedge_matches_estimate() {
+        let (net, map) = wedge();
+        let est = ShapeMap::build(&net, &map).estimate(NodeId(0), Quadrant::I).copied();
+        let exact = ShapeMap::build_exact(&net, &map)
+            .estimate(NodeId(0), Quadrant::I)
+            .copied();
+        // The wedge's chains reach both extremes: estimate == exact.
+        assert_eq!(est.unwrap().rect, exact.unwrap().rect);
+        assert_eq!(est.unwrap().far_corner, exact.unwrap().far_corner);
+    }
+
+    #[test]
+    fn even_type_corner_mapping_swaps_roles() {
+        // The wedge mirrored about x = 100 points northwest (type II).
+        let net = Network::from_positions(
+            vec![
+                Point::new(190.0, 10.0), // 0 = u
+                Point::new(178.0, 15.0), // 1 west-hugging chain hop
+                Point::new(185.0, 22.0), // 2 north-hugging chain hop
+                Point::new(180.0, 34.0), // 3 far north tip
+                Point::new(166.0, 20.0), // 4 far west tip
+            ],
+            17.0,
+            area(),
+        );
+        let map = SafetyMap::label_with_pinned(&net, vec![false; 5]);
+        assert!(!map.is_safe(NodeId(0), Quadrant::II));
+        let shapes = ShapeMap::build(&net, &map);
+        let est = shapes.estimate(NodeId(0), Quadrant::II).unwrap();
+        // Q2's CCW scan starts at north: first = north-hugging n2 chain
+        // (ending n3), last = west-hugging n1 chain (ending n4).
+        assert_eq!(est.first_far, NodeId(3));
+        assert_eq!(est.last_far, NodeId(4));
+        // x-extent from the last (west-hugging) chain, y-extent from the
+        // first (north-hugging) chain.
+        assert_eq!(est.far_corner, Point::new(166.0, 34.0));
+        assert_eq!(
+            est.rect,
+            Rect::from_corners(Point::new(190.0, 10.0), Point::new(166.0, 34.0))
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The four-type safety status tuple `(S_1, S_2, S_3, S_4)`.
+//!
+//! §3: "Due to the types of forwarding zones, there are four different
+//! types of safe/unsafe statuses for each node u, denoted by `S_i(u)`"
+//! where "1" is safe and "0" unsafe. A node starts `(1,1,1,1)` and bits
+//! only ever flip to unsafe during labeling — the tuple is monotone,
+//! which is what makes Definition 1 a fixed point computation.
+
+use sp_geom::Quadrant;
+
+/// A node's safety tuple; bit `i` is `S_i(u)`.
+///
+/// ```
+/// use sp_core::SafetyTuple;
+/// use sp_geom::Quadrant;
+///
+/// let mut t = SafetyTuple::all_safe();
+/// assert!(t.is_safe(Quadrant::I));
+/// t.mark_unsafe(Quadrant::I);
+/// assert!(!t.is_safe(Quadrant::I));
+/// assert!(t.any_safe());
+/// assert_eq!(t.to_string(), "(0,1,1,1)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SafetyTuple(u8);
+
+impl SafetyTuple {
+    /// The initial tuple `(1,1,1,1)` of every healthy node.
+    pub const fn all_safe() -> SafetyTuple {
+        SafetyTuple(0b1111)
+    }
+
+    /// The fully-unsafe tuple `(0,0,0,0)` that triggers the cautious
+    /// perimeter phase of §4.
+    pub const fn all_unsafe() -> SafetyTuple {
+        SafetyTuple(0)
+    }
+
+    /// `S_i(u) = 1`?
+    #[inline]
+    pub fn is_safe(self, q: Quadrant) -> bool {
+        self.0 & (1 << q.array_index()) != 0
+    }
+
+    /// Flips `S_i(u)` to unsafe. Returns `true` when the bit actually
+    /// changed (drives the labeling worklist).
+    pub fn mark_unsafe(&mut self, q: Quadrant) -> bool {
+        let bit = 1u8 << q.array_index();
+        let changed = self.0 & bit != 0;
+        self.0 &= !bit;
+        changed
+    }
+
+    /// Restores `S_i(u)` to safe (used only when re-labeling after
+    /// topology changes rebuilds from scratch).
+    pub fn mark_safe(&mut self, q: Quadrant) {
+        self.0 |= 1 << q.array_index();
+    }
+
+    /// True when at least one type is safe (`∃ S_i(u) > 0`), the backup
+    /// phase's eligibility condition.
+    pub fn any_safe(self) -> bool {
+        self.0 != 0
+    }
+
+    /// True when every type is unsafe — "the safety tuple `(0,0,0,0)`"
+    /// that may indicate disconnection (§4).
+    pub fn fully_unsafe(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when every type is safe.
+    pub fn fully_safe(self) -> bool {
+        self.0 == 0b1111
+    }
+
+    /// Number of safe types, `0..=4`.
+    pub fn safe_count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The quadrants in which this node is safe, in type order.
+    pub fn safe_types(self) -> impl Iterator<Item = Quadrant> {
+        Quadrant::ALL.into_iter().filter(move |q| self.is_safe(*q))
+    }
+}
+
+impl Default for SafetyTuple {
+    /// Nodes are born safe (Definition 1 step 1).
+    fn default() -> Self {
+        SafetyTuple::all_safe()
+    }
+}
+
+impl std::fmt::Display for SafetyTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({},{},{},{})",
+            self.is_safe(Quadrant::I) as u8,
+            self.is_safe(Quadrant::II) as u8,
+            self.is_safe(Quadrant::III) as u8,
+            self.is_safe(Quadrant::IV) as u8,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_safe() {
+        let t = SafetyTuple::default();
+        assert!(t.fully_safe());
+        assert!(t.any_safe());
+        assert!(!t.fully_unsafe());
+        assert_eq!(t.safe_count(), 4);
+        assert_eq!(t, SafetyTuple::all_safe());
+    }
+
+    #[test]
+    fn marking_is_monotone_and_reported() {
+        let mut t = SafetyTuple::all_safe();
+        assert!(t.mark_unsafe(Quadrant::III), "first flip changes");
+        assert!(!t.mark_unsafe(Quadrant::III), "second flip is a no-op");
+        assert!(!t.is_safe(Quadrant::III));
+        assert_eq!(t.safe_count(), 3);
+    }
+
+    #[test]
+    fn fully_unsafe_reached_after_all_flips() {
+        let mut t = SafetyTuple::all_safe();
+        for q in Quadrant::ALL {
+            t.mark_unsafe(q);
+        }
+        assert!(t.fully_unsafe());
+        assert!(!t.any_safe());
+        assert_eq!(t, SafetyTuple::all_unsafe());
+        assert_eq!(t.safe_types().count(), 0);
+    }
+
+    #[test]
+    fn mark_safe_restores() {
+        let mut t = SafetyTuple::all_unsafe();
+        t.mark_safe(Quadrant::II);
+        assert!(t.is_safe(Quadrant::II));
+        assert_eq!(t.safe_types().collect::<Vec<_>>(), vec![Quadrant::II]);
+    }
+
+    #[test]
+    fn display_matches_paper_tuples() {
+        let mut t = SafetyTuple::all_safe();
+        assert_eq!(t.to_string(), "(1,1,1,1)");
+        t.mark_unsafe(Quadrant::I);
+        t.mark_unsafe(Quadrant::IV);
+        assert_eq!(t.to_string(), "(0,1,1,0)");
+    }
+}

@@ -1,0 +1,152 @@
+//! Sweep configurations reproducing the paper's experimental setup (§5).
+//!
+//! > "nodes with a transmission radius of 20 meters are deployed to cover
+//! > an interest area of 200m × 200m … we test the networks when the
+//! > number of nodes in the interest area is varied from 400 to 800 in
+//! > increments of 50. For each case, 100 networks are randomly
+//! > generated, and the average routing performance over all of these
+//! > randomly sampled networks is reported."
+
+use sp_geom::Point;
+use sp_net::{deploy::DeploymentConfig, FaModel};
+
+/// Which deployment model a sweep uses (the two panels of every figure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeploymentKind {
+    /// IA: uniform ("ideal") deployment — holes only from sparsity.
+    Ia,
+    /// FA: uniform deployment avoiding random forbidden areas.
+    Fa(FaModel),
+}
+
+impl DeploymentKind {
+    /// The paper's FA model with default obstacle parameters.
+    pub fn fa_default() -> DeploymentKind {
+        DeploymentKind::Fa(FaModel::paper_default())
+    }
+
+    /// Short panel tag used in figure titles: "IA" or "FA".
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DeploymentKind::Ia => "IA",
+            DeploymentKind::Fa(_) => "FA",
+        }
+    }
+
+    /// Generates one deployment instance.
+    pub fn deploy(&self, cfg: &DeploymentConfig, seed: u64) -> Vec<Point> {
+        match self {
+            DeploymentKind::Ia => cfg.deploy_uniform(seed),
+            DeploymentKind::Fa(fa) => {
+                let obstacles = fa.generate_obstacles(cfg, seed);
+                cfg.deploy_with_obstacles(&obstacles, seed)
+            }
+        }
+    }
+}
+
+/// A full figure sweep: node counts × seeded network instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// The x axis: node counts to test.
+    pub node_counts: Vec<usize>,
+    /// Random networks generated per node count.
+    pub networks_per_point: usize,
+    /// Random source/destination pairs routed per network.
+    pub pairs_per_network: usize,
+    /// Deployment model.
+    pub deployment: DeploymentKind,
+    /// Base seed; instance seeds derive deterministically from it.
+    pub base_seed: u64,
+}
+
+impl SweepConfig {
+    /// The paper's IA sweep: 400..=800 step 50, 100 networks per point.
+    pub fn paper_ia() -> SweepConfig {
+        SweepConfig {
+            node_counts: (400..=800).step_by(50).collect(),
+            networks_per_point: 100,
+            pairs_per_network: 1,
+            deployment: DeploymentKind::Ia,
+            base_seed: 0x5eed_0001,
+        }
+    }
+
+    /// The paper's FA sweep.
+    pub fn paper_fa() -> SweepConfig {
+        SweepConfig {
+            deployment: DeploymentKind::fa_default(),
+            ..SweepConfig::paper_ia()
+        }
+    }
+
+    /// A reduced sweep for tests and smoke benchmarks: three node
+    /// counts, a handful of networks.
+    pub fn quick(deployment: DeploymentKind) -> SweepConfig {
+        SweepConfig {
+            node_counts: vec![400, 600, 800],
+            networks_per_point: 8,
+            pairs_per_network: 1,
+            deployment,
+            base_seed: 0x5eed_0002,
+        }
+    }
+
+    /// The deployment constants for one node count (the paper's area
+    /// and radius).
+    pub fn deployment_config(&self, node_count: usize) -> DeploymentConfig {
+        DeploymentConfig::paper_default(node_count)
+    }
+
+    /// The deterministic seed of instance `k` at node count index `i`.
+    pub fn instance_seed(&self, i: usize, k: usize) -> u64 {
+        self.base_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((i as u64) << 32)
+            .wrapping_add(k as u64)
+    }
+
+    /// Total number of network instances in the sweep.
+    pub fn total_instances(&self) -> usize {
+        self.node_counts.len() * self.networks_per_point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweeps_match_section5() {
+        let ia = SweepConfig::paper_ia();
+        assert_eq!(ia.node_counts, vec![400, 450, 500, 550, 600, 650, 700, 750, 800]);
+        assert_eq!(ia.networks_per_point, 100);
+        assert_eq!(ia.deployment.tag(), "IA");
+        let fa = SweepConfig::paper_fa();
+        assert_eq!(fa.deployment.tag(), "FA");
+        assert_eq!(fa.node_counts, ia.node_counts);
+        let cfg = ia.deployment_config(500);
+        assert_eq!(cfg.radius, 20.0);
+        assert_eq!(cfg.area.width(), 200.0);
+    }
+
+    #[test]
+    fn instance_seeds_are_distinct_and_deterministic() {
+        let cfg = SweepConfig::paper_ia();
+        let a = cfg.instance_seed(0, 0);
+        let b = cfg.instance_seed(0, 1);
+        let c = cfg.instance_seed(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, cfg.instance_seed(0, 0));
+    }
+
+    #[test]
+    fn deploy_kinds_generate_right_counts() {
+        let sweep = SweepConfig::quick(DeploymentKind::fa_default());
+        let cfg = sweep.deployment_config(400);
+        let pts = sweep.deployment.deploy(&cfg, 3);
+        assert_eq!(pts.len(), 400);
+        assert_eq!(sweep.total_instances(), 24);
+    }
+}

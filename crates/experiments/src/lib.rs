@@ -1,0 +1,44 @@
+//! Reproduction harness for every figure of the straightpath paper.
+//!
+//! Pipeline: a [`SweepConfig`] describes the paper's §5 setup (node
+//! counts 400–800, 100 seeded networks per point, IA or FA deployment);
+//! [`run_sweep`] routes every [`Scheme`] over every instance in
+//! parallel; [`figures`] folds the records into the exact curves of
+//! Figs. 5–7 plus the ablations A1–A15 of `DESIGN.md`; [`scenarios`]
+//! rebuilds the paper's hand-drawn figures as executable networks; and
+//! [`workload`] streams flows against per-node batteries for the
+//! lifetime experiment.
+//!
+//! The `repro-figures` binary drives the whole thing from the command
+//! line and writes text/markdown/CSV/JSON (and `--svg`) outputs.
+//!
+//! ```
+//! use sp_experiments::{run_sweep, Scheme, SweepConfig, DeploymentKind, figures};
+//!
+//! // A miniature IA sweep (the paper uses 100 networks per point).
+//! let mut cfg = SweepConfig::quick(DeploymentKind::Ia);
+//! cfg.node_counts = vec![400];
+//! cfg.networks_per_point = 2;
+//! let results = run_sweep(&cfg, &Scheme::PAPER_SET);
+//! let fig6 = figures::fig6(&results);
+//! assert_eq!(fig6.series.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod runner;
+pub mod scenarios;
+pub mod scheme;
+pub mod workload;
+
+pub use config::{DeploymentKind, SweepConfig};
+pub use runner::{
+    random_connected_pair, run_instance, run_sweep, RouteRecord, SchemePoint, SweepPoint,
+    SweepResults,
+};
+pub use scenarios::{all_scenarios, Scenario};
+pub use scheme::{PreparedNetwork, Scheme};
+pub use workload::{lifetime_figure, run_lifetime, LifetimeReport, StreamingConfig};

@@ -1,0 +1,381 @@
+//! The parallel sweep runner.
+//!
+//! Fans network instances out over worker threads (crossbeam channel as
+//! the work queue), routes every scheme on every instance, and folds the
+//! per-instance records into per-point statistics.
+
+use crate::{PreparedNetwork, Scheme, SweepConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sp_metrics::Summary;
+use sp_net::{interference_count, Network, NodeId, RadioModel};
+
+/// Packet size used for the A7 energy accounting, in bits. One short
+/// sensor data frame; only the *relative* energy of the schemes matters.
+pub const PACKET_BITS: f64 = 1024.0;
+
+/// Everything recorded for one (instance, scheme) routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteRecord {
+    /// The scheme that produced the route.
+    pub scheme: Scheme,
+    /// Node count of the instance (figure x value).
+    pub node_count: usize,
+    /// Whether the packet reached the destination.
+    pub delivered: bool,
+    /// Hops walked (only meaningful for delivered packets).
+    pub hops: usize,
+    /// Euclidean path length walked.
+    pub length: f64,
+    /// Perimeter-phase entries.
+    pub perimeter_entries: usize,
+    /// Backup-phase entries (SLGF2 family).
+    pub backup_entries: usize,
+    /// First-order radio energy of one [`PACKET_BITS`]-bit packet over
+    /// the walked path, in microjoules (A7).
+    pub energy_uj: f64,
+    /// Nodes overhearing at least one transmission of the path (A7).
+    pub interference: usize,
+    /// Walked hops over the BFS-minimum hops for the pair (A11; ≥ 1 for
+    /// delivered routes, 0 when undelivered).
+    pub hop_stretch: f64,
+    /// Walked length over the Dijkstra-shortest length — the "ideal
+    /// routing path" of the paper's Fig. 1(a) (A11).
+    pub length_stretch: f64,
+}
+
+/// Aggregated per-(node count, scheme) statistics.
+#[derive(Debug, Clone)]
+pub struct SchemePoint {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Hop counts of delivered routes.
+    pub hops: Vec<f64>,
+    /// Path lengths of delivered routes.
+    pub lengths: Vec<f64>,
+    /// Perimeter entries of all routes.
+    pub perimeter_entries: Vec<f64>,
+    /// Backup entries of all routes.
+    pub backup_entries: Vec<f64>,
+    /// Packet energies (µJ) of delivered routes (A7).
+    pub energies: Vec<f64>,
+    /// Interference set sizes of delivered routes (A7).
+    pub interference: Vec<f64>,
+    /// Hop stretches of delivered routes (A11).
+    pub hop_stretches: Vec<f64>,
+    /// Length stretches of delivered routes (A11).
+    pub length_stretches: Vec<f64>,
+    /// Delivered / total routes.
+    pub delivered: usize,
+    /// Total routes attempted.
+    pub total: usize,
+}
+
+impl SchemePoint {
+    fn new(scheme: Scheme) -> SchemePoint {
+        SchemePoint {
+            scheme,
+            hops: Vec::new(),
+            lengths: Vec::new(),
+            perimeter_entries: Vec::new(),
+            backup_entries: Vec::new(),
+            energies: Vec::new(),
+            interference: Vec::new(),
+            hop_stretches: Vec::new(),
+            length_stretches: Vec::new(),
+            delivered: 0,
+            total: 0,
+        }
+    }
+
+    fn add(&mut self, r: &RouteRecord) {
+        self.total += 1;
+        self.perimeter_entries.push(r.perimeter_entries as f64);
+        self.backup_entries.push(r.backup_entries as f64);
+        if r.delivered {
+            self.delivered += 1;
+            self.hops.push(r.hops as f64);
+            self.lengths.push(r.length as f64);
+            self.energies.push(r.energy_uj);
+            self.interference.push(r.interference as f64);
+            self.hop_stretches.push(r.hop_stretch);
+            self.length_stretches.push(r.length_stretch);
+        }
+    }
+
+    /// Delivery ratio in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.total as f64
+        }
+    }
+
+    /// Summary of delivered hop counts.
+    pub fn hops_summary(&self) -> Summary {
+        Summary::of(&self.hops)
+    }
+
+    /// Summary of delivered path lengths.
+    pub fn length_summary(&self) -> Summary {
+        Summary::of(&self.lengths)
+    }
+
+    /// Mean perimeter entries per route.
+    pub fn mean_perimeter_entries(&self) -> f64 {
+        Summary::of(&self.perimeter_entries).mean
+    }
+
+    /// Mean backup entries per route.
+    pub fn mean_backup_entries(&self) -> f64 {
+        Summary::of(&self.backup_entries).mean
+    }
+
+    /// Summary of delivered packet energies (µJ).
+    pub fn energy_summary(&self) -> Summary {
+        Summary::of(&self.energies)
+    }
+
+    /// Summary of delivered interference set sizes.
+    pub fn interference_summary(&self) -> Summary {
+        Summary::of(&self.interference)
+    }
+
+    /// Summary of delivered hop stretches (walked / BFS-minimum).
+    pub fn hop_stretch_summary(&self) -> Summary {
+        Summary::of(&self.hop_stretches)
+    }
+
+    /// Summary of delivered length stretches (walked / Dijkstra).
+    pub fn length_stretch_summary(&self) -> Summary {
+        Summary::of(&self.length_stretches)
+    }
+}
+
+/// One x-axis point of a sweep: all schemes at one node count.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Node count (x value).
+    pub node_count: usize,
+    /// Per-scheme aggregates, in the order the sweep was given.
+    pub schemes: Vec<SchemePoint>,
+}
+
+impl SweepPoint {
+    /// The aggregate for one scheme.
+    pub fn scheme(&self, scheme: Scheme) -> Option<&SchemePoint> {
+        self.schemes.iter().find(|s| s.scheme == scheme)
+    }
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// One entry per node count, ascending.
+    pub points: Vec<SweepPoint>,
+    /// The deployment model tag ("IA"/"FA") for figure titles.
+    pub deployment_tag: &'static str,
+}
+
+/// Runs the sweep with `schemes` on every instance, in parallel.
+///
+/// Source/destination pairs are drawn uniformly from the largest
+/// connected component (the paper routes between random nodes; sampling
+/// connected pairs keeps "hops of delivered routes" well-defined while
+/// delivery failures of the *routing* — not of the topology — still
+/// show up in the A2 delivery-ratio ablation).
+pub fn run_sweep(cfg: &SweepConfig, schemes: &[Scheme]) -> SweepResults {
+    let mut jobs: Vec<(usize, usize, u64)> = Vec::new(); // (point idx, n, seed)
+    for (i, &n) in cfg.node_counts.iter().enumerate() {
+        for k in 0..cfg.networks_per_point {
+            jobs.push((i, n, cfg.instance_seed(i, k)));
+        }
+    }
+
+    let records = run_jobs(cfg, schemes, &jobs);
+
+    let mut points: Vec<SweepPoint> = cfg
+        .node_counts
+        .iter()
+        .map(|&n| SweepPoint {
+            node_count: n,
+            schemes: schemes.iter().map(|&s| SchemePoint::new(s)).collect(),
+        })
+        .collect();
+    for (point_idx, recs) in records {
+        for r in recs {
+            let sp = points[point_idx]
+                .schemes
+                .iter_mut()
+                .find(|s| s.scheme == r.scheme)
+                .expect("record scheme was in the sweep set");
+            sp.add(&r);
+        }
+    }
+    SweepResults {
+        points,
+        deployment_tag: cfg.deployment.tag(),
+    }
+}
+
+/// Executes the instance jobs across worker threads.
+fn run_jobs(
+    cfg: &SweepConfig,
+    schemes: &[Scheme],
+    jobs: &[(usize, usize, u64)],
+) -> Vec<(usize, Vec<RouteRecord>)> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, usize, u64)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Vec<RouteRecord>)>();
+    for &job in jobs {
+        job_tx.send(job).expect("queue is open");
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((point_idx, n, seed)) = job_rx.recv() {
+                    let recs = run_instance(cfg, schemes, n, seed);
+                    res_tx
+                        .send((point_idx, recs))
+                        .expect("result channel open");
+                }
+            });
+        }
+        drop(res_tx);
+        res_rx.iter().collect()
+    })
+}
+
+/// Generates one network instance and routes every scheme over the same
+/// source/destination pairs.
+pub fn run_instance(
+    cfg: &SweepConfig,
+    schemes: &[Scheme],
+    node_count: usize,
+    seed: u64,
+) -> Vec<RouteRecord> {
+    let dc = cfg.deployment_config(node_count);
+    let positions = cfg.deployment.deploy(&dc, seed);
+    let net = Network::from_positions(positions, dc.radius, dc.area);
+    let prepared = PreparedNetwork::new(net);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a1c_5eed);
+    let mut out = Vec::with_capacity(schemes.len() * cfg.pairs_per_network);
+    for _ in 0..cfg.pairs_per_network {
+        let Some((s, d)) = random_connected_pair(&prepared.net, &mut rng) else {
+            continue;
+        };
+        let radio = RadioModel::first_order();
+        // References for the stretch metrics: BFS hop minimum and the
+        // Dijkstra "ideal routing path" of Fig. 1(a).
+        let min_hops = prepared.net.bfs_hops(s)[d.index()].map(f64::from);
+        let ideal_len = prepared.net.shortest_path(s, d).map(|(_, len)| len);
+        for &scheme in schemes {
+            let r = prepared.route(scheme, s, d);
+            let delivered = r.delivered();
+            let hop_stretch = match (delivered, min_hops) {
+                (true, Some(m)) if m > 0.0 => r.hops() as f64 / m,
+                _ => 0.0,
+            };
+            let length = r.length(&prepared.net);
+            let length_stretch = match (delivered, ideal_len) {
+                (true, Some(l)) if l > 0.0 => length / l,
+                _ => 0.0,
+            };
+            out.push(RouteRecord {
+                scheme,
+                node_count,
+                delivered,
+                hops: r.hops(),
+                length,
+                perimeter_entries: r.perimeter_entries,
+                backup_entries: r.backup_entries,
+                energy_uj: radio.path_energy(&prepared.net, &r.path, PACKET_BITS) / 1000.0,
+                interference: interference_count(&prepared.net, &r.path),
+                hop_stretch,
+                length_stretch,
+            });
+        }
+    }
+    out
+}
+
+/// Draws a random distinct pair from the largest connected component.
+pub fn random_connected_pair(net: &Network, rng: &mut StdRng) -> Option<(NodeId, NodeId)> {
+    let comp = net.largest_component();
+    if comp.len() < 2 {
+        return None;
+    }
+    let s = comp[rng.random_range(0..comp.len())];
+    loop {
+        let d = comp[rng.random_range(0..comp.len())];
+        if d != s {
+            return Some((s, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeploymentKind;
+
+    fn tiny_sweep(kind: DeploymentKind) -> SweepConfig {
+        SweepConfig {
+            node_counts: vec![400, 500],
+            networks_per_point: 3,
+            pairs_per_network: 1,
+            deployment: kind,
+            base_seed: 7,
+        }
+    }
+
+    #[test]
+    fn sweep_collects_all_points_and_schemes() {
+        let cfg = tiny_sweep(DeploymentKind::Ia);
+        let res = run_sweep(&cfg, &Scheme::PAPER_SET);
+        assert_eq!(res.points.len(), 2);
+        assert_eq!(res.deployment_tag, "IA");
+        for p in &res.points {
+            assert_eq!(p.schemes.len(), 4);
+            for sp in &p.schemes {
+                assert_eq!(sp.total, 3, "{}", sp.scheme);
+                assert!(sp.delivery_ratio() > 0.0, "{}", sp.scheme);
+            }
+            assert!(p.scheme(Scheme::Slgf2).is_some());
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = tiny_sweep(DeploymentKind::fa_default());
+        let a = run_sweep(&cfg, &[Scheme::Slgf2]);
+        let b = run_sweep(&cfg, &[Scheme::Slgf2]);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.schemes[0].hops, pb.schemes[0].hops);
+            assert_eq!(pa.schemes[0].delivered, pb.schemes[0].delivered);
+        }
+    }
+
+    #[test]
+    fn delivered_routes_have_sane_metrics() {
+        let cfg = tiny_sweep(DeploymentKind::Ia);
+        let recs = run_instance(&cfg, &Scheme::PAPER_SET, 400, cfg.instance_seed(0, 0));
+        assert_eq!(recs.len(), 4);
+        for r in recs {
+            if r.delivered {
+                assert!(r.hops >= 1);
+                assert!(r.length > 0.0);
+                // A hop never exceeds the radio range.
+                assert!(r.length <= (r.hops as f64) * 20.0 + 1e-9);
+            }
+        }
+    }
+}

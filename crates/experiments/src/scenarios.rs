@@ -1,0 +1,303 @@
+//! Executable versions of the paper's hand-drawn figures.
+//!
+//! Each constructor builds a small, fully deterministic network that
+//! realizes one of the situations the paper argues with (Figs. 1–4),
+//! together with its stabilized safety information and a canonical
+//! source/destination pair. The scenario tests assert the behavior the
+//! paper describes; the `paper_figures` example renders them as SVG.
+
+use crate::{PreparedNetwork, Scheme};
+use sp_core::{RouteResult, SafetyInfo};
+use sp_geom::{Point, Rect};
+use sp_net::{Network, NodeId};
+
+/// One crafted paper scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short identifier ("fig1a", "fig3", …).
+    pub name: &'static str,
+    /// What the paper uses the situation for.
+    pub description: &'static str,
+    /// The crafted network.
+    pub net: Network,
+    /// Stabilized safety information (explicit pinning, no hull
+    /// heuristics — the scenarios control their own boundary effects).
+    pub info: SafetyInfo,
+    /// Canonical source.
+    pub source: NodeId,
+    /// Canonical destination.
+    pub destination: NodeId,
+}
+
+impl Scenario {
+    fn build(
+        name: &'static str,
+        description: &'static str,
+        positions: Vec<Point>,
+        radius: f64,
+        pinned: Vec<bool>,
+        source: usize,
+        destination: usize,
+    ) -> Scenario {
+        let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(200.0, 200.0));
+        let net = Network::from_positions(positions, radius, area);
+        let info = SafetyInfo::build_with_pinned(&net, pinned);
+        Scenario {
+            name,
+            description,
+            net,
+            info,
+            source: NodeId(source),
+            destination: NodeId(destination),
+        }
+    }
+
+    /// Routes the canonical pair under one scheme (structures are
+    /// rebuilt per call; scenarios are tiny).
+    pub fn route(&self, scheme: Scheme) -> RouteResult {
+        let prepared = PreparedNetwork::new(self.net.clone());
+        prepared.route(scheme, self.source, self.destination)
+    }
+
+    /// Routes with this scenario's own (explicitly pinned) information
+    /// under SLGF2 — the canonical walk-through.
+    pub fn route_slgf2(&self) -> RouteResult {
+        use sp_core::{Routing, Slgf2Router};
+        Slgf2Router::new(&self.info).route(&self.net, self.source, self.destination)
+    }
+}
+
+/// Fig. 1(a): intertwined local minima. A diagonal trap chain sits on
+/// the straight line from `s` to `d`; behind its tip, a *second* trap
+/// catches routings that escape the first one blindly toward the
+/// destination. The safe corridor flanks both along the southeast.
+///
+/// Greedy-style routings (LGF) dive into the first trap, detour, and
+/// meet the second blocking area — the "mutual impact of blocking
+/// areas" the paper's §2 discusses. SLGF2's labeling marks *both* traps
+/// unsafe, so safe forwarding takes the corridor immediately.
+pub fn fig1a_intertwined_minima() -> Scenario {
+    let mut positions = vec![
+        Point::new(20.0, 20.0), // 0 = s
+        // First trap: the diagonal chain toward d.
+        Point::new(32.0, 32.0), // 1
+        Point::new(44.0, 44.0), // 2
+        Point::new(56.0, 56.0), // 3 = first trap tip
+        // Second trap: hangs northeast off the corridor's middle, dead
+        // toward d — a second unsafe area on the packet's way.
+        Point::new(96.0, 72.0),  // 4
+        Point::new(108.0, 84.0), // 5 = second trap tip
+    ];
+    // Safe corridor along the southeast flank, reaching d (every hop
+    // within the 17 m radius, strictly northeast so the chain stays
+    // type-1 safe).
+    for (x, y) in [
+        (34.0, 22.0),  // 6
+        (47.0, 26.0),  // 7
+        (60.0, 32.0),  // 8
+        (72.0, 40.0),  // 9
+        (84.0, 50.0),  // 10
+        (96.0, 60.0),  // 11
+        (108.0, 71.0), // 12
+        (119.0, 83.0), // 13
+        (128.0, 96.0), // 14
+        (135.0, 108.0), // 15
+    ] {
+        positions.push(Point::new(x, y));
+    }
+    positions.push(Point::new(140.0, 118.0)); // 16 = d
+    let n = positions.len();
+    let mut pinned = vec![false; n];
+    pinned[16] = true; // d anchors the safe chains
+    Scenario::build(
+        "fig1a",
+        "intertwined local minima: two blocking areas on the way (Fig. 1(a))",
+        positions,
+        17.0,
+        pinned,
+        0,
+        16,
+    )
+}
+
+/// Fig. 3: the labeling wedge. A type-1 unsafe pocket whose two chains
+/// (`u^{(1)}` east, `u^{(2)}` north) bound the estimate `E_1(u)`.
+pub fn fig3_labeling_wedge() -> Scenario {
+    let positions = vec![
+        Point::new(10.0, 10.0), // 0 = u
+        Point::new(22.0, 15.0), // 1 first-chain hop
+        Point::new(15.0, 22.0), // 2 last-chain hop
+        Point::new(20.0, 34.0), // 3 = u^(2) (north tip)
+        Point::new(34.0, 20.0), // 4 = u^(1) (east tip)
+    ];
+    let pinned = vec![false; 5];
+    Scenario::build(
+        "fig3",
+        "type-1 unsafe wedge with chain endpoints u(1)/u(2) (Fig. 3)",
+        positions,
+        17.0,
+        pinned,
+        0,
+        4,
+    )
+}
+
+/// Fig. 4(d): backup-path routing. The source sits at the southwest tip
+/// of a type-1 unsafe wedge; a pinned-safe corridor around the wedge's
+/// east side carries the packet until safe forwarding resumes.
+pub fn fig4d_backup_path() -> Scenario {
+    let positions = vec![
+        Point::new(10.0, 10.0), // 0 = s (type-1 unsafe)
+        Point::new(22.0, 15.0), // 1 wedge
+        Point::new(15.0, 22.0), // 2 wedge
+        Point::new(20.0, 34.0), // 3 wedge tip N
+        Point::new(34.0, 20.0), // 4 wedge tip E
+        Point::new(25.0, 4.0),  // 5 corridor
+        Point::new(40.0, 6.0),  // 6 corridor
+        Point::new(52.0, 18.0), // 7 corridor
+        Point::new(56.0, 33.0), // 8 corridor
+        Point::new(60.0, 47.0), // 9 = d
+    ];
+    let mut pinned = vec![false; 10];
+    for p in pinned.iter_mut().skip(5) {
+        *p = true;
+    }
+    Scenario::build(
+        "fig4d",
+        "backup-path escort around a type-1 unsafe area (Fig. 4(d))",
+        positions,
+        17.0,
+        pinned,
+        0,
+        9,
+    )
+}
+
+/// Fig. 4(e): the cautious perimeter case. The source's pocket has the
+/// all-unsafe tuple `(0,0,0,0)` because the destination's side of the
+/// network is disconnected — "the network may have disconnected" — and
+/// the routing must fail finitely instead of looping.
+pub fn fig4e_disconnected_pocket() -> Scenario {
+    let positions = vec![
+        Point::new(20.0, 20.0), // 0 = s
+        Point::new(30.0, 24.0), // 1 pocket
+        Point::new(24.0, 30.0), // 2 pocket
+        Point::new(150.0, 150.0), // 3 = d (unreachable)
+        Point::new(160.0, 158.0), // 4 d's companion
+    ];
+    let pinned = vec![false; 5];
+    Scenario::build(
+        "fig4e",
+        "all-unsafe source pocket, destination disconnected (Fig. 4(e))",
+        positions,
+        15.0,
+        pinned,
+        0,
+        3,
+    )
+}
+
+/// All crafted scenarios, in paper order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        fig1a_intertwined_minima(),
+        fig3_labeling_wedge(),
+        fig4d_backup_path(),
+        fig4e_disconnected_pocket(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{RouteOutcome, RoutePhase, Routing, SlgfRouter};
+    use sp_geom::Quadrant;
+
+    #[test]
+    fn fig1a_traps_are_unsafe_and_corridor_safe() {
+        let sc = fig1a_intertwined_minima();
+        for t in [1, 2, 3, 4, 5] {
+            assert!(
+                !sc.info.is_safe(NodeId(t), Quadrant::I),
+                "trap node n{t} must be type-1 unsafe"
+            );
+        }
+        for g in 6..=15 {
+            assert!(
+                sc.info.is_safe(NodeId(g), Quadrant::I),
+                "corridor node n{g} must be type-1 safe"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1a_slgf2_avoids_both_traps_and_lgf_dives() {
+        let sc = fig1a_intertwined_minima();
+        let r2 = sc.route_slgf2();
+        assert!(r2.delivered(), "{:?}", r2.outcome);
+        assert_eq!(r2.perimeter_entries, 0, "phases {:?}", r2.phases);
+        for t in [1, 2, 3, 4, 5] {
+            assert!(!r2.path.contains(&NodeId(t)), "SLGF2 path {:?}", r2.path);
+        }
+        // LGF dives into the first trap and — with the tip a dead end
+        // whose only neighbor is already tried — loses the packet.
+        let r1 = sc.route(Scheme::Lgf);
+        assert!(
+            r1.path.contains(&NodeId(3)),
+            "LGF must dive into the first trap: {:?}",
+            r1.path
+        );
+        assert!(!r1.delivered(), "{:?}", r1.outcome);
+    }
+
+    #[test]
+    fn fig3_estimate_matches_the_paper() {
+        let sc = fig3_labeling_wedge();
+        let est = sc
+            .info
+            .estimate(NodeId(0), Quadrant::I)
+            .expect("u is type-1 unsafe");
+        assert_eq!(est.first_far, NodeId(4), "u(1) is the east tip");
+        assert_eq!(est.last_far, NodeId(3), "u(2) is the north tip");
+        assert_eq!(
+            est.rect,
+            Rect::from_corners(Point::new(10.0, 10.0), Point::new(34.0, 34.0))
+        );
+    }
+
+    #[test]
+    fn fig4d_backup_phase_is_exercised() {
+        let sc = fig4d_backup_path();
+        let r = sc.route_slgf2();
+        assert!(r.delivered(), "{:?}", r.outcome);
+        assert!(r.backup_entries >= 1, "phases {:?}", r.phases);
+        assert_eq!(r.perimeter_entries, 0);
+        assert!(r.hops_in_phase(RoutePhase::Backup) >= 1);
+        // SLGF (no backup phase) needs perimeter recovery instead.
+        let rs = SlgfRouter::new(&sc.info).route(&sc.net, sc.source, sc.destination);
+        assert!(rs.perimeter_entries >= 1, "phases {:?}", rs.phases);
+    }
+
+    #[test]
+    fn fig4e_fails_finitely_with_all_unsafe_source() {
+        let sc = fig4e_disconnected_pocket();
+        assert!(sc.info.tuple(sc.source).fully_unsafe());
+        let r = sc.route_slgf2();
+        assert!(matches!(r.outcome, RouteOutcome::Stuck(_)), "{:?}", r.outcome);
+        assert!(r.hops() <= 4, "pocket tour must be short: {}", r.hops());
+    }
+
+    #[test]
+    fn all_scenarios_have_distinct_names() {
+        let scenarios = all_scenarios();
+        assert_eq!(scenarios.len(), 4);
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        for sc in &scenarios {
+            assert!(!sc.description.is_empty());
+            assert!(sc.net.len() >= 5);
+        }
+    }
+}

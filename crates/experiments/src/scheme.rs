@@ -1,0 +1,160 @@
+//! The routing schemes under evaluation and a prepared-network wrapper.
+
+use sp_baselines::{GfRouter, GfgRouter, Slgf2FaceRouter};
+use sp_core::{LgfRouter, RouteResult, Routing, SafetyInfo, SlgfRouter, Slgf2Router};
+use sp_net::{Network, NodeId};
+
+/// A scheme of the paper's figures, plus the ablation variants of
+/// `DESIGN.md` (A3/A4) and the GFG face-routing extension (A8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Greedy forwarding with BOUNDHOLE recovery (baseline \[5\]/\[6\]).
+    Gf,
+    /// Limited greedy forwarding, Algo. 1.
+    Lgf,
+    /// Safety-information LGF of \[7\].
+    Slgf,
+    /// The paper's contribution, Algo. 3.
+    Slgf2,
+    /// SLGF2 without the either-hand superseding rule (ablation A3).
+    Slgf2NoSuperseding,
+    /// SLGF2 without the backup-path phase (ablation A4).
+    Slgf2NoBackup,
+    /// Greedy-Face-Greedy with full planar face changes (Bose et al.
+    /// \[2\]) — the guaranteed-delivery comparison of ablation A8.
+    Gfg,
+    /// SLGF2 with FACE-2 recovery instead of the untried sweep — the
+    /// paper's §6 future-work direction (ablation A12).
+    Slgf2Face,
+}
+
+impl Scheme {
+    /// The four curves of every figure in the paper, in its order.
+    pub const PAPER_SET: [Scheme; 4] = [Scheme::Gf, Scheme::Lgf, Scheme::Slgf, Scheme::Slgf2];
+
+    /// The paper's curves plus the GFG face-routing baseline (A8).
+    pub const EXTENDED_SET: [Scheme; 5] = [
+        Scheme::Gf,
+        Scheme::Lgf,
+        Scheme::Slgf,
+        Scheme::Slgf2,
+        Scheme::Gfg,
+    ];
+
+    /// Display name (figure legend).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Gf => "GF",
+            Scheme::Lgf => "LGF",
+            Scheme::Slgf => "SLGF",
+            Scheme::Slgf2 => "SLGF2",
+            Scheme::Slgf2NoSuperseding => "SLGF2-noEH",
+            Scheme::Slgf2NoBackup => "SLGF2-noBP",
+            Scheme::Gfg => "GFG",
+            Scheme::Slgf2Face => "SLGF2-F",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One generated network with every precomputed structure the schemes
+/// need: the safety information for SLGF/SLGF2 and the GF recovery
+/// structures (hole atlas + planarization) — mirroring §5's "before we
+/// test the routing performance … boundary information is constructed
+/// for GF routings, and safety information and estimated shape
+/// information are constructed for our SLGF and SLGF2 routing".
+#[derive(Debug, Clone)]
+pub struct PreparedNetwork {
+    /// The unit disk graph.
+    pub net: Network,
+    /// Safety + shape information (centralized construction).
+    pub info: SafetyInfo,
+    /// The GF baseline with its recovery structures.
+    pub gf: GfRouter,
+    /// The GFG face-routing baseline (shares nothing with GF's atlas).
+    pub gfg: GfgRouter,
+}
+
+impl PreparedNetwork {
+    /// Builds everything for a deployed point set.
+    pub fn new(net: Network) -> PreparedNetwork {
+        let info = SafetyInfo::build(&net);
+        let gf = GfRouter::new(&net);
+        let gfg = GfgRouter::new(&net);
+        PreparedNetwork { net, info, gf, gfg }
+    }
+
+    /// Routes one packet under the given scheme.
+    pub fn route(&self, scheme: Scheme, src: NodeId, dst: NodeId) -> RouteResult {
+        match scheme {
+            Scheme::Gf => self.gf.route(&self.net, src, dst),
+            Scheme::Lgf => LgfRouter::new().route(&self.net, src, dst),
+            Scheme::Slgf => SlgfRouter::new(&self.info).route(&self.net, src, dst),
+            Scheme::Slgf2 => Slgf2Router::new(&self.info).route(&self.net, src, dst),
+            Scheme::Slgf2NoSuperseding => Slgf2Router::new(&self.info)
+                .without_superseding()
+                .route(&self.net, src, dst),
+            Scheme::Slgf2NoBackup => Slgf2Router::new(&self.info)
+                .without_backup()
+                .route(&self.net, src, dst),
+            Scheme::Gfg => self.gfg.route(&self.net, src, dst),
+            Scheme::Slgf2Face => {
+                Slgf2FaceRouter::with_face_router(&self.info, self.gfg.clone())
+                    .route(&self.net, src, dst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_net::deploy::DeploymentConfig;
+
+    #[test]
+    fn names_are_unique() {
+        let all = [
+            Scheme::Gf,
+            Scheme::Lgf,
+            Scheme::Slgf,
+            Scheme::Slgf2,
+            Scheme::Slgf2NoSuperseding,
+            Scheme::Slgf2NoBackup,
+            Scheme::Gfg,
+            Scheme::Slgf2Face,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert_eq!(Scheme::PAPER_SET.len(), 4);
+    }
+
+    #[test]
+    fn all_schemes_route_on_a_dense_network() {
+        let cfg = DeploymentConfig::paper_default(500);
+        let net = Network::from_positions(cfg.deploy_uniform(21), cfg.radius, cfg.area);
+        let comp = net.largest_component();
+        let prepared = PreparedNetwork::new(net);
+        let (s, d) = (comp[0], comp[comp.len() - 1]);
+        for scheme in [
+            Scheme::Gf,
+            Scheme::Lgf,
+            Scheme::Slgf,
+            Scheme::Slgf2,
+            Scheme::Slgf2NoSuperseding,
+            Scheme::Slgf2NoBackup,
+            Scheme::Gfg,
+            Scheme::Slgf2Face,
+        ] {
+            let r = prepared.route(scheme, s, d);
+            assert_eq!(r.path.first(), Some(&s), "{scheme}");
+            assert!(r.hops() > 0, "{scheme}");
+        }
+    }
+}

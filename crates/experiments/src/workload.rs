@@ -1,0 +1,250 @@
+//! Streaming workloads and the network-lifetime experiment (A15).
+//!
+//! The paper motivates straightforward paths with "recent WASN
+//! applications that require a streaming service to deliver large
+//! amount of data" and cites \[11\] on lifetime and energy holes. This
+//! module closes the loop: fixed source/destination flows stream
+//! packets under one routing scheme, every hop debits the
+//! [`EnergyLedger`], depleted nodes drop out of the topology (and the
+//! safety information is repaired incrementally via
+//! [`InfoMaintainer`]), until the network can no longer carry a flow.
+//! The packets delivered until then are the scheme's *lifetime*.
+
+use crate::Scheme;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sp_baselines::{GfRouter, GfgRouter, Slgf2FaceRouter};
+use sp_core::{InfoMaintainer, LgfRouter, Routing, SlgfRouter, Slgf2Router};
+use sp_metrics::{Figure, Series};
+use sp_net::{radio::EnergyLedger, Network, RadioModel};
+
+/// Configuration of one streaming-lifetime run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingConfig {
+    /// Number of concurrent flows (random distinct connected pairs).
+    pub flows: usize,
+    /// Packet size in bits.
+    pub packet_bits: f64,
+    /// Initial per-node energy in nJ.
+    pub node_energy_nj: f64,
+    /// Upper bound on streamed rounds (defensive stop).
+    pub max_rounds: usize,
+}
+
+impl StreamingConfig {
+    /// A workload that depletes a 500-node network in a few thousand
+    /// packets: 4 flows, 1024-bit packets, 20 mJ per node.
+    pub fn default_for_lifetime() -> StreamingConfig {
+        StreamingConfig {
+            flows: 4,
+            packet_bits: 1024.0,
+            node_energy_nj: 2.0e7,
+            max_rounds: 100_000,
+        }
+    }
+}
+
+/// Outcome of one lifetime run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeReport {
+    /// Packets delivered before the run ended.
+    pub packets_delivered: usize,
+    /// Packets that failed to route (undelivered attempts).
+    pub packets_lost: usize,
+    /// Streamed rounds until the first flow became unroutable.
+    pub rounds: usize,
+    /// Nodes depleted when the run ended.
+    pub nodes_depleted: usize,
+    /// Fraction of total initial energy spent at the end.
+    pub energy_spent: f64,
+}
+
+/// Streams `cfg.flows` flows under `scheme` until a flow endpoint dies,
+/// a flow is physically severed (undelivered with the endpoints in
+/// different components), or `cfg.max_rounds` is reached.
+///
+/// Every round sends one packet per flow. Depleted nodes are removed
+/// from the ghost topology and — for the information-based schemes —
+/// the safety labeling is repaired incrementally, mirroring how a real
+/// deployment would run Algorithm 2's failure handling.
+pub fn run_lifetime(
+    net: &Network,
+    scheme: Scheme,
+    cfg: &StreamingConfig,
+    seed: u64,
+) -> LifetimeReport {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11fe);
+    let comp = net.largest_component();
+    let mut flows = Vec::with_capacity(cfg.flows);
+    while flows.len() < cfg.flows && comp.len() >= 2 {
+        let s = comp[rng.random_range(0..comp.len())];
+        let d = comp[rng.random_range(0..comp.len())];
+        if s != d && !flows.contains(&(s, d)) {
+            flows.push((s, d));
+        }
+    }
+
+    let mut maint = InfoMaintainer::new(net.clone());
+    let mut ledger = EnergyLedger::new(net.len(), cfg.node_energy_nj, RadioModel::first_order());
+    // Routing structures are rebuilt only when the topology changes
+    // (the safety labeling itself is repaired incrementally).
+    let mut info = maint.info();
+    let mut gf = GfRouter::new(maint.network());
+    let mut gfg = GfgRouter::new(maint.network());
+    let mut report = LifetimeReport {
+        packets_delivered: 0,
+        packets_lost: 0,
+        rounds: 0,
+        nodes_depleted: 0,
+        energy_spent: 0.0,
+    };
+
+    'rounds: for _ in 0..cfg.max_rounds {
+        report.rounds += 1;
+        for &(s, d) in &flows {
+            if maint.is_dead(s) || maint.is_dead(d) {
+                break 'rounds; // a flow endpoint died: end of lifetime
+            }
+            let topo = maint.network();
+            let route = match scheme {
+                Scheme::Gf => gf.route(topo, s, d),
+                Scheme::Lgf => LgfRouter::new().route(topo, s, d),
+                Scheme::Slgf => SlgfRouter::new(&info).route(topo, s, d),
+                Scheme::Slgf2 => Slgf2Router::new(&info).route(topo, s, d),
+                Scheme::Slgf2NoSuperseding => Slgf2Router::new(&info)
+                    .without_superseding()
+                    .route(topo, s, d),
+                Scheme::Slgf2NoBackup => {
+                    Slgf2Router::new(&info).without_backup().route(topo, s, d)
+                }
+                Scheme::Gfg => gfg.route(topo, s, d),
+                Scheme::Slgf2Face => {
+                    Slgf2FaceRouter::with_face_router(&info, gfg.clone()).route(topo, s, d)
+                }
+            };
+            if !route.delivered() {
+                report.packets_lost += 1;
+                if !topo.connected(s, d) {
+                    break 'rounds; // flow physically severed
+                }
+                continue;
+            }
+            report.packets_delivered += 1;
+            let newly_dead = ledger.charge_path(topo, &route.path, cfg.packet_bits);
+            if !newly_dead.is_empty() {
+                for v in newly_dead {
+                    maint.kill(v);
+                }
+                info = maint.info();
+                gf = GfRouter::new(maint.network());
+                gfg = GfgRouter::new(maint.network());
+            }
+        }
+    }
+    report.nodes_depleted = ledger.depleted().len();
+    report.energy_spent = ledger.spent_fraction();
+    report
+}
+
+/// A15: network lifetime per scheme — packets streamed until the first
+/// flow dies, averaged over seeded instances.
+pub fn lifetime_figure(
+    node_count: usize,
+    instances: usize,
+    schemes: &[Scheme],
+    cfg: &StreamingConfig,
+) -> Figure {
+    let mut fig = Figure::new(
+        format!(
+            "A15 streaming lifetime (IA model, n={node_count}, {} flows)",
+            cfg.flows
+        ),
+        "instance-mean",
+        "packets delivered",
+    );
+    let dc = sp_net::deploy::DeploymentConfig::paper_default(node_count);
+    for &scheme in schemes {
+        let mut series = Series::new(scheme.name());
+        let mut total = Vec::new();
+        for k in 0..instances {
+            let seed = 0xa15_00 + k as u64;
+            let net = Network::from_positions(dc.deploy_uniform(seed), dc.radius, dc.area);
+            let report = run_lifetime(&net, scheme, cfg, seed);
+            total.push(report.packets_delivered as f64);
+        }
+        series.push(node_count as f64, sp_metrics::Summary::of(&total).mean);
+        fig.push_series(series);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_net::DeploymentConfig;
+
+    fn small_cfg() -> StreamingConfig {
+        StreamingConfig {
+            flows: 2,
+            packet_bits: 1024.0,
+            // A tight budget so the run ends quickly: ~15 packets of
+            // relaying per node.
+            node_energy_nj: 1.6e6,
+            max_rounds: 10_000,
+        }
+    }
+
+    #[test]
+    fn lifetime_run_terminates_and_accounts() {
+        let dc = DeploymentConfig::paper_default(300);
+        let net = Network::from_positions(dc.deploy_uniform(2), dc.radius, dc.area);
+        let report = run_lifetime(&net, Scheme::Slgf2, &small_cfg(), 2);
+        assert!(report.rounds > 0);
+        assert!(report.packets_delivered > 0, "{report:?}");
+        assert!(report.energy_spent > 0.0 && report.energy_spent <= 1.0);
+        // The run ended for a reason: someone died or rounds ran out.
+        assert!(
+            report.nodes_depleted > 0 || report.rounds == 10_000,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn lifetime_is_seed_deterministic() {
+        let dc = DeploymentConfig::paper_default(250);
+        let net = Network::from_positions(dc.deploy_uniform(3), dc.radius, dc.area);
+        let a = run_lifetime(&net, Scheme::Gfg, &small_cfg(), 7);
+        let b = run_lifetime(&net, Scheme::Gfg, &small_cfg(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generous_budget_hits_round_cap_without_deaths() {
+        let dc = DeploymentConfig::paper_default(200);
+        let net = Network::from_positions(dc.deploy_uniform(5), dc.radius, dc.area);
+        let cfg = StreamingConfig {
+            flows: 1,
+            packet_bits: 16.0,
+            node_energy_nj: 1.0e12,
+            max_rounds: 50,
+        };
+        let report = run_lifetime(&net, Scheme::Slgf2, &cfg, 5);
+        assert_eq!(report.rounds, 50);
+        assert_eq!(report.nodes_depleted, 0);
+        assert_eq!(report.packets_delivered + report.packets_lost, 50);
+    }
+
+    #[test]
+    fn lifetime_figure_has_one_series_per_scheme() {
+        let fig = lifetime_figure(
+            250,
+            1,
+            &[Scheme::Slgf2, Scheme::Gfg],
+            &small_cfg(),
+        );
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert!(s.points[0].1 > 0.0, "{}: no packets delivered", s.label);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Angles normalized to `[0, 2π)` and deterministic angular orderings.
+//!
+//! Perimeter routing in the paper repeatedly "rotates a ray
+//! counter-clockwise until the first untried node is hit" (Algo. 1 step 4),
+//! and the information-construction process scans a forwarding zone "in
+//! counter-clockwise order" (Algo. 2 step 3). Both need a single, total,
+//! reproducible notion of angle, which this module provides.
+
+use crate::Vec2;
+
+/// One full turn, `2π`.
+pub const TAU: f64 = std::f64::consts::TAU;
+
+/// An angle normalized into `[0, 2π)`, measured counter-clockwise from
+/// east, wrapped for deterministic comparison.
+///
+/// ```
+/// use sp_geom::{Angle, Vec2};
+/// let north = Angle::of_vec(Vec2::new(0.0, 1.0));
+/// let east = Angle::of_vec(Vec2::new(1.0, 0.0));
+/// assert!(east < north);
+/// assert!((north.radians() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// Wraps an arbitrary angle in radians into `[0, 2π)`.
+    pub fn new(radians: f64) -> Self {
+        Angle(normalize_angle(radians))
+    }
+
+    /// The direction of a vector. The zero vector maps to angle `0`.
+    pub fn of_vec(v: Vec2) -> Self {
+        Angle::new(v.angle())
+    }
+
+    /// The normalized value in `[0, 2π)`.
+    #[inline]
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// Counter-clockwise angular distance from `from` to `self`,
+    /// in `[0, 2π)`.
+    ///
+    /// This is the amount a ray pointing along `from` must rotate
+    /// counter-clockwise before it hits `self`.
+    pub fn ccw_from(self, from: Angle) -> f64 {
+        normalize_angle(self.0 - from.0)
+    }
+
+    /// True when the angle lies in the counter-clockwise closed interval
+    /// from `start` to `end` (which may wrap through `0`).
+    pub fn in_ccw_range(self, start: Angle, end: Angle) -> bool {
+        let span = end.ccw_from(start);
+        let off = self.ccw_from(start);
+        if span == 0.0 {
+            // Degenerate range: only the start angle itself.
+            off == 0.0
+        } else {
+            off <= span
+        }
+    }
+}
+
+impl Eq for Angle {}
+
+impl PartialOrd for Angle {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Angle {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Normalized values are finite and non-NaN, so total_cmp agrees
+        // with the mathematical order on [0, 2π).
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for Angle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}rad", self.0)
+    }
+}
+
+/// Wraps an angle in radians into `[0, 2π)`.
+///
+/// ```
+/// use sp_geom::normalize_angle;
+/// let a = normalize_angle(-std::f64::consts::FRAC_PI_2);
+/// assert!((a - 3.0 * std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// ```
+pub fn normalize_angle(radians: f64) -> f64 {
+    let r = radians % TAU;
+    if r < 0.0 {
+        r + TAU
+    } else if r == 0.0 {
+        0.0 // collapse -0.0
+    } else {
+        r
+    }
+}
+
+/// A monotone, trig-free stand-in for the polar angle.
+///
+/// `pseudo_angle(v)` increases strictly with the true polar angle of `v`
+/// over `[0, 2π)` and costs one division instead of an `atan2`. Useful for
+/// sorting large neighbor sets by angle; ties and exactness still follow
+/// the true angle because the map is injective on directions.
+///
+/// The zero vector maps to `0.0`.
+pub fn pseudo_angle(v: Vec2) -> f64 {
+    if v.is_zero() {
+        return 0.0;
+    }
+    // Map direction to [0, 4) by octant-free projective trick:
+    // p = y/(|x|+|y|) gives [0,1] in quadrants I/II top half...
+    let ax = v.x.abs();
+    let ay = v.y.abs();
+    let p = v.y / (ax + ay);
+    if v.x >= 0.0 {
+        // Quadrants I (p in [0,1]) and IV (p in [-1,0)) -> [0,1] and [3,4)
+        if v.y >= 0.0 {
+            p // [0, 1]
+        } else {
+            4.0 + p // [3, 4)
+        }
+    } else {
+        // Quadrants II and III -> (1, 3)
+        2.0 - p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn normalize_wraps_negative_and_large() {
+        assert!((normalize_angle(-FRAC_PI_2) - 1.5 * PI).abs() < 1e-12);
+        assert!((normalize_angle(TAU + 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert_eq!(normalize_angle(TAU), 0.0);
+        assert_eq!(normalize_angle(-0.0), 0.0);
+    }
+
+    #[test]
+    fn ccw_from_measures_rotation() {
+        let east = Angle::new(0.0);
+        let north = Angle::new(FRAC_PI_2);
+        assert!((north.ccw_from(east) - FRAC_PI_2).abs() < 1e-12);
+        // East is 3/4 turn CCW from north.
+        assert!((east.ccw_from(north) - 1.5 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_ccw_range_handles_wraparound() {
+        let a = Angle::new(7.0 * PI / 4.0); // 315°
+        assert!(a.in_ccw_range(Angle::new(1.5 * PI), Angle::new(0.1)));
+        assert!(!a.in_ccw_range(Angle::new(0.0), Angle::new(PI)));
+        // Closed endpoints.
+        assert!(Angle::new(PI).in_ccw_range(Angle::new(PI), Angle::new(1.5 * PI)));
+        assert!(Angle::new(1.5 * PI).in_ccw_range(Angle::new(PI), Angle::new(1.5 * PI)));
+    }
+
+    #[test]
+    fn angle_ordering_is_total_on_unit_circle() {
+        let mut angles: Vec<Angle> = (0..16)
+            .map(|i| Angle::new(i as f64 * TAU / 16.0))
+            .collect();
+        let sorted = angles.clone();
+        angles.reverse();
+        angles.sort();
+        assert_eq!(angles, sorted);
+    }
+
+    #[test]
+    fn pseudo_angle_monotone_with_true_angle() {
+        let dirs: Vec<Vec2> = (0..64)
+            .map(|i| {
+                let t = i as f64 * TAU / 64.0;
+                Vec2::new(t.cos(), t.sin())
+            })
+            .collect();
+        for w in dirs.windows(2) {
+            assert!(
+                pseudo_angle(w[0]) < pseudo_angle(w[1]),
+                "pseudo angle must increase with polar angle: {:?} {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn pseudo_angle_zero_vector_is_zero() {
+        assert_eq!(pseudo_angle(Vec2::ZERO), 0.0);
+    }
+
+    #[test]
+    fn of_vec_matches_atan2() {
+        let v = Vec2::new(-1.0, -1.0);
+        let a = Angle::of_vec(v);
+        assert!((a.radians() - 1.25 * PI).abs() < 1e-12);
+    }
+}

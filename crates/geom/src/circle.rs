@@ -1,0 +1,165 @@
+//! Circles and the proximity witnesses used by graph planarization.
+//!
+//! The Gabriel graph keeps edge `(u, v)` only when no witness node lies in
+//! the closed disk with diameter `uv`; the relative neighborhood graph
+//! (RNG) uses the lune `max(|uw|, |wv|) < |uv|`. Both predicates live here
+//! so the planarizer in `sp-net` stays purely combinatorial.
+
+use crate::Point;
+
+/// A circle (or closed disk, depending on the predicate used).
+///
+/// ```
+/// use sp_geom::{Circle, Point};
+/// let c = Circle::new(Point::new(0.0, 0.0), 5.0);
+/// assert!(c.contains(Point::new(3.0, 4.0)));       // on boundary
+/// assert!(!c.contains_strict(Point::new(3.0, 4.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius; must be non-negative.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Circle from center and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or NaN.
+    pub fn new(center: Point, radius: f64) -> Circle {
+        assert!(radius >= 0.0, "circle radius must be non-negative, got {radius}");
+        Circle { center, radius }
+    }
+
+    /// The circle having segment `ab` as a diameter — the Gabriel-graph
+    /// witness region for edge `(a, b)`.
+    pub fn with_diameter(a: Point, b: Point) -> Circle {
+        Circle {
+            center: a.midpoint(b),
+            radius: a.distance(b) / 2.0,
+        }
+    }
+
+    /// Closed-disk membership (boundary included).
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// Open-disk membership (boundary excluded).
+    pub fn contains_strict(&self, p: Point) -> bool {
+        self.center.distance_sq(p) < self.radius * self.radius
+    }
+
+    /// Area of the disk.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// True when the two closed disks share at least one point.
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_sq(other.center) <= r * r
+    }
+}
+
+/// The RNG lune witness predicate: is `w` strictly inside the lune of edge
+/// `(a, b)`, i.e. `max(|aw|, |wb|) < |ab|`?
+///
+/// An edge with such a witness is removed by relative-neighborhood-graph
+/// planarization.
+pub fn in_rng_lune(a: Point, b: Point, w: Point) -> bool {
+    let d = a.distance(b);
+    a.distance(w) < d && b.distance(w) < d
+}
+
+/// The Gabriel witness predicate: is `w` strictly inside the open disk with
+/// diameter `(a, b)`?
+///
+/// Formulated via the dot product so no square roots are taken:
+/// `w` is inside iff the angle `a-w-b` is obtuse.
+pub fn in_gabriel_disk(a: Point, b: Point, w: Point) -> bool {
+    (a - w).dot(b - w) < 0.0
+}
+
+impl std::fmt::Display for Circle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "circle({}, r={:.3})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_circle_spans_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(6.0, 8.0);
+        let c = Circle::with_diameter(a, b);
+        assert_eq!(c.radius, 5.0);
+        assert!(c.contains(a));
+        assert!(c.contains(b));
+        assert!(c.contains(a.midpoint(b)));
+    }
+
+    #[test]
+    fn gabriel_predicate_matches_disk() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let disk = Circle::with_diameter(a, b);
+        let inside = Point::new(5.0, 2.0);
+        let outside = Point::new(5.0, 6.0);
+        let boundary = Point::new(5.0, 5.0);
+        assert!(in_gabriel_disk(a, b, inside));
+        assert!(disk.contains_strict(inside));
+        assert!(!in_gabriel_disk(a, b, outside));
+        assert!(!disk.contains_strict(outside));
+        // The boundary is excluded: right angle at w.
+        assert!(!in_gabriel_disk(a, b, boundary));
+    }
+
+    #[test]
+    fn rng_lune_is_wider_than_gabriel_disk() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        // This witness is outside the Gabriel disk but inside the lune.
+        let w = Point::new(5.0, 6.0);
+        assert!(!in_gabriel_disk(a, b, w));
+        assert!(in_rng_lune(a, b, w));
+        // Everything in the Gabriel disk is in the lune.
+        for i in 0..50 {
+            let t = i as f64 / 50.0;
+            let p = Point::new(1.0 + 8.0 * t, 2.0 * (0.5 - (t - 0.5).abs()));
+            if in_gabriel_disk(a, b, p) {
+                assert!(in_rng_lune(a, b, p), "disk point {p} not in lune");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_are_not_their_own_witnesses() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        assert!(!in_gabriel_disk(a, b, a));
+        assert!(!in_rng_lune(a, b, a));
+        assert!(!in_rng_lune(a, b, b));
+    }
+
+    #[test]
+    fn circle_intersection() {
+        let a = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let b = Circle::new(Point::new(3.0, 0.0), 1.0);
+        let c = Circle::new(Point::new(10.0, 0.0), 1.0);
+        assert!(a.intersects(&b)); // touching counts
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be non-negative")]
+    fn negative_radius_rejected() {
+        let _ = Circle::new(Point::ORIGIN, -1.0);
+    }
+}

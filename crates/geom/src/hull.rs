@@ -1,0 +1,226 @@
+//! Convex hulls and polygon predicates — the "hull algorithm" of §3.
+//!
+//! The paper assumes "the interest area … can easily be built by the hull
+//! algorithm" and pins every *edge node* to the safe tuple `(1,1,1,1)` so
+//! that the boundary of the deployment never triggers unsafe cascades.
+//! `sp-net` uses [`convex_hull`] to find those edge nodes;
+//! [`point_in_polygon`] supports irregular forbidden areas in the FA
+//! deployment model.
+
+use crate::Point;
+
+/// Indices of the convex hull of `points`, counter-clockwise, starting
+/// from the lexicographically smallest point (Andrew's monotone chain).
+///
+/// Collinear points on hull edges are *excluded* (strict hull). Degenerate
+/// inputs: fewer than three distinct points return all distinct points.
+///
+/// ```
+/// use sp_geom::{convex_hull, Point};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(4.0, 4.0),
+///     Point::new(0.0, 4.0),
+///     Point::new(2.0, 2.0), // interior
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull, vec![0, 1, 2, 3]);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| points[a].total_cmp(&points[b]));
+    idx.dedup_by(|&mut a, &mut b| points[a] == points[b]);
+
+    let n = idx.len();
+    if n <= 2 {
+        return idx;
+    }
+
+    let cross = |o: usize, a: usize, b: usize| -> f64 {
+        (points[a] - points[o]).cross(points[b] - points[o])
+    };
+
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &i in &idx {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &i in idx.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull.pop(); // last point == first point
+    hull
+}
+
+/// Even–odd point-in-polygon test, border treated as inside (within the
+/// crossing tolerance of the ray-cast).
+///
+/// `polygon` is a closed loop given without the repeated first vertex.
+///
+/// ```
+/// use sp_geom::{point_in_polygon, Point};
+/// let square = [
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(10.0, 10.0),
+///     Point::new(0.0, 10.0),
+/// ];
+/// assert!(point_in_polygon(Point::new(5.0, 5.0), &square));
+/// assert!(!point_in_polygon(Point::new(15.0, 5.0), &square));
+/// ```
+pub fn point_in_polygon(p: Point, polygon: &[Point]) -> bool {
+    let n = polygon.len();
+    if n < 3 {
+        return false;
+    }
+    // Border check first so edges count as inside deterministically.
+    for i in 0..n {
+        let a = polygon[i];
+        let b = polygon[(i + 1) % n];
+        if crate::Segment::new(a, b).distance_to_point(p) < 1e-9 {
+            return true;
+        }
+    }
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        let a = polygon[i];
+        let b = polygon[j];
+        if (a.y > p.y) != (b.y > p.y) {
+            let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+            if p.x < x_at {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Signed area of a polygon (positive when counter-clockwise).
+///
+/// `polygon` is a closed loop given without the repeated first vertex.
+pub fn polygon_area(polygon: &[Point]) -> f64 {
+    let n = polygon.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut twice = 0.0;
+    for i in 0..n {
+        let a = polygon[i];
+        let b = polygon[(i + 1) % n];
+        twice += a.x * b.y - b.x * a.y;
+    }
+    twice / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for &i in &hull {
+            assert!(i < 4, "interior point {i} must not be on hull");
+        }
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = [
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(2.0, 4.0),
+            Point::new(-1.0, 2.0),
+            Point::new(1.5, 1.5),
+        ];
+        let hull = convex_hull(&pts);
+        let loop_pts: Vec<Point> = hull.iter().map(|&i| pts[i]).collect();
+        assert!(polygon_area(&loop_pts) > 0.0, "hull must be CCW");
+    }
+
+    #[test]
+    fn hull_excludes_collinear_edge_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0), // on bottom edge
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&1));
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]), vec![0]);
+        let two = [Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&two).len(), 2);
+        // Duplicates collapse.
+        let dup = [Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&dup).len(), 1);
+        // All collinear: hull is the two extremes... monotone chain keeps
+        // the endpoints only.
+        let line = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ];
+        let hull = convex_hull(&line);
+        assert!(hull.contains(&0) && hull.contains(&2));
+    }
+
+    #[test]
+    fn point_in_polygon_concave() {
+        // L-shaped polygon.
+        let poly = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        assert!(point_in_polygon(Point::new(1.0, 1.0), &poly));
+        assert!(point_in_polygon(Point::new(1.0, 3.0), &poly));
+        assert!(!point_in_polygon(Point::new(3.0, 3.0), &poly)); // notch
+        assert!(point_in_polygon(Point::new(0.0, 2.0), &poly)); // border
+    }
+
+    #[test]
+    fn polygon_area_sign_and_magnitude() {
+        let ccw = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 3.0),
+            Point::new(0.0, 3.0),
+        ];
+        assert_eq!(polygon_area(&ccw), 6.0);
+        let cw: Vec<Point> = ccw.iter().rev().copied().collect();
+        assert_eq!(polygon_area(&cw), -6.0);
+        assert_eq!(polygon_area(&ccw[..2]), 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Points and displacement vectors in the plane.
+//!
+//! A [`Point`] is a node location `L(u) = (x_u, y_u)` in the paper's
+//! notation; a [`Vec2`] is the displacement between two locations. The
+//! distinction keeps APIs honest: request zones are built from points,
+//! headings and side-of-ray tests from vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A location in the 2-D deployment plane, in meters.
+///
+/// ```
+/// use sp_geom::Point;
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, 6.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// Horizontal coordinate (east is positive).
+    pub x: f64,
+    /// Vertical coordinate (north is positive).
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s.
+///
+/// ```
+/// use sp_geom::{Point, Vec2};
+/// let v = Point::new(3.0, 0.0) - Point::new(0.0, 4.0);
+/// assert_eq!(v, Vec2::new(3.0, -4.0));
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance `|L(u) - L(v)|` to another point.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance; cheaper than [`Point::distance`] when
+    /// only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Displacement vector from `self` to `other`.
+    #[inline]
+    pub fn to(self, other: Point) -> Vec2 {
+        other - self
+    }
+
+    /// Translates the point by a vector.
+    #[inline]
+    pub fn translate(self, v: Vec2) -> Point {
+        Point::new(self.x + v.x, self.y + v.y)
+    }
+
+    /// Deterministic total ordering: by `x` then `y` using
+    /// [`f64::total_cmp`]. Used wherever iteration order must not depend
+    /// on hash or platform specifics.
+    pub fn total_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .total_cmp(&other.x)
+            .then_with(|| self.y.total_cmp(&other.y))
+    }
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm (length).
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (`z` component of the 3-D cross product).
+    /// Positive when `other` lies counter-clockwise of `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Polar angle in `(-π, π]` measured counter-clockwise from east.
+    ///
+    /// Returns `0.0` for the zero vector (matching `f64::atan2`).
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// Returns `None` for the zero vector rather than producing NaNs.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(Vec2::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Rotates the vector counter-clockwise by `radians`.
+    pub fn rotate(self, radians: f64) -> Vec2 {
+        let (s, c) = radians.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// True when both components are exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.x == 0.0 && self.y == 0.0
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        self.translate(rhs)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn midpoint_bisects() {
+        let a = Point::new(-2.0, 4.0);
+        let b = Point::new(6.0, -8.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point::new(2.0, -2.0));
+        assert!((a.distance(m) - b.distance(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_arithmetic_roundtrips() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(5.0, -2.0);
+        let v = b - a;
+        assert_eq!(a + v, b);
+        assert_eq!(b - v, a);
+        assert_eq!(a.to(b), v);
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let east = Vec2::new(1.0, 0.0);
+        let north = Vec2::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0); // north is CCW of east
+        assert!(north.cross(east) < 0.0);
+        assert_eq!(east.cross(east), 0.0);
+    }
+
+    #[test]
+    fn perp_rotates_ccw() {
+        let v = Vec2::new(1.0, 0.0);
+        assert_eq!(v.perp(), Vec2::new(0.0, 1.0));
+        assert_eq!(v.perp().perp(), Vec2::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn rotate_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0).rotate(std::f64::consts::FRAC_PI_2);
+        assert!((v.x - 0.0).abs() < 1e-12);
+        assert!((v.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_rejects_zero() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let u = Vec2::new(0.0, 2.0).normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_cmp_is_lexicographic() {
+        use std::cmp::Ordering;
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(1.0, 7.0);
+        let c = Point::new(2.0, 0.0);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(b.total_cmp(&c), Ordering::Less);
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+        assert_eq!(Vec2::new(-1.0, 0.0).to_string(), "<-1.000, 0.000>");
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (3.0, 4.0).into();
+        assert_eq!(p, Point::new(3.0, 4.0));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (3.0, 4.0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal CSV export for figure data (no external dependencies).
+
+use crate::Figure;
+
+/// Renders a figure as CSV: header `x,label1,label2,…` and one row per
+/// x value. Fields containing commas or quotes are quoted.
+pub fn render_csv(fig: &Figure) -> String {
+    let xs = fig.x_values();
+    let mut out = String::new();
+    out.push_str(&escape(&fig.x_label));
+    for s in &fig.series {
+        out.push(',');
+        out.push_str(&escape(&s.label));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&trim_float(x));
+        for s in &fig.series {
+            out.push(',');
+            if let Some(y) = s.y_at(x) {
+                out.push_str(&trim_float(y));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Figure, Series};
+
+    #[test]
+    fn csv_round_numbers() {
+        let mut f = Figure::new("t", "nodes", "hops");
+        let mut s = Series::new("GF");
+        s.push(400.0, 12.5);
+        s.push(450.0, 11.0);
+        f.push_series(s);
+        let csv = render_csv(&f);
+        assert_eq!(csv, "nodes,GF\n400,12.5\n450,11\n");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut f = Figure::new("t", "x,axis", "y");
+        let mut s = Series::new("say \"hi\"");
+        s.push(1.0, 2.0);
+        f.push_series(s);
+        let csv = render_csv(&f);
+        assert!(csv.starts_with("\"x,axis\",\"say \"\"hi\"\"\"\n"));
+    }
+
+    #[test]
+    fn missing_points_leave_empty_fields() {
+        let mut f = Figure::new("t", "x", "y");
+        let mut a = Series::new("A");
+        a.push(1.0, 2.0);
+        let mut b = Series::new("B");
+        b.push(3.0, 4.0);
+        f.push_series(a);
+        f.push_series(b);
+        let csv = render_csv(&f);
+        assert!(csv.contains("1,2,\n"));
+        assert!(csv.contains("3,,4\n"));
+    }
+}

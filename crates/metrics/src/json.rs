@@ -1,0 +1,148 @@
+//! JSON rendering of figures — hand-rolled, dependency-free.
+//!
+//! The CSV/markdown outputs feed humans; this one feeds tooling
+//! (plotting scripts, dashboards). The encoder covers exactly the shape
+//! of [`Figure`] — strings, finite floats, arrays — with standard JSON
+//! string escaping. Non-finite values serialize as `null` (JSON has no
+//! NaN/Inf).
+
+use crate::Figure;
+use std::fmt::Write as _;
+
+/// Renders a figure as a pretty-printed JSON object:
+///
+/// ```json
+/// {
+///   "title": "...", "x_label": "...", "y_label": "...",
+///   "series": [ {"label": "GF", "points": [[400.0, 7.3], ...]}, ... ]
+/// }
+/// ```
+///
+/// ```
+/// use sp_metrics::{render_json, Figure, Series};
+///
+/// let mut fig = Figure::new("demo", "nodes", "hops");
+/// let mut s = Series::new("SLGF2");
+/// s.push(400.0, 11.5);
+/// fig.push_series(s);
+/// let json = render_json(&fig);
+/// assert!(json.contains("\"label\": \"SLGF2\""));
+/// assert!(json.contains("[400, 11.5]"));
+/// ```
+pub fn render_json(fig: &Figure) -> String {
+    let mut out = String::with_capacity(1 << 12);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"title\": {},", json_string(&fig.title));
+    let _ = writeln!(out, "  \"x_label\": {},", json_string(&fig.x_label));
+    let _ = writeln!(out, "  \"y_label\": {},", json_string(&fig.y_label));
+    out.push_str("  \"series\": [\n");
+    for (si, series) in fig.series.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"label\": {}, \"points\": [",
+            json_string(&series.label)
+        );
+        for (pi, &(x, y)) in series.points.iter().enumerate() {
+            if pi > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {}]", json_number(x), json_number(y));
+        }
+        out.push_str("]}");
+        if si + 1 < fig.series.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`null` for NaN/Inf, no trailing
+/// `.0` on integers).
+fn json_number(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Series;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("Fig \"6\"", "nodes", "hops");
+        let mut a = Series::new("GF");
+        a.push(400.0, 7.25);
+        a.push(450.0, f64::NAN);
+        fig.push_series(a);
+        let mut b = Series::new("SLGF2");
+        b.push(400.0, 9.0);
+        fig.push_series(b);
+        fig
+    }
+
+    #[test]
+    fn output_is_wellformed_and_escaped() {
+        let json = render_json(&sample());
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains(r#""title": "Fig \"6\"""#));
+        assert!(json.contains("[400, 7.25]"));
+        assert!(json.contains("[450, null]"), "NaN must become null");
+        assert!(json.contains("[400, 9]"), "integral floats lose the .0");
+        // Balanced brackets (string content has none in this sample).
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("t\tt"), "\"t\\tt\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+    }
+
+    #[test]
+    fn numbers_format_compactly() {
+        assert_eq!(json_number(400.0), "400");
+        assert_eq!(json_number(7.5), "7.5");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(-0.0), "0");
+    }
+
+    #[test]
+    fn empty_figure_serializes() {
+        let fig = Figure::new("empty", "x", "y");
+        let json = render_json(&fig);
+        assert!(json.contains("\"series\": [\n  ]"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure series: one metric curve per routing scheme.
+
+use crate::Summary;
+
+/// One curve of a figure: `(x, y)` points, x ascending by construction
+/// of the sweep (node count in the paper's figures).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Series {
+    /// Curve label (scheme name: "GF", "LGF", "SLGF", "SLGF2").
+    pub label: String,
+    /// The `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty series with a label.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| *px == x)
+            .map(|&(_, y)| y)
+    }
+
+    /// Mean of the y values.
+    pub fn mean_y(&self) -> f64 {
+        Summary::of(&self.points.iter().map(|&(_, y)| y).collect::<Vec<_>>()).mean
+    }
+}
+
+/// A complete figure: several series over a shared x axis.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Figure {
+    /// Figure title ("Fig. 6(a) average hops, IA model").
+    pub title: String,
+    /// X-axis label ("nodes").
+    pub x_label: String,
+    /// Y-axis label ("hops", "meters").
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Empty figure with labeling.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Figure {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a curve.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Finds a curve by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// The sorted union of all x values across series.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_push_and_lookup() {
+        let mut s = Series::new("SLGF2");
+        s.push(400.0, 11.5);
+        s.push(450.0, 10.2);
+        assert_eq!(s.y_at(450.0), Some(10.2));
+        assert_eq!(s.y_at(500.0), None);
+        assert!((s.mean_y() - 10.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_collects_x_union() {
+        let mut f = Figure::new("t", "nodes", "hops");
+        let mut a = Series::new("A");
+        a.push(400.0, 1.0);
+        a.push(500.0, 2.0);
+        let mut b = Series::new("B");
+        b.push(450.0, 3.0);
+        b.push(400.0, 4.0);
+        f.push_series(a);
+        f.push_series(b);
+        assert_eq!(f.x_values(), vec![400.0, 450.0, 500.0]);
+        assert_eq!(f.series_by_label("B").unwrap().y_at(450.0), Some(3.0));
+        assert!(f.series_by_label("C").is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Text rendering of figures: aligned console tables and markdown.
+
+use crate::Figure;
+
+/// Renders a figure as an aligned plain-text table: x values as rows,
+/// one column per series.
+pub fn render_text(fig: &Figure) -> String {
+    let xs = fig.x_values();
+    let mut headers: Vec<String> = vec![fig.x_label.clone()];
+    headers.extend(fig.series.iter().map(|s| s.label.clone()));
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(xs.len());
+    for &x in &xs {
+        let mut row = vec![format_num(x)];
+        for s in &fig.series {
+            row.push(
+                s.y_at(x)
+                    .map(format_num)
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        rows.push(row);
+    }
+
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r[i].len())
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(&format!("# {}  ({})\n", fig.title, fig.y_label));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a figure as a GitHub-markdown table (used by EXPERIMENTS.md).
+pub fn render_markdown(fig: &Figure) -> String {
+    let xs = fig.x_values();
+    let mut out = String::new();
+    out.push_str(&format!("| {} |", fig.x_label));
+    for s in &fig.series {
+        out.push_str(&format!(" {} |", s.label));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &fig.series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("| {} |", format_num(x)));
+        for s in &fig.series {
+            out.push_str(&format!(
+                " {} |",
+                s.y_at(x).map(format_num).unwrap_or_else(|| "-".into())
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Series;
+
+    fn demo_fig() -> Figure {
+        let mut f = Figure::new("Fig. 6(a) average hops (IA)", "nodes", "hops");
+        let mut gf = Series::new("GF");
+        gf.push(400.0, 12.5);
+        gf.push(450.0, 11.0);
+        let mut slgf2 = Series::new("SLGF2");
+        slgf2.push(400.0, 10.25);
+        f.push_series(gf);
+        f.push_series(slgf2);
+        f
+    }
+
+    #[test]
+    fn text_table_contains_all_cells() {
+        let text = render_text(&demo_fig());
+        assert!(text.contains("Fig. 6(a)"));
+        assert!(text.contains("nodes"));
+        assert!(text.contains("GF"));
+        assert!(text.contains("SLGF2"));
+        assert!(text.contains("12.50"));
+        assert!(text.contains("10.25"));
+        // The missing SLGF2 point at 450 renders as '-'.
+        assert!(text.lines().last().unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn text_columns_align() {
+        let text = render_text(&demo_fig());
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        // Header, separator, data rows all share a width.
+        let w = lines[0].len();
+        for l in &lines[1..] {
+            assert!(l.len() <= w + 1, "ragged table:\n{text}");
+        }
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = render_markdown(&demo_fig());
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4); // header + sep + 2 x rows
+        assert!(lines[0].starts_with("| nodes |"));
+        assert!(lines[1].starts_with("|---|"));
+        assert!(lines[2].contains("400"));
+    }
+
+    #[test]
+    fn integers_render_without_decimals() {
+        assert_eq!(format_num(400.0), "400");
+        assert_eq!(format_num(11.5), "11.50");
+    }
+}

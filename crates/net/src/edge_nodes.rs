@@ -1,0 +1,103 @@
+//! Interest-area edge detection — the paper's "hull algorithm".
+//!
+//! §3: "We assume that all of the communication actions occur inside the
+//! interest area. This area is an inner part of the deployment area
+//! encircled by the edge of networks, which can easily be built by the
+//! hull algorithm. In our labeling process, each edge node will always
+//! keep its status tuple as (1, 1, 1, 1)."
+//!
+//! A node counts as an *edge node* when it lies on the convex hull of the
+//! deployment **or** within one margin (by default the radio radius) of
+//! the interest-area border. Pinning this conservative superset keeps the
+//! area boundary from cascading unsafe labels inward, which is all the
+//! paper requires (see `DESIGN.md` §1).
+
+use crate::{Network, NodeId};
+use sp_geom::convex_hull;
+
+/// Boolean mask over node ids: `true` for interest-area edge nodes.
+pub fn edge_node_mask(net: &Network, margin: f64) -> Vec<bool> {
+    let mut mask = vec![false; net.len()];
+    for &i in &convex_hull(net.positions()) {
+        mask[i] = true;
+    }
+    let area = net.area();
+    let inner = area.inflate(-margin);
+    for u in net.node_ids() {
+        let p = net.position(u);
+        if !inner.contains_strict(p) {
+            mask[u.index()] = true;
+        }
+    }
+    mask
+}
+
+/// Ids of interest-area edge nodes, sorted ascending. Margin defaults to
+/// the network radius in [`edge_node_ids`].
+pub fn edge_node_ids(net: &Network) -> Vec<NodeId> {
+    edge_node_mask(net, net.radius())
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &is_edge)| is_edge.then_some(NodeId(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeploymentConfig;
+    use sp_geom::{Point, Rect};
+
+    #[test]
+    fn hull_nodes_are_edge_nodes() {
+        let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let net = Network::from_positions(
+            vec![
+                Point::new(30.0, 30.0),
+                Point::new(70.0, 30.0),
+                Point::new(70.0, 70.0),
+                Point::new(30.0, 70.0),
+                Point::new(50.0, 50.0), // interior
+            ],
+            25.0,
+            area,
+        );
+        let mask = edge_node_mask(&net, 10.0);
+        assert_eq!(mask, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn border_margin_nodes_are_edge_nodes() {
+        let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let net = Network::from_positions(
+            vec![
+                Point::new(5.0, 50.0),  // within margin of the west border
+                Point::new(50.0, 50.0), // interior (but on hull of 3 pts)
+                Point::new(95.0, 50.0), // within margin of the east border
+                Point::new(50.0, 30.0),
+            ],
+            30.0,
+            area,
+        );
+        let mask = edge_node_mask(&net, 10.0);
+        assert!(mask[0] && mask[2]);
+    }
+
+    #[test]
+    fn dense_uniform_deployment_keeps_an_unpinned_interior() {
+        let cfg = DeploymentConfig::paper_default(600);
+        let net = Network::from_positions(cfg.deploy_uniform(21), cfg.radius, cfg.area);
+        let ids = edge_node_ids(&net);
+        assert!(!ids.is_empty(), "some nodes must be edge nodes");
+        assert!(
+            ids.len() < net.len() / 2,
+            "most of a dense deployment must remain interior (got {}/{})",
+            ids.len(),
+            net.len()
+        );
+        // Sorted ascending.
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

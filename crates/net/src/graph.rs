@@ -1,0 +1,479 @@
+//! The unit-disk-graph [`Network`] type.
+//!
+//! `G = (V, E)` of §3: vertices are deployed nodes, an undirected edge
+//! joins every pair within communication range. The type also provides the
+//! *reference* measurements the evaluation needs — BFS hop distances and
+//! Dijkstra Euclidean shortest paths ("ideal routing path" in Fig. 1(a)) —
+//! and connectivity queries used to filter valid source/destination pairs.
+
+use crate::{GridIndex, NodeId};
+use sp_geom::{Point, Rect};
+use std::collections::BinaryHeap;
+
+/// An immutable wireless ad hoc sensor network snapshot.
+///
+/// Construction materializes sorted adjacency lists; all queries are
+/// read-only, so a `Network` can be shared freely across threads.
+///
+/// ```
+/// use sp_net::Network;
+/// use sp_geom::{Point, Rect};
+///
+/// let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+/// let net = Network::from_positions(
+///     vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(25.0, 0.0)],
+///     20.0,
+///     area,
+/// );
+/// assert!(net.has_edge(sp_net::NodeId(0), sp_net::NodeId(1)));
+/// assert!(!net.has_edge(sp_net::NodeId(0), sp_net::NodeId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    positions: Vec<Point>,
+    adjacency: Vec<Vec<NodeId>>,
+    radius: f64,
+    area: Rect,
+}
+
+impl Network {
+    /// Builds the UDG over `positions` with communication `radius`,
+    /// deployed in `area` (the paper's interest area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive.
+    pub fn from_positions(positions: Vec<Point>, radius: f64, area: Rect) -> Network {
+        assert!(radius > 0.0, "communication radius must be positive");
+        let grid = GridIndex::build(&positions, area, radius);
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); positions.len()];
+        for (i, &p) in positions.iter().enumerate() {
+            let mut neigh: Vec<NodeId> = grid
+                .within_radius(p, radius)
+                .filter(|&v| v.index() != i)
+                .collect();
+            neigh.sort_unstable();
+            neigh.dedup();
+            adjacency[i] = neigh;
+        }
+        Network {
+            positions,
+            adjacency,
+            radius,
+            area,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The communication radius shared by all nodes.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The interest area the network was deployed in.
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+
+    /// Location `L(u)` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn position(&self, u: NodeId) -> Point {
+        self.positions[u.index()]
+    }
+
+    /// All node positions, indexed by [`NodeId`].
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Neighbor set `N(u)`, sorted by id.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adjacency[u.index()]
+    }
+
+    /// Neighbors of `u` paired with their positions — the candidate tuple
+    /// shape the angular-scan helpers expect.
+    pub fn neighbor_points(&self, u: NodeId) -> impl Iterator<Item = (usize, Point)> + '_ {
+        self.adjacency[u.index()]
+            .iter()
+            .map(|&v| (v.index(), self.positions[v.index()]))
+    }
+
+    /// Degree `|N(u)|`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u.index()].len()
+    }
+
+    /// Mean degree over all nodes (0 for an empty network).
+    pub fn avg_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// True when `(u, v)` is an edge (binary search on sorted adjacency).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Euclidean length of edge-or-not pair `(u, v)`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.position(u).distance(self.position(v))
+    }
+
+    /// All undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, neigh)| {
+            let u = NodeId(i);
+            neigh
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len()).map(NodeId)
+    }
+
+    /// BFS hop distance from `source` to every node
+    /// (`None` = unreachable).
+    pub fn bfs_hops(&self, source: NodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source.index()] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued nodes have distances");
+            for &v in self.neighbors(u) {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True when `s` and `d` are in the same connected component.
+    pub fn connected(&self, s: NodeId, d: NodeId) -> bool {
+        self.bfs_hops(s)[d.index()].is_some()
+    }
+
+    /// True when the whole network is one component (vacuously true for
+    /// fewer than two nodes).
+    pub fn is_connected(&self) -> bool {
+        if self.len() < 2 {
+            return true;
+        }
+        self.bfs_hops(NodeId(0)).iter().all(Option::is_some)
+    }
+
+    /// Ids of the largest connected component, sorted ascending.
+    pub fn largest_component(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.len()];
+        let mut best: Vec<NodeId> = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![NodeId(start)];
+            seen[start] = true;
+            let mut head = 0;
+            while head < comp.len() {
+                let u = comp[head];
+                head += 1;
+                for &v in self.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        comp.push(v);
+                    }
+                }
+            }
+            if comp.len() > best.len() {
+                best = comp;
+            }
+        }
+        best.sort_unstable();
+        best
+    }
+
+    /// Dijkstra shortest path by Euclidean edge weight — the "ideal
+    /// routing path" baseline of Fig. 1(a). Returns the node sequence
+    /// (inclusive of both endpoints) and its length, or `None` when
+    /// unreachable.
+    pub fn shortest_path(&self, s: NodeId, d: NodeId) -> Option<(Vec<NodeId>, f64)> {
+        #[derive(PartialEq)]
+        struct Entry {
+            cost: f64,
+            node: NodeId,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Min-heap via reversed comparison; costs are finite.
+                other
+                    .cost
+                    .total_cmp(&self.cost)
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[s.index()] = 0.0;
+        heap.push(Entry { cost: 0.0, node: s });
+        while let Some(Entry { cost, node }) = heap.pop() {
+            if cost > dist[node.index()] {
+                continue;
+            }
+            if node == d {
+                break;
+            }
+            for &v in self.neighbors(node) {
+                let next = cost + self.distance(node, v);
+                if next < dist[v.index()] {
+                    dist[v.index()] = next;
+                    prev[v.index()] = Some(node);
+                    heap.push(Entry { cost: next, node: v });
+                }
+            }
+        }
+        if dist[d.index()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![d];
+        let mut cur = d;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&s));
+        Some((path, dist[d.index()]))
+    }
+
+    /// Total Euclidean length of a node sequence in this network.
+    pub fn path_length(&self, path: &[NodeId]) -> f64 {
+        path.windows(2)
+            .map(|w| self.distance(w[0], w[1]))
+            .sum()
+    }
+
+    /// A copy of the network with the given nodes failed: ids and
+    /// positions are preserved (so precomputed per-node information
+    /// stays index-aligned), but every edge touching a dead node is
+    /// removed, leaving the dead nodes isolated. Used by the
+    /// failure-robustness experiments.
+    pub fn without_nodes(&self, dead: &[NodeId]) -> Network {
+        let mut is_dead = vec![false; self.len()];
+        for &d in dead {
+            is_dead[d.index()] = true;
+        }
+        let adjacency = self
+            .adjacency
+            .iter()
+            .enumerate()
+            .map(|(i, neigh)| {
+                if is_dead[i] {
+                    Vec::new()
+                } else {
+                    neigh
+                        .iter()
+                        .copied()
+                        .filter(|v| !is_dead[v.index()])
+                        .collect()
+                }
+            })
+            .collect();
+        Network {
+            positions: self.positions.clone(),
+            adjacency,
+            radius: self.radius,
+            area: self.area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area() -> Rect {
+        Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    /// A 5-node line: 0-1-2-3 connected at spacing 10 (radius 15),
+    /// node 4 isolated far away.
+    fn line_net() -> Network {
+        Network::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+                Point::new(30.0, 0.0),
+                Point::new(90.0, 90.0),
+            ],
+            15.0,
+            area(),
+        )
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted() {
+        let net = line_net();
+        for u in net.node_ids() {
+            let neigh = net.neighbors(u);
+            for w in neigh.windows(2) {
+                assert!(w[0] < w[1], "adjacency must be sorted");
+            }
+            for &v in neigh {
+                assert!(net.has_edge(v, u), "edge {u}-{v} must be symmetric");
+                assert!(net.distance(u, v) <= net.radius());
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let net = line_net();
+        for u in net.node_ids() {
+            assert!(!net.has_edge(u, u));
+        }
+    }
+
+    #[test]
+    fn edge_list_counts_each_edge_once() {
+        let net = line_net();
+        let edges: Vec<_> = net.edges().collect();
+        assert_eq!(edges.len(), net.edge_count());
+        // Spacing 10, radius 15: only consecutive line nodes are adjacent.
+        assert_eq!(edges, vec![
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(2), NodeId(3)),
+        ]);
+    }
+
+    #[test]
+    fn edge_count_exact() {
+        let net = line_net();
+        assert_eq!(net.edge_count(), 3);
+        assert_eq!(net.degree(NodeId(1)), 2);
+        assert_eq!(net.degree(NodeId(4)), 0);
+    }
+
+    #[test]
+    fn bfs_hops_line() {
+        let net = line_net();
+        let d = net.bfs_hops(NodeId(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[4], None);
+        assert!(net.connected(NodeId(0), NodeId(3)));
+        assert!(!net.connected(NodeId(0), NodeId(4)));
+        assert!(!net.is_connected());
+    }
+
+    #[test]
+    fn largest_component_picks_line() {
+        let net = line_net();
+        let comp = net.largest_component();
+        assert_eq!(comp, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_shorter_geometry() {
+        // Square with a diagonal shortcut.
+        let net = Network::from_positions(
+            vec![
+                Point::new(0.0, 0.0),   // 0
+                Point::new(10.0, 0.0),  // 1
+                Point::new(10.0, 10.0), // 2
+                Point::new(0.0, 10.0),  // 3
+                Point::new(7.0, 7.0),   // 4 shortcut
+            ],
+            12.0,
+            area(),
+        );
+        let (path, len) = net.shortest_path(NodeId(0), NodeId(2)).unwrap();
+        // Direct through 4: |0-4| + |4-2| = 9.899.. + 4.24.. ≈ 14.14;
+        // around the square: 20. The diagonal may also be direct 0->2?
+        // |0-2| = 14.14 > 12, not an edge.
+        assert!(path.contains(&NodeId(4)) || path.len() == 2);
+        assert!(len < 15.0);
+        assert!((net.path_length(&path) - len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let net = line_net();
+        assert!(net.shortest_path(NodeId(0), NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn dijkstra_trivial_path() {
+        let net = line_net();
+        let (path, len) = net.shortest_path(NodeId(2), NodeId(2)).unwrap();
+        assert_eq!(path, vec![NodeId(2)]);
+        assert_eq!(len, 0.0);
+    }
+
+    #[test]
+    fn avg_degree_matches_hand_count() {
+        let net = line_net();
+        // degrees: 1, 2, 2, 1, 0 -> 6/5
+        assert!((net.avg_degree() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_points_align_with_positions() {
+        let net = line_net();
+        for (idx, p) in net.neighbor_points(NodeId(1)) {
+            assert_eq!(net.position(NodeId(idx)), p);
+        }
+    }
+
+    #[test]
+    fn without_nodes_isolates_but_keeps_ids() {
+        let net = line_net();
+        let degraded = net.without_nodes(&[NodeId(1)]);
+        assert_eq!(degraded.len(), net.len());
+        assert_eq!(degraded.position(NodeId(3)), net.position(NodeId(3)));
+        assert_eq!(degraded.degree(NodeId(1)), 0);
+        assert!(!degraded.has_edge(NodeId(0), NodeId(1)));
+        assert!(degraded.has_edge(NodeId(2), NodeId(3)));
+        // The line is now split at node 1.
+        assert!(!degraded.connected(NodeId(0), NodeId(2)));
+    }
+}

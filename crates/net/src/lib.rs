@@ -1,0 +1,54 @@
+//! Network substrate for the straightpath WASN routing stack.
+//!
+//! The paper models a WASN as "a simple undirected graph `G = (V, E)` …
+//! each \[edge\] indicates two nodes are within the communication range of
+//! each other" with identical radii — a **unit disk graph** (UDG). This
+//! crate builds such graphs and everything the routing layers need from
+//! them:
+//!
+//! * [`deploy`] — the two deployment models of §5: uniform (**IA**) and
+//!   forbidden-area (**FA**), with seeded reproducible randomness;
+//! * [`grid`] — bucket index making UDG construction `O(n · density)`;
+//! * [`graph`] — the [`Network`] type: adjacency, BFS hop counts,
+//!   Dijkstra reference paths, connectivity;
+//! * [`planar`] — Gabriel / RNG planarization plus the CCW/CW pivots that
+//!   face routing ("right-hand rule" \[2\]) is built on;
+//! * [`edge_nodes`] — the interest-area edge detection that pins hull
+//!   nodes safe in the labeling process of §3;
+//! * [`radio`] — first-order radio energy model and interference
+//!   accounting (the intro's "energy wasted in detours" and "less
+//!   interference … when fewer nodes are involved" claims, quantified);
+//! * [`mobility`] — random-waypoint motion for the node-mobility dynamic
+//!   factor of §1 (information staleness, experiment A13).
+//!
+//! # Example
+//!
+//! ```
+//! use sp_net::{deploy::DeploymentConfig, Network};
+//!
+//! let cfg = DeploymentConfig::paper_default(500);
+//! let positions = cfg.deploy_uniform(42);
+//! let net = Network::from_positions(positions, cfg.radius, cfg.area);
+//! assert_eq!(net.len(), 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod edge_nodes;
+pub mod graph;
+pub mod grid;
+pub mod mobility;
+pub mod node;
+pub mod planar;
+pub mod radio;
+
+pub use deploy::{DeploymentConfig, FaModel, Obstacle};
+pub use edge_nodes::edge_node_ids;
+pub use graph::Network;
+pub use grid::GridIndex;
+pub use mobility::RandomWaypoint;
+pub use node::NodeId;
+pub use planar::{PlanarGraph, Planarization};
+pub use radio::{interference_count, interference_set, EnergyLedger, RadioModel};

@@ -1,0 +1,260 @@
+//! Node mobility — the random-waypoint model.
+//!
+//! §1 of the paper lists "node mobility" among the dynamic factors that
+//! create local minima at runtime. This module supplies the standard
+//! random-waypoint generator so the harness can measure how fast the
+//! safety information goes stale as nodes move (experiment A13): each
+//! node picks a uniform waypoint in the interest area, travels toward it
+//! at a uniformly-drawn speed, pauses, and repeats.
+//!
+//! The walker is deterministic per seed and steps in continuous time, so
+//! topology snapshots can be taken at any elapsed time.
+
+use crate::Network;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sp_geom::{Point, Rect, Vec2};
+
+/// Per-node motion state.
+#[derive(Debug, Clone, Copy)]
+struct Motion {
+    pos: Point,
+    waypoint: Point,
+    speed: f64,
+    pause_left: f64,
+}
+
+/// A seeded random-waypoint mobility process over a fixed node set.
+///
+/// ```
+/// use sp_net::{deploy::DeploymentConfig, mobility::RandomWaypoint, Network};
+///
+/// let cfg = DeploymentConfig::paper_default(100);
+/// let start = cfg.deploy_uniform(7);
+/// let mut rw = RandomWaypoint::new(start.clone(), cfg.area, 0.5, 1.5, 0.0, 7);
+/// rw.step(10.0);
+/// let net = rw.snapshot(cfg.radius);
+/// assert_eq!(net.len(), 100);
+/// // Nobody moved farther than max speed x elapsed time.
+/// for (a, b) in start.iter().zip(rw.positions()) {
+///     assert!(a.distance(b) <= 1.5 * 10.0 + 1e-9);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct RandomWaypoint {
+    area: Rect,
+    speed_min: f64,
+    speed_max: f64,
+    pause: f64,
+    rng: StdRng,
+    motions: Vec<Motion>,
+    elapsed: f64,
+}
+
+impl RandomWaypoint {
+    /// Starts the process at `positions` inside `area`, with speeds
+    /// uniform in `[speed_min, speed_max]` (distance per time unit) and
+    /// a fixed `pause` at each waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is empty, non-positive, or `pause` is
+    /// negative.
+    pub fn new(
+        positions: Vec<Point>,
+        area: Rect,
+        speed_min: f64,
+        speed_max: f64,
+        pause: f64,
+        seed: u64,
+    ) -> RandomWaypoint {
+        assert!(
+            speed_min > 0.0 && speed_max >= speed_min,
+            "speed range must satisfy 0 < min <= max"
+        );
+        assert!(pause >= 0.0, "pause must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0b11_e0_0b11_e0);
+        let motions = positions
+            .into_iter()
+            .map(|pos| {
+                let waypoint = sample_in(&mut rng, area);
+                let speed = sample_speed(&mut rng, speed_min, speed_max);
+                Motion {
+                    pos,
+                    waypoint,
+                    speed,
+                    pause_left: 0.0,
+                }
+            })
+            .collect();
+        RandomWaypoint {
+            area,
+            speed_min,
+            speed_max,
+            pause,
+            rng,
+            motions,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Total time advanced so far.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Current node positions (same ids as the initial vector).
+    pub fn positions(&self) -> Vec<Point> {
+        self.motions.iter().map(|m| m.pos).collect()
+    }
+
+    /// Advances every node by `dt` time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "time must not run backward");
+        self.elapsed += dt;
+        for i in 0..self.motions.len() {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                let m = &mut self.motions[i];
+                if m.pause_left > 0.0 {
+                    let wait = m.pause_left.min(remaining);
+                    m.pause_left -= wait;
+                    remaining -= wait;
+                    continue;
+                }
+                let to_goal = m.waypoint - m.pos;
+                let dist = to_goal.norm();
+                let reach = m.speed * remaining;
+                if reach < dist {
+                    // Travel and stop mid-leg.
+                    let dir = Vec2::new(to_goal.x / dist, to_goal.y / dist);
+                    m.pos = Point::new(m.pos.x + dir.x * reach, m.pos.y + dir.y * reach);
+                    remaining = 0.0;
+                } else {
+                    // Arrive, pause, pick the next leg.
+                    m.pos = m.waypoint;
+                    remaining -= if m.speed > 0.0 { dist / m.speed } else { 0.0 };
+                    m.pause_left = self.pause;
+                    m.waypoint = sample_in(&mut self.rng, self.area);
+                    m.speed = sample_speed(&mut self.rng, self.speed_min, self.speed_max);
+                }
+            }
+        }
+    }
+
+    /// A unit-disk-graph snapshot of the current positions.
+    pub fn snapshot(&self, radius: f64) -> Network {
+        Network::from_positions(self.positions(), radius, self.area)
+    }
+}
+
+fn sample_in(rng: &mut StdRng, area: Rect) -> Point {
+    Point::new(
+        rng.random_range(area.min().x..=area.max().x),
+        rng.random_range(area.min().y..=area.max().y),
+    )
+}
+
+fn sample_speed(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    if lo == hi {
+        lo
+    } else {
+        rng.random_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeploymentConfig;
+
+    fn start(n: usize, seed: u64) -> (Vec<Point>, Rect) {
+        let cfg = DeploymentConfig::paper_default(n);
+        (cfg.deploy_uniform(seed), cfg.area)
+    }
+
+    #[test]
+    fn nodes_never_leave_the_area() {
+        let (pos, area) = start(80, 1);
+        let mut rw = RandomWaypoint::new(pos, area, 1.0, 3.0, 0.5, 1);
+        for _ in 0..50 {
+            rw.step(2.5);
+            for p in rw.positions() {
+                assert!(area.contains(p), "{p} escaped {area}");
+            }
+        }
+        assert!((rw.elapsed() - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displacement_respects_speed_limit() {
+        let (pos, area) = start(60, 2);
+        let mut rw = RandomWaypoint::new(pos.clone(), area, 0.5, 2.0, 0.0, 2);
+        rw.step(7.0);
+        for (a, b) in pos.iter().zip(rw.positions()) {
+            // Path length >= displacement, so displacement <= v_max * t.
+            assert!(a.distance(b) <= 2.0 * 7.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let (pos, area) = start(40, 3);
+        let mut a = RandomWaypoint::new(pos.clone(), area, 1.0, 2.0, 1.0, 9);
+        let mut b = RandomWaypoint::new(pos, area, 1.0, 2.0, 1.0, 9);
+        a.step(13.0);
+        b.step(13.0);
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn stepping_in_pieces_equals_one_big_step() {
+        let (pos, area) = start(40, 4);
+        let mut a = RandomWaypoint::new(pos.clone(), area, 1.0, 2.0, 0.5, 11);
+        let mut b = RandomWaypoint::new(pos, area, 1.0, 2.0, 0.5, 11);
+        a.step(9.0);
+        for _ in 0..9 {
+            b.step(1.0);
+        }
+        // Waypoint resampling consumes RNG draws in arrival order, which
+        // is identical for both; positions must agree to float noise.
+        for (pa, pb) in a.positions().iter().zip(b.positions()) {
+            assert!(pa.distance(pb) < 1e-6, "{pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn pause_keeps_nodes_still() {
+        let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        // One node already at its waypoint-to-be: after arrival it must
+        // hold for `pause` time.
+        let mut rw = RandomWaypoint::new(vec![Point::new(5.0, 5.0)], area, 1.0, 1.0, 100.0, 5);
+        rw.step(30.0); // long enough to arrive at the first waypoint
+        let at_arrival = rw.positions()[0];
+        rw.step(10.0); // well inside the 100-unit pause
+        assert_eq!(rw.positions()[0], at_arrival);
+    }
+
+    #[test]
+    fn snapshot_changes_topology_over_time() {
+        let (pos, area) = start(150, 6);
+        let mut rw = RandomWaypoint::new(pos, area, 1.0, 3.0, 0.0, 6);
+        let before = rw.snapshot(20.0);
+        rw.step(60.0);
+        let after = rw.snapshot(20.0);
+        let before_edges: std::collections::BTreeSet<_> = before.edges().collect();
+        let after_edges: std::collections::BTreeSet<_> = after.edges().collect();
+        assert_ne!(before_edges, after_edges, "an hour of motion rewires the UDG");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed range")]
+    fn zero_speed_rejected() {
+        let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let _ = RandomWaypoint::new(vec![Point::new(0.5, 0.5)], area, 0.0, 1.0, 0.0, 0);
+    }
+}

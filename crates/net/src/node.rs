@@ -1,0 +1,62 @@
+//! Node identifiers.
+
+/// Dense, zero-based identifier of a node in a [`Network`](crate::Network).
+///
+/// Node ids double as indices into position and adjacency arrays, so they
+/// are cheap to store in packets, visited sets and safety tuples.
+///
+/// ```
+/// use sp_net::NodeId;
+/// let id = NodeId(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let id: NodeId = 42usize.into();
+        assert_eq!(id, NodeId(42));
+        let back: usize = id.into();
+        assert_eq!(back, 42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(3), NodeId(3));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use sp_geom::{Point, Rect};
+use sp_net::{
+    deploy::DeploymentConfig, edge_nodes::edge_node_mask, FaModel, Network, NodeId, PlanarGraph,
+    Planarization,
+};
+
+fn paper_cfg(n: usize) -> DeploymentConfig {
+    DeploymentConfig::paper_default(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn udg_adjacency_matches_distance_predicate(seed in 0u64..500, n in 50usize..250) {
+        let cfg = paper_cfg(n);
+        let pos = cfg.deploy_uniform(seed);
+        let net = Network::from_positions(pos.clone(), cfg.radius, cfg.area);
+        // Spot-check a deterministic subset against brute force.
+        for i in (0..n).step_by(13) {
+            let u = NodeId(i);
+            let mut want: Vec<NodeId> = (0..n)
+                .filter(|&j| j != i && pos[i].distance(pos[j]) <= cfg.radius)
+                .map(NodeId)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(net.neighbors(u), &want[..]);
+        }
+    }
+
+    #[test]
+    fn bfs_hops_are_triangle_consistent(seed in 0u64..500) {
+        let cfg = paper_cfg(150);
+        let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+        let hops = net.bfs_hops(NodeId(0));
+        for (i, h) in hops.iter().enumerate() {
+            if let Some(h) = h {
+                for &v in net.neighbors(NodeId(i)) {
+                    if let Some(hv) = hops[v.index()] {
+                        prop_assert!(hv + 1 >= *h, "BFS level jump at edge {i}-{v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_no_longer_than_any_probe_path(seed in 0u64..200) {
+        let cfg = paper_cfg(120);
+        let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+        let comp = net.largest_component();
+        prop_assume!(comp.len() >= 2);
+        let s = comp[0];
+        let d = comp[comp.len() - 1];
+        let (path, len) = net.shortest_path(s, d).unwrap();
+        prop_assert_eq!(*path.first().unwrap(), s);
+        prop_assert_eq!(*path.last().unwrap(), d);
+        // Consecutive hops are edges.
+        for w in path.windows(2) {
+            prop_assert!(net.has_edge(w[0], w[1]));
+        }
+        // Straight-line distance is a lower bound; BFS hop count gives an
+        // upper bound of hops * radius.
+        let euclid = net.position(s).distance(net.position(d));
+        prop_assert!(len + 1e-9 >= euclid);
+        let hops = net.bfs_hops(s)[d.index()].unwrap() as f64;
+        prop_assert!(len <= hops * net.radius() + 1e-9);
+    }
+
+    #[test]
+    fn planar_subgraph_has_no_proper_crossings(seed in 0u64..100) {
+        let cfg = paper_cfg(90);
+        let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+        let gg = PlanarGraph::build(&net, Planarization::Gabriel);
+        let edges: Vec<(NodeId, NodeId)> = (0..net.len())
+            .map(NodeId)
+            .flat_map(|u| {
+                gg.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(move |&v| u < v)
+                    .map(move |v| (u, v))
+            })
+            .collect();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            let s1 = sp_geom::Segment::new(net.position(a), net.position(b));
+            for &(c, d) in &edges[i + 1..] {
+                if a == c || a == d || b == c || b == d {
+                    continue;
+                }
+                let s2 = sp_geom::Segment::new(net.position(c), net.position(d));
+                prop_assert!(
+                    !s1.crosses_properly(&s2),
+                    "Gabriel edges {a}-{b} and {c}-{d} cross"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fa_deployment_leaves_holes_node_free(seed in 0u64..200) {
+        let cfg = paper_cfg(200);
+        let fa = FaModel::paper_default();
+        let obstacles = fa.generate_obstacles(&cfg, seed);
+        let pos = cfg.deploy_with_obstacles(&obstacles, seed);
+        for p in &pos {
+            for o in &obstacles {
+                prop_assert!(!o.contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_mask_covers_extremes(seed in 0u64..200) {
+        let cfg = paper_cfg(150);
+        let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+        let mask = edge_node_mask(&net, net.radius());
+        // The nodes with extreme coordinates are necessarily hull members.
+        let (mut lo, mut hi) = (NodeId(0), NodeId(0));
+        for u in net.node_ids() {
+            if net.position(u).x < net.position(lo).x {
+                lo = u;
+            }
+            if net.position(u).x > net.position(hi).x {
+                hi = u;
+            }
+        }
+        prop_assert!(mask[lo.index()]);
+        prop_assert!(mask[hi.index()]);
+    }
+}
+
+#[test]
+fn paper_density_regime_is_connected_enough() {
+    // At the paper's densest setting the giant component should dominate.
+    let cfg = DeploymentConfig::paper_default(800);
+    let net = Network::from_positions(cfg.deploy_uniform(0), cfg.radius, cfg.area);
+    let comp = net.largest_component();
+    assert!(
+        comp.len() as f64 > 0.99 * net.len() as f64,
+        "giant component only {}/{}",
+        comp.len(),
+        net.len()
+    );
+    // Average degree near the analytic estimate n·πr²/A.
+    let expect = 800.0 * std::f64::consts::PI * 400.0 / 40_000.0;
+    let got = net.avg_degree();
+    assert!(
+        (got - expect).abs() < expect * 0.25,
+        "avg degree {got} far from estimate {expect}"
+    );
+}
+
+#[test]
+fn networks_are_cloneable_and_send() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Network>();
+    let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+    let net = Network::from_positions(vec![Point::new(1.0, 1.0)], 5.0, area);
+    let copy = net.clone();
+    assert_eq!(copy.len(), net.len());
+}

@@ -1,0 +1,434 @@
+//! The lock-step round scheduler.
+
+use crate::{Ctx, FailurePlan, NodeProcess, RoundLog, SimStats};
+use sp_net::{Network, NodeId};
+
+/// Errors the engine can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The protocol was still exchanging messages when the round budget
+    /// ran out — usually a non-terminating protocol bug.
+    RoundLimitExceeded {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+    /// The asynchronous engine delivered `limit` events without draining
+    /// its queue.
+    EventLimitExceeded {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not quiesce within {limit} rounds")
+            }
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "protocol did not quiesce within {limit} deliveries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Synchronous executor of one [`NodeProcess`] instance per network node.
+///
+/// Semantics per round:
+/// 1. scheduled failures (if any) are applied and neighbors notified;
+/// 2. every message buffered in the previous round is delivered;
+/// 3. every live node with a non-empty inbox runs
+///    [`NodeProcess::on_round`]; its outgoing messages are buffered for
+///    the next round.
+///
+/// The run quiesces when no messages are in flight and no failures
+/// remain scheduled.
+pub struct Engine<'n, P: NodeProcess> {
+    net: &'n Network,
+    nodes: Vec<P>,
+    alive: Vec<bool>,
+    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    pending: Vec<(NodeId, Option<NodeId>, P::Msg)>,
+    stats: SimStats,
+    log: RoundLog,
+    failures: FailurePlan,
+    round: usize,
+    initialized: bool,
+}
+
+impl<'n, P: NodeProcess> Engine<'n, P> {
+    /// Creates one process per node with the given factory.
+    pub fn new(net: &'n Network, mut make: impl FnMut(NodeId) -> P) -> Engine<'n, P> {
+        let n = net.len();
+        Engine {
+            net,
+            nodes: (0..n).map(|i| make(NodeId(i))).collect(),
+            alive: vec![true; n],
+            inboxes: vec![Vec::new(); n],
+            pending: Vec::new(),
+            stats: SimStats::default(),
+            log: RoundLog::new(),
+            failures: FailurePlan::new(),
+            round: 0,
+            initialized: false,
+        }
+    }
+
+    /// Installs a failure plan (replacing any previous one). Rounds are
+    /// counted from the first [`Engine::step`] after initialization.
+    pub fn set_failure_plan(&mut self, plan: FailurePlan) {
+        self.failures = plan;
+    }
+
+    /// Immutable access to the per-node processes.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The process running on one node.
+    pub fn node(&self, u: NodeId) -> &P {
+        &self.nodes[u.index()]
+    }
+
+    /// Whether a node is still alive.
+    pub fn is_alive(&self, u: NodeId) -> bool {
+        self.alive[u.index()]
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Per-round transmission trace.
+    pub fn round_log(&self) -> &RoundLog {
+        &self.log
+    }
+
+    /// The network being simulated.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// Kills a node immediately and notifies its live neighbors.
+    pub fn kill_node(&mut self, victim: NodeId) {
+        if !self.alive[victim.index()] {
+            return;
+        }
+        self.alive[victim.index()] = false;
+        self.inboxes[victim.index()].clear();
+        // Drop in-flight messages from/to the victim.
+        self.pending
+            .retain(|(from, to, _)| *from != victim && *to != Some(victim));
+        let neighbors: Vec<NodeId> = self.net.neighbors(victim).to_vec();
+        for v in neighbors {
+            if !self.alive[v.index()] {
+                continue;
+            }
+            let mut ctx = Ctx {
+                id: v,
+                net: self.net,
+                alive: &self.alive,
+                outbox: Vec::new(),
+            };
+            self.nodes[v.index()].on_neighbor_failed(&mut ctx, victim);
+            let outbox = ctx.outbox;
+            self.queue_outbox(v, outbox);
+        }
+    }
+
+    fn queue_outbox(&mut self, from: NodeId, outbox: Vec<(Option<NodeId>, P::Msg)>) {
+        for (to, msg) in outbox {
+            match to {
+                None => self.stats.broadcasts += 1,
+                Some(_) => self.stats.unicasts += 1,
+            }
+            self.pending.push((from, to, msg));
+        }
+    }
+
+    /// Runs [`NodeProcess::on_init`] on every live node. Called
+    /// automatically by the run/step methods; calling it twice is a no-op.
+    pub fn init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for i in 0..self.nodes.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let mut ctx = Ctx {
+                id: NodeId(i),
+                net: self.net,
+                alive: &self.alive,
+                outbox: Vec::new(),
+            };
+            self.nodes[i].on_init(&mut ctx);
+            let outbox = ctx.outbox;
+            self.queue_outbox(NodeId(i), outbox);
+        }
+    }
+
+    /// Executes one round. Returns `true` while the system is still
+    /// active (messages delivered or failures applied this round).
+    pub fn step(&mut self) -> bool {
+        self.init();
+        let due: Vec<NodeId> = self.failures.due_at(self.round).to_vec();
+        let had_failures = !due.is_empty();
+        for v in due {
+            self.kill_node(v);
+        }
+
+        if self.pending.is_empty() && !had_failures {
+            // Idle round: if failures are still scheduled ahead, time
+            // must advance toward them; otherwise the system is
+            // quiescent.
+            if self
+                .failures
+                .last_round()
+                .is_some_and(|last| last > self.round)
+            {
+                self.round += 1;
+                self.stats.rounds = self.round;
+                self.log.record(0);
+                return true;
+            }
+            return false;
+        }
+        self.round += 1;
+        self.stats.rounds = self.round;
+
+        // Deliver.
+        let pending = std::mem::take(&mut self.pending);
+        let tx_this_round = pending.len();
+        for (from, to, msg) in pending {
+            match to {
+                None => {
+                    for &v in self.net.neighbors(from) {
+                        if self.alive[v.index()] {
+                            self.inboxes[v.index()].push((from, msg.clone()));
+                            self.stats.receptions += 1;
+                        }
+                    }
+                }
+                Some(v) => {
+                    if self.alive[v.index()] && self.net.has_edge(from, v) {
+                        self.inboxes[v.index()].push((from, msg));
+                        self.stats.receptions += 1;
+                    }
+                }
+            }
+        }
+        self.log.record(tx_this_round);
+
+        // Process.
+        for i in 0..self.nodes.len() {
+            if !self.alive[i] || self.inboxes[i].is_empty() {
+                continue;
+            }
+            let inbox = std::mem::take(&mut self.inboxes[i]);
+            let mut ctx = Ctx {
+                id: NodeId(i),
+                net: self.net,
+                alive: &self.alive,
+                outbox: Vec::new(),
+            };
+            self.nodes[i].on_round(&mut ctx, &inbox);
+            let outbox = ctx.outbox;
+            self.queue_outbox(NodeId(i), outbox);
+        }
+        true
+    }
+
+    /// Runs until quiescence (no in-flight messages, no pending
+    /// failures) or until `max_rounds` is exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] when the protocol is
+    /// still active after `max_rounds` rounds.
+    pub fn run_until_quiescent(&mut self, max_rounds: usize) -> Result<SimStats, SimError> {
+        self.init();
+        while self.pending_activity() {
+            if self.round >= max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+            }
+            self.step();
+        }
+        self.stats.quiesced = true;
+        Ok(self.stats)
+    }
+
+    fn pending_activity(&self) -> bool {
+        !self.pending.is_empty()
+            || self
+                .failures
+                .last_round()
+                .is_some_and(|last| last >= self.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_geom::{Point, Rect};
+
+    fn line_net(n: usize) -> Network {
+        let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(1000.0, 10.0));
+        Network::from_positions(
+            (0..n).map(|i| Point::new(10.0 * i as f64, 0.0)).collect(),
+            15.0,
+            area,
+        )
+    }
+
+    /// Counts how many rounds until it saw a token passed hop by hop.
+    struct Relay {
+        has_token: bool,
+    }
+
+    impl NodeProcess for Relay {
+        type Msg = u64;
+        fn on_init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if ctx.id() == NodeId(0) {
+                self.has_token = true;
+                // Unicast to the next node on the line.
+                ctx.send(NodeId(1), 1);
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+            if self.has_token {
+                return;
+            }
+            if let Some(&(_, hops)) = inbox.first() {
+                self.has_token = true;
+                let next = NodeId(ctx.id().index() + 1);
+                if next.index() < ctx.net_len() {
+                    ctx.send(next, hops + 1);
+                }
+            }
+        }
+    }
+
+    impl<'a, M> Ctx<'a, M> {
+        fn net_len(&self) -> usize {
+            self.net.len()
+        }
+    }
+
+    #[test]
+    fn token_relay_takes_one_round_per_hop() {
+        let net = line_net(6);
+        let mut engine = Engine::new(&net, |_| Relay { has_token: false });
+        let stats = engine.run_until_quiescent(100).unwrap();
+        assert!(engine.nodes().iter().all(|n| n.has_token));
+        assert_eq!(stats.rounds, 5, "five hops of unicast");
+        assert_eq!(stats.unicasts, 5);
+        assert_eq!(stats.broadcasts, 0);
+        assert!(stats.quiesced);
+        assert_eq!(engine.round_log().per_round(), &[1, 1, 1, 1, 1]);
+    }
+
+    struct Gossip {
+        value: u64,
+    }
+
+    impl NodeProcess for Gossip {
+        type Msg = u64;
+        fn on_init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.broadcast(self.value);
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+            let best = inbox.iter().map(|&(_, v)| v).max().unwrap_or(0);
+            if best > self.value {
+                self.value = best;
+                ctx.broadcast(best);
+            }
+        }
+    }
+
+    #[test]
+    fn max_gossip_converges_to_global_max() {
+        let net = line_net(8);
+        let mut engine = Engine::new(&net, |id| Gossip {
+            value: (id.index() as u64) * 10,
+        });
+        let stats = engine.run_until_quiescent(100).unwrap();
+        assert!(stats.quiesced);
+        for n in engine.nodes() {
+            assert_eq!(n.value, 70);
+        }
+    }
+
+    #[test]
+    fn killed_node_partitions_relay() {
+        let net = line_net(6);
+        let mut engine = Engine::new(&net, |_| Relay { has_token: false });
+        let mut plan = FailurePlan::new();
+        plan.kill_at(2, NodeId(3));
+        engine.set_failure_plan(plan);
+        let stats = engine.run_until_quiescent(100).unwrap();
+        assert!(stats.quiesced);
+        assert!(!engine.node(NodeId(4)).has_token, "token blocked at n3");
+        assert!(!engine.is_alive(NodeId(3)));
+        assert!(engine.node(NodeId(2)).has_token);
+    }
+
+    struct Chatterbox;
+    impl NodeProcess for Chatterbox {
+        type Msg = ();
+        fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.broadcast(());
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {
+            ctx.broadcast(()); // never stops
+        }
+    }
+
+    #[test]
+    fn round_limit_detects_livelock() {
+        let net = line_net(3);
+        let mut engine = Engine::new(&net, |_| Chatterbox);
+        let err = engine.run_until_quiescent(10).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 10 });
+        assert!(err.to_string().contains("10 rounds"));
+    }
+
+    #[test]
+    fn unicast_to_non_neighbor_is_dropped() {
+        struct Shouter;
+        impl NodeProcess for Shouter {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.send(NodeId(2), ()); // two hops away: out of range
+                }
+            }
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {}
+        }
+        let net = line_net(3);
+        let mut engine = Engine::new(&net, |_| Shouter);
+        let stats = engine.run_until_quiescent(10).unwrap();
+        assert_eq!(stats.unicasts, 1, "transmission happened");
+        assert_eq!(stats.receptions, 0, "but nobody heard it");
+    }
+
+    #[test]
+    fn immediate_quiescence_when_nobody_talks() {
+        struct Mute;
+        impl NodeProcess for Mute {
+            type Msg = ();
+            fn on_init(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {}
+        }
+        let net = line_net(4);
+        let mut engine = Engine::new(&net, |_| Mute);
+        let stats = engine.run_until_quiescent(10).unwrap();
+        assert_eq!(stats.rounds, 0);
+        assert!(stats.quiesced);
+    }
+}

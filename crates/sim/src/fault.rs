@@ -1,0 +1,96 @@
+//! Failure injection plans.
+//!
+//! §1 lists the dynamic causes of local minima: "node failures, signal
+//! fading, communication jamming, power exhaustion, interference, and
+//! node mobility". A [`FailurePlan`] schedules node deaths at specific
+//! rounds; the engine removes the nodes and notifies their neighbors, and
+//! protocols (e.g. incremental re-labeling) react locally.
+
+use sp_net::NodeId;
+
+/// Scheduled node failures keyed by round number.
+///
+/// ```
+/// use sp_net::NodeId;
+/// use sp_sim::FailurePlan;
+///
+/// let mut plan = FailurePlan::new();
+/// plan.kill_at(3, NodeId(7));
+/// plan.kill_at(3, NodeId(9));
+/// assert_eq!(plan.due_at(3), &[NodeId(7), NodeId(9)]);
+/// assert!(plan.due_at(4).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    // Sparse map round -> victims, kept sorted by round.
+    entries: Vec<(usize, Vec<NodeId>)>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn new() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    /// Schedules `victim` to fail at the start of `round`.
+    pub fn kill_at(&mut self, round: usize, victim: NodeId) {
+        match self.entries.binary_search_by_key(&round, |e| e.0) {
+            Ok(i) => {
+                if !self.entries[i].1.contains(&victim) {
+                    self.entries[i].1.push(victim);
+                }
+            }
+            Err(i) => self.entries.insert(i, (round, vec![victim])),
+        }
+    }
+
+    /// Victims scheduled for `round` (empty slice when none).
+    pub fn due_at(&self, round: usize) -> &[NodeId] {
+        match self.entries.binary_search_by_key(&round, |e| e.0) {
+            Ok(i) => &self.entries[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Total number of scheduled failures.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|e| e.1.len()).sum()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The last round with a scheduled failure, if any.
+    pub fn last_round(&self) -> Option<usize> {
+        self.entries.last().map(|e| e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_victims_collapse() {
+        let mut plan = FailurePlan::new();
+        plan.kill_at(2, NodeId(1));
+        plan.kill_at(2, NodeId(1));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn rounds_stay_sorted() {
+        let mut plan = FailurePlan::new();
+        plan.kill_at(9, NodeId(1));
+        plan.kill_at(2, NodeId(2));
+        plan.kill_at(5, NodeId(3));
+        assert_eq!(plan.due_at(2), &[NodeId(2)]);
+        assert_eq!(plan.due_at(5), &[NodeId(3)]);
+        assert_eq!(plan.due_at(9), &[NodeId(1)]);
+        assert_eq!(plan.last_round(), Some(9));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 3);
+    }
+}

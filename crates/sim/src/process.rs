@@ -1,0 +1,138 @@
+//! The per-node state-machine trait and its execution context.
+
+use sp_net::{Network, NodeId};
+use sp_geom::Point;
+
+/// A local protocol instance running on one node.
+///
+/// Implementations see only local information: their own id/position,
+/// their neighbor list, and the messages delivered this round — the
+/// "fully-distributed manner" the paper's §1 requires of all schemes.
+pub trait NodeProcess {
+    /// The message type exchanged between neighbors.
+    type Msg: Clone;
+
+    /// Called once before the first round; typically seeds initial
+    /// broadcasts (e.g. the initial safe-status announcements of
+    /// Algo. 2 step 1).
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called every round with the messages delivered this round
+    /// (sent by neighbors in the previous round), tagged by sender.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(NodeId, Self::Msg)]);
+
+    /// Called when a neighbor is killed by failure injection. The default
+    /// does nothing; re-labeling protocols react by re-evaluating local
+    /// state.
+    fn on_neighbor_failed(&mut self, ctx: &mut Ctx<'_, Self::Msg>, failed: NodeId) {
+        let _ = (ctx, failed);
+    }
+}
+
+/// What a [`NodeProcess`] may observe and do during one callback.
+///
+/// Outgoing messages are buffered and delivered at the start of the next
+/// round — classic synchronous semantics.
+pub struct Ctx<'a, M> {
+    pub(crate) id: NodeId,
+    pub(crate) net: &'a Network,
+    pub(crate) alive: &'a [bool],
+    pub(crate) outbox: Vec<(Option<NodeId>, M)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The node this callback runs on.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's location.
+    pub fn position(&self) -> Point {
+        self.net.position(self.id)
+    }
+
+    /// Location of any node — used for *neighbor* positions, which
+    /// geographic routing assumes are known via the hello protocol.
+    pub fn position_of(&self, v: NodeId) -> Point {
+        self.net.position(v)
+    }
+
+    /// Live neighbors of this node (failed nodes excluded, matching what
+    /// a hello protocol would observe).
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.net
+            .neighbors(self.id)
+            .iter()
+            .copied()
+            .filter(|v| self.alive[v.index()])
+    }
+
+    /// Number of live neighbors.
+    pub fn degree(&self) -> usize {
+        self.neighbors().count()
+    }
+
+    /// Queues a broadcast to all live neighbors (one transmission).
+    pub fn broadcast(&mut self, msg: M) {
+        self.outbox.push((None, msg));
+    }
+
+    /// Queues a unicast to one neighbor.
+    ///
+    /// Sends to dead or non-adjacent targets are dropped by the engine
+    /// (the radio reaches no one), still costing one transmission.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((Some(to), msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_geom::{Point, Rect};
+
+    fn tiny_net() -> Network {
+        let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(50.0, 50.0));
+        Network::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(40.0, 40.0),
+            ],
+            15.0,
+            area,
+        )
+    }
+
+    #[test]
+    fn ctx_filters_dead_neighbors() {
+        let net = tiny_net();
+        let alive = vec![true, false, true];
+        let ctx: Ctx<'_, ()> = Ctx {
+            id: NodeId(0),
+            net: &net,
+            alive: &alive,
+            outbox: Vec::new(),
+        };
+        assert_eq!(ctx.degree(), 0, "only neighbor n1 is dead");
+        assert_eq!(ctx.position(), Point::new(0.0, 0.0));
+        assert_eq!(ctx.position_of(NodeId(2)), Point::new(40.0, 40.0));
+    }
+
+    #[test]
+    fn outbox_accumulates() {
+        let net = tiny_net();
+        let alive = vec![true, true, true];
+        let mut ctx: Ctx<'_, u32> = Ctx {
+            id: NodeId(0),
+            net: &net,
+            alive: &alive,
+            outbox: Vec::new(),
+        };
+        ctx.broadcast(7);
+        ctx.send(NodeId(1), 8);
+        assert_eq!(ctx.outbox.len(), 2);
+        assert_eq!(ctx.outbox[0], (None, 7));
+        assert_eq!(ctx.outbox[1], (Some(NodeId(1)), 8));
+    }
+}

@@ -1,0 +1,245 @@
+//! Terminal line charts for reproduction figures.
+//!
+//! Renders an [`sp_metrics::Figure`] as a fixed-size character grid:
+//! one marker glyph per series, a y-axis with min/max labels, an x-axis
+//! listing the swept values, and a legend. Good enough to eyeball the
+//! *shape* claims of Figs. 5–7 (who wins, by how much, where the curves
+//! converge) straight from `repro-figures` output.
+
+use sp_metrics::Figure;
+use std::fmt::Write as _;
+
+/// Size and style options of [`render_chart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChartOptions {
+    /// Plot-area width in characters (axes excluded).
+    pub width: usize,
+    /// Plot-area height in characters.
+    pub height: usize,
+}
+
+impl Default for ChartOptions {
+    fn default() -> ChartOptions {
+        ChartOptions {
+            width: 64,
+            height: 16,
+        }
+    }
+}
+
+/// Marker glyphs assigned to series in order.
+const MARKERS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+/// Renders `fig` as a multi-line string chart.
+///
+/// Series beyond the eighth reuse markers. Empty figures render a title
+/// and a note instead of a grid.
+///
+/// ```
+/// use sp_metrics::{Figure, Series};
+/// use sp_viz::ascii::{render_chart, ChartOptions};
+///
+/// let mut fig = Figure::new("demo", "nodes", "hops");
+/// let mut s = Series::new("SLGF2");
+/// s.push(400.0, 12.0);
+/// s.push(800.0, 9.0);
+/// fig.push_series(s);
+/// let chart = render_chart(&fig, ChartOptions::default());
+/// assert!(chart.contains("demo"));
+/// assert!(chart.contains("o SLGF2"));
+/// ```
+pub fn render_chart(fig: &Figure, opts: ChartOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fig.title);
+
+    let points: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if points.is_empty() || opts.width < 2 || opts.height < 2 {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+    // A little headroom so the top marker is not glued to the frame.
+    let y_pad = (y_max - y_min) * 0.05;
+    let (y_lo, y_hi) = (y_min - y_pad, y_max + y_pad);
+
+    let w = opts.width;
+    let h = opts.height;
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, series) in fig.series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        // Connect consecutive points with interpolated steps so trends
+        // read as lines, then stamp markers on the data points.
+        for pair in series.points.windows(2) {
+            let steps = w * 2;
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let x = pair[0].0 + (pair[1].0 - pair[0].0) * t;
+                let y = pair[0].1 + (pair[1].1 - pair[0].1) * t;
+                let (cx, cy) = cell(x, y, x_min, x_max, y_lo, y_hi, w, h);
+                if grid[cy][cx] == ' ' {
+                    grid[cy][cx] = '.';
+                }
+            }
+        }
+        for &(x, y) in &series.points {
+            let (cx, cy) = cell(x, y, x_min, x_max, y_lo, y_hi, w, h);
+            grid[cy][cx] = marker;
+        }
+    }
+
+    let y_label_width = 10usize;
+    let _ = writeln!(
+        out,
+        "{:>y_label_width$} ┌{}┐",
+        format!("{y_max:.2}"),
+        "─".repeat(w)
+    );
+    for (row_idx, row) in grid.iter().enumerate() {
+        let label = if row_idx == h - 1 {
+            format!("{y_min:.2}")
+        } else {
+            String::new()
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label:>y_label_width$} │{line}│");
+    }
+    let _ = writeln!(out, "{:>y_label_width$} └{}┘", "", "─".repeat(w));
+    let _ = writeln!(
+        out,
+        "{:>y_label_width$}  {x_min:<10.0}{:^mid$}{x_max:>10.0}",
+        "",
+        &fig.x_label,
+        mid = w.saturating_sub(20)
+    );
+
+    out.push_str("  legend: ");
+    for (si, series) in fig.series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        let _ = write!(out, "{marker} {}   ", series.label);
+    }
+    out.push('\n');
+    out
+}
+
+/// Maps a data point to a grid cell (row 0 is the top).
+fn cell(
+    x: f64,
+    y: f64,
+    x_min: f64,
+    x_max: f64,
+    y_lo: f64,
+    y_hi: f64,
+    w: usize,
+    h: usize,
+) -> (usize, usize) {
+    let fx = ((x - x_min) / (x_max - x_min)).clamp(0.0, 1.0);
+    let fy = ((y - y_lo) / (y_hi - y_lo)).clamp(0.0, 1.0);
+    let cx = (fx * (w - 1) as f64).round() as usize;
+    let cy = ((1.0 - fy) * (h - 1) as f64).round() as usize;
+    (cx.min(w - 1), cy.min(h - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_metrics::Series;
+
+    fn sample_figure() -> Figure {
+        let mut fig = Figure::new("Fig. 6(a) average hops (IA model)", "nodes", "hops");
+        let mut gf = Series::new("GF");
+        let mut slgf2 = Series::new("SLGF2");
+        for (i, n) in (400..=800).step_by(100).enumerate() {
+            gf.push(n as f64, 14.0 - i as f64 * 0.5);
+            slgf2.push(n as f64, 11.0 - i as f64 * 0.4);
+        }
+        fig.push_series(gf);
+        fig.push_series(slgf2);
+        fig
+    }
+
+    #[test]
+    fn chart_contains_title_axes_and_legend() {
+        let chart = render_chart(&sample_figure(), ChartOptions::default());
+        assert!(chart.contains("Fig. 6(a)"));
+        assert!(chart.contains("o GF"));
+        assert!(chart.contains("+ SLGF2"));
+        assert!(chart.contains("400"));
+        assert!(chart.contains("800"));
+        assert!(chart.contains("nodes"));
+        // Frame is drawn.
+        assert!(chart.contains('┌') && chart.contains('┘'));
+    }
+
+    #[test]
+    fn markers_land_in_the_grid() {
+        let chart = render_chart(&sample_figure(), ChartOptions::default());
+        // Every series marker appears at least as often as its points.
+        assert!(chart.matches('o').count() >= 5);
+        assert!(chart.matches('+').count() >= 5);
+    }
+
+    #[test]
+    fn higher_series_renders_above_lower() {
+        let mut fig = Figure::new("t", "x", "y");
+        let mut hi = Series::new("hi");
+        hi.push(0.0, 10.0);
+        hi.push(1.0, 10.0);
+        let mut lo = Series::new("lo");
+        lo.push(0.0, 0.0);
+        lo.push(1.0, 0.0);
+        fig.push_series(hi);
+        fig.push_series(lo);
+        let chart = render_chart(&fig, ChartOptions { width: 20, height: 10 });
+        let hi_row = chart
+            .lines()
+            .position(|l| l.contains('o'))
+            .expect("hi marker");
+        let lo_row = chart
+            .lines()
+            .position(|l| l.contains('+'))
+            .expect("lo marker");
+        assert!(hi_row < lo_row, "hi at {hi_row}, lo at {lo_row}");
+    }
+
+    #[test]
+    fn empty_figure_degrades_gracefully() {
+        let fig = Figure::new("empty", "x", "y");
+        let chart = render_chart(&fig, ChartOptions::default());
+        assert!(chart.contains("empty"));
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let mut fig = Figure::new("one", "x", "y");
+        let mut s = Series::new("S");
+        s.push(5.0, 5.0);
+        fig.push_series(s);
+        let chart = render_chart(&fig, ChartOptions::default());
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn tiny_grid_is_rejected() {
+        let chart = render_chart(&sample_figure(), ChartOptions { width: 1, height: 1 });
+        assert!(chart.contains("(no data)"));
+    }
+}

@@ -1,0 +1,319 @@
+//! SVG line charts of reproduction figures.
+//!
+//! Renders an [`sp_metrics::Figure`] as a standalone SVG: axes with
+//! ticks, one polyline + marker set per series, and a legend — the
+//! publication-style counterpart of the terminal charts in
+//! [`crate::ascii`]. Pure string building, no dependencies.
+
+use sp_metrics::Figure;
+use std::fmt::Write as _;
+
+/// Size and style options of [`render_figure_svg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigureSvgOptions {
+    /// Total SVG width in pixels.
+    pub width_px: f64,
+    /// Total SVG height in pixels.
+    pub height_px: f64,
+    /// Number of ticks per axis (including the ends).
+    pub ticks: usize,
+}
+
+impl Default for FigureSvgOptions {
+    fn default() -> FigureSvgOptions {
+        FigureSvgOptions {
+            width_px: 640.0,
+            height_px: 420.0,
+            ticks: 5,
+        }
+    }
+}
+
+/// Series colors, cycled in order (colorblind-friendly palette).
+const COLORS: [&str; 8] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#f0e442", "#000000",
+];
+
+/// Marker shapes cycled with the colors.
+#[derive(Clone, Copy)]
+enum Marker {
+    Circle,
+    Square,
+    Diamond,
+    TriangleUp,
+}
+
+const MARKERS: [Marker; 4] = [
+    Marker::Circle,
+    Marker::Square,
+    Marker::Diamond,
+    Marker::TriangleUp,
+];
+
+/// Renders `fig` as a standalone SVG document.
+///
+/// Empty figures produce a titled frame with a "no data" note.
+///
+/// ```
+/// use sp_metrics::{Figure, Series};
+/// use sp_viz::chart::{render_figure_svg, FigureSvgOptions};
+///
+/// let mut fig = Figure::new("Fig. 6(a)", "nodes", "hops");
+/// let mut s = Series::new("SLGF2");
+/// s.push(400.0, 12.0);
+/// s.push(800.0, 9.0);
+/// fig.push_series(s);
+/// let svg = render_figure_svg(&fig, FigureSvgOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("SLGF2"));
+/// ```
+pub fn render_figure_svg(fig: &Figure, opts: FigureSvgOptions) -> String {
+    let w = opts.width_px;
+    let h = opts.height_px;
+    let margin_left = 64.0;
+    let margin_right = 24.0;
+    let margin_top = 40.0;
+    let margin_bottom = 96.0; // room for x label + legend
+    let plot_w = (w - margin_left - margin_right).max(1.0);
+    let plot_h = (h - margin_top - margin_bottom).max(1.0);
+
+    let mut out = String::with_capacity(1 << 14);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r##"<rect width="{w:.0}" height="{h:.0}" fill="#ffffff"/>"##);
+    let _ = writeln!(
+        out,
+        r##"<text x="{:.0}" y="24" font-size="15" font-weight="bold" fill="#111">{}</text>"##,
+        margin_left,
+        escape(&fig.title)
+    );
+
+    let points: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if points.is_empty() {
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.0}" y="{:.0}" font-size="13" fill="#666">(no data)</text>"##,
+            margin_left,
+            margin_top + plot_h / 2.0
+        );
+        out.push_str("</svg>\n");
+        return out;
+    }
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    let y_pad = ((y_max - y_min) * 0.08).max(1e-9);
+    let (y_lo, y_hi) = (y_min - y_pad, y_max + y_pad);
+
+    let px = |x: f64| margin_left + (x - x_min) / (x_max - x_min) * plot_w;
+    let py = |y: f64| margin_top + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    // Frame and ticks.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{margin_left:.1}" y="{margin_top:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#999" stroke-width="1"/>"##
+    );
+    let ticks = opts.ticks.max(2);
+    for k in 0..ticks {
+        let f = k as f64 / (ticks - 1) as f64;
+        let xv = x_min + f * (x_max - x_min);
+        let yv = y_lo + f * (y_hi - y_lo);
+        let xp = px(xv);
+        let yp = py(yv);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{xp:.1}" y1="{:.1}" x2="{xp:.1}" y2="{:.1}" stroke="#999"/>"##,
+            margin_top + plot_h,
+            margin_top + plot_h + 5.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{xp:.1}" y="{:.1}" font-size="11" fill="#333" text-anchor="middle">{xv:.0}</text>"##,
+            margin_top + plot_h + 18.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<line x1="{:.1}" y1="{yp:.1}" x2="{margin_left:.1}" y2="{yp:.1}" stroke="#999"/>"##,
+            margin_left - 5.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="11" fill="#333" text-anchor="end">{yv:.1}</text>"##,
+            margin_left - 8.0,
+            yp + 4.0
+        );
+    }
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r##"<text x="{:.1}" y="{:.1}" font-size="12" fill="#111" text-anchor="middle">{}</text>"##,
+        margin_left + plot_w / 2.0,
+        margin_top + plot_h + 38.0,
+        escape(&fig.x_label)
+    );
+    let _ = writeln!(
+        out,
+        r##"<text x="16" y="{:.1}" font-size="12" fill="#111" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"##,
+        margin_top + plot_h / 2.0,
+        margin_top + plot_h / 2.0,
+        escape(&fig.y_label)
+    );
+
+    // Series.
+    for (si, series) in fig.series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let marker = MARKERS[si % MARKERS.len()];
+        if series.points.len() > 1 {
+            let pts: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                pts.join(" ")
+            );
+        }
+        for &(x, y) in &series.points {
+            draw_marker(&mut out, marker, px(x), py(y), color);
+        }
+    }
+
+    // Legend row beneath the x label.
+    let legend_y = margin_top + plot_h + 62.0;
+    let mut legend_x = margin_left;
+    for (si, series) in fig.series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let marker = MARKERS[si % MARKERS.len()];
+        draw_marker(&mut out, marker, legend_x + 6.0, legend_y - 4.0, color);
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.1}" y="{legend_y:.1}" font-size="12" fill="#111">{}</text>"##,
+            legend_x + 16.0,
+            escape(&series.label)
+        );
+        legend_x += 18.0 + 8.0 * series.label.len() as f64 + 16.0;
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+fn draw_marker(out: &mut String, marker: Marker, cx: f64, cy: f64, color: &str) {
+    let _ = match marker {
+        Marker::Circle => writeln!(
+            out,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="4" fill="{color}"/>"#
+        ),
+        Marker::Square => writeln!(
+            out,
+            r#"<rect x="{:.1}" y="{:.1}" width="8" height="8" fill="{color}"/>"#,
+            cx - 4.0,
+            cy - 4.0
+        ),
+        Marker::Diamond => writeln!(
+            out,
+            r#"<polygon points="{cx:.1},{:.1} {:.1},{cy:.1} {cx:.1},{:.1} {:.1},{cy:.1}" fill="{color}"/>"#,
+            cy - 5.0,
+            cx + 5.0,
+            cy + 5.0,
+            cx - 5.0
+        ),
+        Marker::TriangleUp => writeln!(
+            out,
+            r#"<polygon points="{cx:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{color}"/>"#,
+            cy - 5.0,
+            cx + 5.0,
+            cy + 4.0,
+            cx - 5.0,
+            cy + 4.0
+        ),
+    };
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_metrics::Series;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("Fig. 7(b) average length (FA)", "nodes", "meters");
+        for (label, base) in [("GF", 150.0), ("LGF", 160.0), ("SLGF", 140.0), ("SLGF2", 120.0)] {
+            let mut s = Series::new(label);
+            for (i, n) in (400..=800).step_by(100).enumerate() {
+                s.push(n as f64, base - 6.0 * i as f64);
+            }
+            fig.push_series(s);
+        }
+        fig
+    }
+
+    #[test]
+    fn svg_has_frame_series_and_legend() {
+        let svg = render_figure_svg(&sample(), FigureSvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 4);
+        for label in ["GF", "LGF", "SLGF", "SLGF2"] {
+            assert!(svg.contains(&format!(">{label}</text>")), "{label} legend");
+        }
+        assert!(svg.contains("nodes") && svg.contains("meters"));
+    }
+
+    #[test]
+    fn four_marker_shapes_are_used() {
+        let svg = render_figure_svg(&sample(), FigureSvgOptions::default());
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<rect x="));
+        assert!(svg.matches("<polygon").count() >= 10); // diamonds + triangles
+    }
+
+    #[test]
+    fn empty_figure_renders_no_data_note() {
+        let fig = Figure::new("empty", "x", "y");
+        let svg = render_figure_svg(&fig, FigureSvgOptions::default());
+        assert!(svg.contains("(no data)"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let mut fig = Figure::new("a < b & c", "x", "y");
+        let mut s = Series::new("S");
+        s.push(1.0, 1.0);
+        fig.push_series(s);
+        let svg = render_figure_svg(&fig, FigureSvgOptions::default());
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn single_point_has_marker_but_no_line() {
+        let mut fig = Figure::new("one", "x", "y");
+        let mut s = Series::new("S");
+        s.push(5.0, 5.0);
+        fig.push_series(s);
+        let svg = render_figure_svg(&fig, FigureSvgOptions::default());
+        assert_eq!(svg.matches("<polyline").count(), 0);
+        assert!(svg.matches("<circle").count() >= 2); // data + legend
+    }
+}

@@ -1,0 +1,38 @@
+//! Visualization for the straightpath WASN routing stack.
+//!
+//! Two output formats, both dependency-free:
+//!
+//! * [`svg`] — publication-style SVG scenes of a deployment: nodes
+//!   colored by safety tuple, UDG edges, forbidden-area obstacles,
+//!   unsafe-area shape estimates `E_i(u)`, and route paths with
+//!   per-phase coloring (greedy / backup / perimeter). This is the
+//!   picture Figs. 1–4 of the paper sketch by hand.
+//! * [`ascii`] — terminal line charts of the reproduction figures
+//!   ([`sp_metrics::Figure`]), so `repro-figures` can show the curve
+//!   shapes of Figs. 5–7 without leaving the shell;
+//! * [`chart`] — the same figures as standalone SVG line charts with
+//!   axes, ticks, markers, and a legend.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_net::{deploy::DeploymentConfig, Network, NodeId};
+//! use sp_viz::svg::{SceneOptions, Scene};
+//!
+//! let cfg = DeploymentConfig::paper_default(120);
+//! let net = Network::from_positions(cfg.deploy_uniform(1), cfg.radius, cfg.area);
+//! let svg = Scene::new(&net, SceneOptions::default()).render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.ends_with("</svg>\n"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod chart;
+pub mod svg;
+
+pub use ascii::{render_chart, ChartOptions};
+pub use chart::{render_figure_svg, FigureSvgOptions};
+pub use svg::{Scene, SceneOptions};

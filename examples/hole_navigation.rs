@@ -1,0 +1,148 @@
+//! Hole navigation: the paper's FA scenario with a single large
+//! forbidden area between source and destination. Renders an ASCII map
+//! of the deployment, the hole, and the paths GF and SLGF2 take around
+//! it — the detour-avoidance story of Fig. 1/Fig. 4.
+//!
+//! ```sh
+//! cargo run --example hole_navigation
+//! ```
+
+use straightpath::geom::Circle;
+use straightpath::prelude::*;
+
+const COLS: usize = 72;
+const ROWS: usize = 30;
+
+fn main() {
+    let cfg = DeploymentConfig::paper_default(650);
+    // One big forbidden disk in the middle of the interest area.
+    let hole = Obstacle::Circle(Circle::new(Point::new(100.0, 100.0), 38.0));
+    let obstacles = vec![hole];
+    let positions = cfg.deploy_with_obstacles(&obstacles, 77);
+    let net = Network::from_positions(positions, cfg.radius, cfg.area);
+
+    // Pick a west-side source and an east-side destination so the hole
+    // sits squarely on the straight line.
+    let src = nearest_node(&net, Point::new(30.0, 100.0));
+    let dst = nearest_node(&net, Point::new(170.0, 100.0));
+    println!(
+        "routing {src} {} -> {dst} {} around a r=38m forbidden disk\n",
+        net.position(src),
+        net.position(dst)
+    );
+
+    let info = SafetyInfo::build(&net);
+    let gf = GfRouter::new(&net);
+    let slgf2 = Slgf2Router::new(&info);
+    let slgf2f = Slgf2FaceRouter::new(&net, &info);
+
+    let r_gf = gf.route(&net, src, dst);
+    let r_s2 = slgf2.route(&net, src, dst);
+    let r_f = slgf2f.route(&net, src, dst);
+    let ideal = net.shortest_path(src, dst).expect("connected");
+
+    let mut canvas = vec![vec![' '; COLS]; ROWS];
+    // Hole interior.
+    for (r, row) in canvas.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let p = cell_to_point(&net, c, r);
+            if obstacles.iter().any(|o| o.contains(p)) {
+                *cell = '.';
+            }
+        }
+    }
+    stamp_path(&net, &mut canvas, &ideal.0, '-');
+    stamp_path(&net, &mut canvas, &r_gf.path, 'g');
+    stamp_path(&net, &mut canvas, &r_s2.path, 'S');
+    stamp_path(&net, &mut canvas, &r_f.path, 'F');
+    stamp(&net, &mut canvas, net.position(src), '@');
+    stamp(&net, &mut canvas, net.position(dst), '$');
+
+    for row in &canvas {
+        println!("{}", row.iter().collect::<String>());
+    }
+    println!("\n@ source  $ destination  . forbidden area");
+    println!(
+        "- Dijkstra ideal  g GF  S SLGF2  F SLGF2-F (overlaps shown by last writer)\n"
+    );
+
+    println!(
+        "{:<22} {:>5}  {:>9}  {:>10}",
+        "scheme", "hops", "length", "perimeter entries"
+    );
+    println!(
+        "{:<22} {:>5}  {:>8.1}m  {:>10}",
+        "ideal (Dijkstra)",
+        ideal.0.len() - 1,
+        ideal.1,
+        "-"
+    );
+    for (name, r) in [
+        ("GF + BOUNDHOLE", &r_gf),
+        ("SLGF2", &r_s2),
+        ("SLGF2-F (face recovery)", &r_f),
+    ] {
+        println!(
+            "{:<22} {:>5}  {:>8.1}m  {:>10}{}",
+            name,
+            r.hops(),
+            r.length(&net),
+            r.perimeter_entries,
+            if r.delivered() { "" } else { "  [FAILED]" }
+        );
+    }
+    // Stretch is only meaningful for delivered routes.
+    for (name, r) in [("GF", &r_gf), ("SLGF2", &r_s2), ("SLGF2-F", &r_f)] {
+        if r.delivered() {
+            println!("{name} path stretch vs ideal: {:.2}x", r.length(&net) / ideal.1);
+        } else {
+            println!(
+                "{name} lost the packet after {} hops (a hole this large \
+                 defeats its recovery phase; only full face routing is \
+                 guaranteed here)",
+                r.hops()
+            );
+        }
+    }
+}
+
+fn nearest_node(net: &Network, target: Point) -> NodeId {
+    net.node_ids()
+        .min_by(|&a, &b| {
+            net.position(a)
+                .distance_sq(target)
+                .total_cmp(&net.position(b).distance_sq(target))
+        })
+        .expect("non-empty network")
+}
+
+fn cell_to_point(net: &Network, col: usize, row: usize) -> Point {
+    let area = net.area();
+    Point::new(
+        area.min().x + (col as f64 + 0.5) / COLS as f64 * area.width(),
+        // Row 0 is the top of the map (max y).
+        area.max().y - (row as f64 + 0.5) / ROWS as f64 * area.height(),
+    )
+}
+
+fn stamp(net: &Network, canvas: &mut [Vec<char>], p: Point, ch: char) {
+    let area = net.area();
+    let c = ((p.x - area.min().x) / area.width() * COLS as f64) as usize;
+    let r = ((area.max().y - p.y) / area.height() * ROWS as f64) as usize;
+    canvas[r.min(ROWS - 1)][c.min(COLS - 1)] = ch;
+}
+
+fn stamp_path(net: &Network, canvas: &mut [Vec<char>], path: &[NodeId], ch: char) {
+    // Stamp intermediate sample points along each hop so the path reads
+    // as a line.
+    for w in path.windows(2) {
+        let a = net.position(w[0]);
+        let b = net.position(w[1]);
+        let steps = (a.distance(b) / 2.0).ceil() as usize + 1;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            let p = Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
+            stamp(net, canvas, p, ch);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Render the paper's hand-drawn figures (1a, 3, 4d, 4e) as SVG scenes
+//! from their executable reconstructions, with safety coloring, shape
+//! estimates, and the SLGF2 route overlaid.
+//!
+//! ```sh
+//! cargo run --example paper_figures    # writes target/viz/figN.svg
+//! ```
+
+use sp_experiments::{all_scenarios, Scheme};
+use sp_geom::Quadrant;
+use sp_viz::svg::{Scene, SceneOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/viz");
+    std::fs::create_dir_all(out_dir)?;
+
+    for sc in all_scenarios() {
+        println!("{}: {}", sc.name, sc.description);
+        let r2 = sc.route_slgf2();
+        println!(
+            "  SLGF2: {} in {} hops ({} backup, {} perimeter entries)",
+            if r2.delivered() { "delivered" } else { "failed" },
+            r2.hops(),
+            r2.backup_entries,
+            r2.perimeter_entries,
+        );
+        let r1 = sc.route(Scheme::Lgf);
+        println!(
+            "  LGF:   {} in {} hops ({} perimeter entries)",
+            if r1.delivered() { "delivered" } else { "failed" },
+            r1.hops(),
+            r1.perimeter_entries,
+        );
+
+        let mut scene = Scene::new(
+            &sc.net,
+            SceneOptions {
+                width_px: 600.0,
+                ..SceneOptions::default()
+            },
+        )
+        .with_safety(&sc.info)
+        .with_route("SLGF2", &r2)
+        .with_mark(sc.source, "s")
+        .with_mark(sc.destination, "d");
+        // Overlay the source's unsafe-area estimates where they exist.
+        for q in Quadrant::ALL {
+            if let Some(est) = sc.info.estimate(sc.source, q) {
+                scene = scene.with_estimate(sc.source, q, est.rect);
+            }
+        }
+        let path = out_dir.join(format!("{}.svg", sc.name));
+        std::fs::write(&path, scene.render())?;
+        println!("  wrote {}\n", path.display());
+    }
+    Ok(())
+}

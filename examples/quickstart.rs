@@ -1,0 +1,84 @@
+//! Quickstart: deploy the paper's network, build the safety
+//! information, and compare all four routing schemes on one
+//! source/destination pair.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use straightpath::prelude::*;
+
+fn main() {
+    // The paper's experimental setup (§5): 600 nodes with a 20 m radio
+    // in a 200 m × 200 m interest area.
+    let cfg = DeploymentConfig::paper_default(600);
+    let positions = cfg.deploy_uniform(2024);
+    let net = Network::from_positions(positions, cfg.radius, cfg.area);
+    println!(
+        "network: {} nodes, {} edges, avg degree {:.1}",
+        net.len(),
+        net.edge_count(),
+        net.avg_degree()
+    );
+
+    // Construct the information each scheme needs (§5 does this before
+    // measuring routing): safety tuples + shape estimates for
+    // SLGF/SLGF2, hole boundaries for GF.
+    let info = SafetyInfo::build(&net);
+    println!(
+        "safety information stabilized in {} rounds; {} nodes have an unsafe type",
+        info.rounds(),
+        net.node_ids()
+            .filter(|&u| !info.tuple(u).fully_safe())
+            .count()
+    );
+    let gf = GfRouter::new(&net);
+    println!("hole atlas: {} boundaries detected", gf.atlas().len());
+
+    // Route between two far-apart nodes of the giant component.
+    let comp = net.largest_component();
+    let (src, dst) = (comp[0], comp[comp.len() - 1]);
+    println!(
+        "\nrouting {} -> {} (straight-line {:.1} m)\n",
+        src,
+        dst,
+        net.position(src).distance(net.position(dst))
+    );
+
+    let reference = net
+        .shortest_path(src, dst)
+        .expect("connected pair has a shortest path");
+    println!(
+        "{:<8} {:>5} {:>9}  {}",
+        "scheme", "hops", "length", "phases (greedy/backup/perimeter)"
+    );
+    println!(
+        "{:<8} {:>5} {:>8.1}m  (Dijkstra reference)",
+        "ideal",
+        reference.0.len() - 1,
+        reference.1
+    );
+
+    let lgf = LgfRouter::new();
+    let slgf = SlgfRouter::new(&info);
+    let slgf2 = Slgf2Router::new(&info);
+    let schemes: [(&str, &dyn Routing); 4] =
+        [("GF", &gf), ("LGF", &lgf), ("SLGF", &slgf), ("SLGF2", &slgf2)];
+    for (name, router) in schemes {
+        let r = router.route(&net, src, dst);
+        let status = if r.delivered() { "" } else { " [FAILED]" };
+        println!(
+            "{:<8} {:>5} {:>8.1}m  {}/{}/{}{}",
+            name,
+            r.hops(),
+            r.length(&net),
+            r.hops_in_phase(RoutePhase::Greedy),
+            r.hops_in_phase(RoutePhase::Backup),
+            r.hops_in_phase(RoutePhase::Perimeter),
+            status,
+        );
+    }
+
+    // The SLGF2 walk, hop by hop, with safety tuples.
+    println!("\n{}", sp_core::explain_route(&net, &slgf2.route(&net, src, dst), Some(&info)));
+}

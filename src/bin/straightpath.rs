@@ -1,0 +1,214 @@
+//! `straightpath` — the command-line face of the library.
+//!
+//! ```text
+//! straightpath deploy   --nodes N [--seed S] [--fa]          network stats
+//! straightpath label    --nodes N [--seed S] [--fa]          safety census
+//! straightpath route    --nodes N --scheme NAME [--seed S] [--fa]
+//!                       [--src ID --dst ID] [--explain] [--svg FILE]
+//! straightpath scenario NAME [--svg FILE]                    paper figures
+//! ```
+//!
+//! Everything is seeded and deterministic; `--fa` switches from the
+//! uniform IA deployment to the forbidden-area FA model.
+
+use sp_experiments::{all_scenarios, PreparedNetwork, Scheme};
+use sp_viz::svg::{Scene, SceneOptions};
+use straightpath::core::explain_route;
+use straightpath::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage_and_exit();
+    };
+    match command.as_str() {
+        "deploy" => cmd_deploy(&args[1..]),
+        "label" => cmd_label(&args[1..]),
+        "route" => cmd_route(&args[1..]),
+        "scenario" => cmd_scenario(&args[1..]),
+        "--help" | "-h" | "help" => usage_and_exit(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: straightpath <deploy|label|route|scenario> [options]");
+    eprintln!("  deploy   --nodes N [--seed S] [--fa]");
+    eprintln!("  label    --nodes N [--seed S] [--fa]");
+    eprintln!("  route    --nodes N --scheme NAME [--seed S] [--fa] [--src ID --dst ID] [--explain] [--svg FILE]");
+    eprintln!("  scenario <fig1a|fig3|fig4d|fig4e|list> [--svg FILE]");
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs plus bare switches.
+struct Flags<'a>(&'a [String]);
+
+impl Flags<'_> {
+    fn value(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+    fn switch(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+    fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.value(key)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("{key} wants a number, got {v}"))))
+            .unwrap_or(default)
+    }
+    fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.value(key)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("{key} wants a number, got {v}"))))
+            .unwrap_or(default)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn build_network(flags: &Flags) -> (Network, Vec<Obstacle>) {
+    let n = flags.usize_or("--nodes", 500);
+    let seed = flags.u64_or("--seed", 42);
+    let cfg = DeploymentConfig::paper_default(n);
+    if flags.switch("--fa") {
+        let fa = FaModel::paper_default();
+        let obstacles = fa.generate_obstacles(&cfg, seed);
+        let net = Network::from_positions(
+            cfg.deploy_with_obstacles(&obstacles, seed),
+            cfg.radius,
+            cfg.area,
+        );
+        (net, obstacles)
+    } else {
+        (
+            Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area),
+            Vec::new(),
+        )
+    }
+}
+
+fn cmd_deploy(rest: &[String]) {
+    let flags = Flags(rest);
+    let (net, obstacles) = build_network(&flags);
+    let comp = net.largest_component();
+    println!("nodes:             {}", net.len());
+    println!("edges:             {}", net.edge_count());
+    println!("avg degree:        {:.2}", net.avg_degree());
+    println!("largest component: {} ({:.1} %)", comp.len(), 100.0 * comp.len() as f64 / net.len() as f64);
+    println!("obstacles:         {}", obstacles.len());
+}
+
+fn cmd_label(rest: &[String]) {
+    let flags = Flags(rest);
+    let (net, _) = build_network(&flags);
+    let info = SafetyInfo::build(&net);
+    println!("labeling rounds:   {}", info.rounds());
+    let mut histogram = [0usize; 5];
+    for u in net.node_ids() {
+        histogram[info.tuple(u).safe_count() as usize] += 1;
+    }
+    for (safe_types, count) in histogram.iter().enumerate() {
+        println!(
+            "{safe_types}/4 types safe:   {count:>6} nodes ({:.1} %)",
+            100.0 * *count as f64 / net.len() as f64
+        );
+    }
+    let estimates: usize = net
+        .node_ids()
+        .map(|u| {
+            Quadrant::ALL
+                .iter()
+                .filter(|&&q| info.estimate(u, q).is_some())
+                .count()
+        })
+        .sum();
+    println!("shape estimates:   {estimates}");
+}
+
+fn cmd_route(rest: &[String]) {
+    let flags = Flags(rest);
+    let (net, obstacles) = build_network(&flags);
+    let scheme = match flags.value("--scheme").unwrap_or("slgf2") {
+        "gf" => Scheme::Gf,
+        "lgf" => Scheme::Lgf,
+        "slgf" => Scheme::Slgf,
+        "slgf2" => Scheme::Slgf2,
+        "gfg" => Scheme::Gfg,
+        "slgf2-f" => Scheme::Slgf2Face,
+        other => die(&format!("unknown scheme {other} (gf|lgf|slgf|slgf2|gfg|slgf2-f)")),
+    };
+    let comp = net.largest_component();
+    if comp.len() < 2 {
+        die("network has no routable pair");
+    }
+    let src = NodeId(flags.usize_or("--src", comp[0].index()));
+    let dst = NodeId(flags.usize_or("--dst", comp[comp.len() - 1].index()));
+    if src.index() >= net.len() || dst.index() >= net.len() {
+        die("--src/--dst out of range");
+    }
+
+    let prepared = PreparedNetwork::new(net);
+    let r = prepared.route(scheme, src, dst);
+    println!(
+        "{}: {} {} -> {} in {} hops, {:.1} m ({} perimeter, {} backup entries)",
+        scheme.name(),
+        if r.delivered() { "delivered" } else { "FAILED" },
+        src,
+        dst,
+        r.hops(),
+        r.length(&prepared.net),
+        r.perimeter_entries,
+        r.backup_entries,
+    );
+    if flags.switch("--explain") {
+        print!("{}", explain_route(&prepared.net, &r, Some(&prepared.info)));
+    }
+    if let Some(path) = flags.value("--svg") {
+        let svg = Scene::new(&prepared.net, SceneOptions { draw_edges: false, ..SceneOptions::default() })
+            .with_obstacles(&obstacles)
+            .with_safety(&prepared.info)
+            .with_route(scheme.name(), &r)
+            .with_mark(src, "s")
+            .with_mark(dst, "d")
+            .render();
+        std::fs::write(path, svg).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote {path}");
+    }
+}
+
+fn cmd_scenario(rest: &[String]) {
+    let flags = Flags(rest);
+    let Some(name) = rest.first().filter(|a| !a.starts_with("--")) else {
+        die("scenario wants a name (fig1a|fig3|fig4d|fig4e|list)");
+    };
+    if name == "list" {
+        for sc in all_scenarios() {
+            println!("{:<7} {}", sc.name, sc.description);
+        }
+        return;
+    }
+    let Some(sc) = all_scenarios().into_iter().find(|s| s.name == name) else {
+        die(&format!("unknown scenario {name}; try `scenario list`"));
+    };
+    println!("{}: {}", sc.name, sc.description);
+    let r = sc.route_slgf2();
+    print!("{}", explain_route(&sc.net, &r, Some(&sc.info)));
+    if let Some(path) = flags.value("--svg") {
+        let svg = Scene::new(&sc.net, SceneOptions::default())
+            .with_safety(&sc.info)
+            .with_route("SLGF2", &r)
+            .with_mark(sc.source, "s")
+            .with_mark(sc.destination, "d")
+            .render();
+        std::fs::write(path, svg).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `straightpath` command-line binary, run via
+//! the Cargo-provided binary path.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_straightpath"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = bin().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn deploy_reports_network_stats() {
+    let (stdout, _, ok) = run(&["deploy", "--nodes", "450", "--seed", "9"]);
+    assert!(ok);
+    assert!(stdout.contains("nodes:             450"));
+    assert!(stdout.contains("avg degree:"));
+    assert!(stdout.contains("obstacles:         0"));
+    // FA mode scatters obstacles.
+    let (fa_out, _, ok) = run(&["deploy", "--nodes", "450", "--seed", "9", "--fa"]);
+    assert!(ok);
+    assert!(fa_out.contains("obstacles:         3"));
+}
+
+#[test]
+fn label_census_covers_all_nodes() {
+    let (stdout, _, ok) = run(&["label", "--nodes", "400", "--seed", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("labeling rounds:"));
+    // The five histogram buckets must sum to the node count.
+    let total: usize = stdout
+        .lines()
+        .filter(|l| l.contains("types safe:"))
+        .map(|l| {
+            l.split_whitespace()
+                .nth(3)
+                .and_then(|w| w.parse::<usize>().ok())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(total, 400, "{stdout}");
+}
+
+#[test]
+fn route_is_deterministic_and_schemes_differ() {
+    let args = ["route", "--nodes", "500", "--seed", "7", "--fa", "--scheme", "slgf2"];
+    let (a, _, ok_a) = run(&args);
+    let (b, _, ok_b) = run(&args);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "same seed, same route");
+    assert!(a.contains("SLGF2:"));
+
+    let (gfg, _, ok) = run(&["route", "--nodes", "500", "--seed", "7", "--fa", "--scheme", "gfg"]);
+    assert!(ok);
+    assert!(gfg.contains("GFG:"));
+}
+
+#[test]
+fn route_explain_prints_the_walk() {
+    let (stdout, _, ok) = run(&[
+        "route", "--nodes", "400", "--seed", "5", "--scheme", "slgf2", "--explain",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("hop   0:"), "{stdout}");
+    assert!(stdout.contains("=> delivered") || stdout.contains("=> stuck"));
+}
+
+#[test]
+fn scenario_list_and_run() {
+    let (list, _, ok) = run(&["scenario", "list"]);
+    assert!(ok);
+    for name in ["fig1a", "fig3", "fig4d", "fig4e"] {
+        assert!(list.contains(name), "{list}");
+    }
+    let (fig4d, _, ok) = run(&["scenario", "fig4d"]);
+    assert!(ok);
+    assert!(fig4d.contains("backup"), "{fig4d}");
+}
+
+#[test]
+fn svg_output_lands_on_disk() {
+    let dir = std::env::temp_dir().join(format!("sp_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let svg = dir.join("route.svg");
+    let (_, _, ok) = run(&[
+        "route", "--nodes", "400", "--seed", "2", "--scheme", "slgf2",
+        "--svg", svg.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let content = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(content.starts_with("<svg"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_exits_nonzero_with_message() {
+    let (_, stderr, ok) = run(&["route", "--scheme", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scheme"));
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}

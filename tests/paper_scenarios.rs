@@ -1,0 +1,181 @@
+//! Scenario tests reconstructing the situations the paper argues with:
+//! the intertwined blocking areas of Fig. 1(a), the safe/backup/perimeter
+//! phases of Fig. 4, and FA deployments with a dominating hole.
+
+use straightpath::geom::Circle;
+use straightpath::prelude::*;
+use straightpath::net::Network as Net;
+
+/// Fig. 1(a): two blocking areas in sequence. A routing without area
+/// shape information detours into the pocket between them; SLGF2's
+/// information model should never do *worse* than LGF here, and both
+/// must deliver.
+#[test]
+fn intertwined_blocking_areas_fig1a() {
+    let cfg = DeploymentConfig::paper_default(600);
+    // Two staggered forbidden bars force an S-shaped corridor.
+    let obstacles = vec![
+        Obstacle::Rect(Rect::from_corners(Point::new(60.0, 40.0), Point::new(90.0, 150.0))),
+        Obstacle::Rect(Rect::from_corners(Point::new(120.0, 50.0), Point::new(150.0, 160.0))),
+    ];
+    let mut delivered_slgf2 = 0;
+    let mut hops_lgf = 0usize;
+    let mut hops_slgf2 = 0usize;
+    let mut counted = 0usize;
+    for seed in 0..12u64 {
+        let pos = cfg.deploy_with_obstacles(&obstacles, seed);
+        let net = Net::from_positions(pos, cfg.radius, cfg.area);
+        let src = nearest(&net, Point::new(30.0, 100.0));
+        let dst = nearest(&net, Point::new(180.0, 100.0));
+        if !net.connected(src, dst) {
+            continue;
+        }
+        let info = SafetyInfo::build(&net);
+        let r2 = Slgf2Router::new(&info).route(&net, src, dst);
+        if r2.delivered() {
+            delivered_slgf2 += 1;
+        }
+        let r1 = LgfRouter::new().route(&net, src, dst);
+        if r1.delivered() && r2.delivered() {
+            hops_lgf += r1.hops();
+            hops_slgf2 += r2.hops();
+            counted += 1;
+        }
+    }
+    assert!(
+        delivered_slgf2 >= 10,
+        "SLGF2 must deliver across the double bar: {delivered_slgf2}/12"
+    );
+    assert!(counted >= 5, "need joint deliveries to compare ({counted})");
+    assert!(
+        hops_slgf2 <= hops_lgf + counted, // allow one extra hop per run of noise
+        "SLGF2 ({hops_slgf2} hops) should not lose to LGF ({hops_lgf}) on Fig. 1(a)"
+    );
+}
+
+/// Fig. 4(a)-(c): on a dense safe network, SLGF2 routes purely in the
+/// safe forwarding phase and matches plain greedy hop counts.
+#[test]
+fn safe_forwarding_matches_greedy_on_dense_network() {
+    let cfg = DeploymentConfig::paper_default(800);
+    let net = Net::from_positions(cfg.deploy_uniform(5), cfg.radius, cfg.area);
+    let info = SafetyInfo::build(&net);
+    let gf = GfRouter::new(&net);
+    let slgf2 = Slgf2Router::new(&info);
+    let comp = net.largest_component();
+    let mut diffs = 0i64;
+    let mut n = 0;
+    for k in 1..8 {
+        let s = comp[k * comp.len() / 9];
+        let d = comp[comp.len() - 1 - k * comp.len() / 11];
+        if s == d {
+            continue;
+        }
+        let rg = gf.route(&net, s, d);
+        let r2 = slgf2.route(&net, s, d);
+        if rg.delivered() && r2.delivered() {
+            diffs += r2.hops() as i64 - rg.hops() as i64;
+            n += 1;
+        }
+    }
+    assert!(n >= 5);
+    // On dense IA networks the two schemes should be within ~2 hops of
+    // each other on average.
+    assert!(
+        (diffs as f64 / n as f64).abs() <= 2.0,
+        "SLGF2 vs GF hop difference too large: {diffs}/{n}"
+    );
+}
+
+/// A single dominating central hole (the FA regime): SLGF2's average
+/// path must not be longer than LGF's average, and its perimeter usage
+/// must be lower — the headline claim of the paper.
+#[test]
+fn central_hole_headline_comparison() {
+    let cfg = DeploymentConfig::paper_default(650);
+    let obstacles = vec![Obstacle::Circle(Circle::new(Point::new(100.0, 100.0), 35.0))];
+    let mut len_lgf = 0.0f64;
+    let mut len_slgf2 = 0.0f64;
+    let mut per_lgf = 0usize;
+    let mut per_slgf2 = 0usize;
+    let mut n = 0;
+    for seed in 0..15u64 {
+        let pos = cfg.deploy_with_obstacles(&obstacles, seed);
+        let net = Net::from_positions(pos, cfg.radius, cfg.area);
+        let src = nearest(&net, Point::new(25.0, 100.0));
+        let dst = nearest(&net, Point::new(175.0, 100.0));
+        if !net.connected(src, dst) {
+            continue;
+        }
+        let info = SafetyInfo::build(&net);
+        let r1 = LgfRouter::new().route(&net, src, dst);
+        let r2 = Slgf2Router::new(&info).route(&net, src, dst);
+        if r1.delivered() && r2.delivered() {
+            len_lgf += r1.length(&net);
+            len_slgf2 += r2.length(&net);
+            per_lgf += r1.perimeter_entries;
+            per_slgf2 += r2.perimeter_entries;
+            n += 1;
+        }
+    }
+    assert!(n >= 8, "need joint deliveries, got {n}");
+    assert!(
+        len_slgf2 <= len_lgf * 1.05,
+        "SLGF2 avg length {:.1} vs LGF {:.1} over {n} runs",
+        len_slgf2 / n as f64,
+        len_lgf / n as f64
+    );
+    assert!(
+        per_slgf2 <= per_lgf,
+        "SLGF2 perimeter entries {per_slgf2} vs LGF {per_lgf}"
+    );
+}
+
+/// Unsafe sources are exactly the case SLGF2's backup phase targets
+/// (Fig. 4(d)): find unsafe sources in FA networks and verify SLGF2
+/// still delivers from them.
+#[test]
+fn unsafe_sources_are_routable() {
+    let cfg = DeploymentConfig::paper_default(500);
+    let fa = FaModel::paper_default();
+    let mut tested = 0;
+    let mut delivered = 0;
+    for seed in 40..52u64 {
+        let obstacles = fa.generate_obstacles(&cfg, seed);
+        let pos = cfg.deploy_with_obstacles(&obstacles, seed);
+        let net = Net::from_positions(pos, cfg.radius, cfg.area);
+        let info = SafetyInfo::build(&net);
+        let comp = net.largest_component();
+        // An unsafe (but not fully-unsafe) source, the backup-phase
+        // precondition.
+        let Some(&src) = comp.iter().find(|&&u| {
+            let t = info.tuple(u);
+            !t.fully_safe() && t.any_safe()
+        }) else {
+            continue;
+        };
+        let dst = comp[comp.len() - 1];
+        if src == dst {
+            continue;
+        }
+        tested += 1;
+        if Slgf2Router::new(&info).route(&net, src, dst).delivered() {
+            delivered += 1;
+        }
+    }
+    assert!(tested >= 6, "not enough unsafe-source cases ({tested})");
+    assert!(
+        delivered * 10 >= tested * 8,
+        "SLGF2 from unsafe sources: {delivered}/{tested}"
+    );
+}
+
+fn nearest(net: &Net, target: Point) -> NodeId {
+    net.node_ids()
+        .min_by(|&a, &b| {
+            net.position(a)
+                .distance_sq(target)
+                .total_cmp(&net.position(b).distance_sq(target))
+        })
+        .expect("non-empty network")
+}
