@@ -149,12 +149,7 @@ pub fn pivot_ccw(net: &Network, x: NodeId, from: NodeId) -> Option<NodeId> {
 }
 
 /// Right-hand pivot from an arbitrary direction.
-pub fn pivot_dir(
-    net: &Network,
-    x: NodeId,
-    dir: Vec2,
-    exclude: Option<NodeId>,
-) -> Option<NodeId> {
+pub fn pivot_dir(net: &Network, x: NodeId, dir: Vec2, exclude: Option<NodeId>) -> Option<NodeId> {
     let px = net.position(x);
     let items: Vec<(usize, Point)> = net.neighbor_points(x).collect();
     if items.is_empty() {
@@ -237,7 +232,11 @@ mod tests {
                 Point::new(c.x + radius * t.cos(), c.y + radius * t.sin())
             })
             .collect();
-        Network::from_positions(pos, 2.2 * radius * (std::f64::consts::PI / n as f64).sin(), area())
+        Network::from_positions(
+            pos,
+            2.2 * radius * (std::f64::consts::PI / n as f64).sin(),
+            area(),
+        )
     }
 
     #[test]
@@ -308,11 +307,14 @@ mod tests {
 
     #[test]
     fn forbidden_area_produces_a_hole() {
-        use sp_net::{FaModel, Obstacle};
         use sp_geom::Circle;
+        use sp_net::{FaModel, Obstacle};
         let cfg = sp_net::DeploymentConfig::paper_default(500);
         // One big central disk obstacle.
-        let obstacles = vec![Obstacle::Circle(Circle::new(Point::new(100.0, 100.0), 35.0))];
+        let obstacles = vec![Obstacle::Circle(Circle::new(
+            Point::new(100.0, 100.0),
+            35.0,
+        ))];
         let pos = cfg.deploy_with_obstacles(&obstacles, 11);
         let net = Network::from_positions(pos, cfg.radius, cfg.area);
         let atlas = HoleAtlas::build(&net);
@@ -325,7 +327,11 @@ mod tests {
                         < 1.5 * cfg.radius
                 })
         });
-        assert!(hugs, "no boundary hugs the forbidden disk; found {}", atlas.len());
+        assert!(
+            hugs,
+            "no boundary hugs the forbidden disk; found {}",
+            atlas.len()
+        );
         let _ = FaModel::paper_default();
     }
 }

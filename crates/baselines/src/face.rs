@@ -97,7 +97,12 @@ impl GfgRouter {
     /// can borrow the guaranteed face walk as their recovery phase; the
     /// packet must carry a [`FaceState`] (set `pkt.face` before the
     /// entering call).
-    pub fn face_step(&self, net: &Network, pkt: &mut PacketState, entering: bool) -> Option<NodeId> {
+    pub fn face_step(
+        &self,
+        net: &Network,
+        pkt: &mut PacketState,
+        entering: bool,
+    ) -> Option<NodeId> {
         let u = pkt.current;
         let pu = self.planar.position(u);
         let pd = net.position(pkt.dst);
@@ -220,7 +225,9 @@ mod tests {
     #[test]
     fn straight_line_is_pure_greedy() {
         let net = Network::from_positions(
-            (0..10).map(|i| Point::new(12.0 * i as f64, 0.3 * i as f64)).collect(),
+            (0..10)
+                .map(|i| Point::new(12.0 * i as f64, 0.3 * i as f64))
+                .collect(),
             14.0,
             area(),
         );
@@ -332,7 +339,11 @@ mod tests {
             area(),
         );
         let r = GfgRouter::new(&net).route(&net, NodeId(0), NodeId(3));
-        assert!(matches!(r.outcome, RouteOutcome::Stuck(_)), "{:?}", r.outcome);
+        assert!(
+            matches!(r.outcome, RouteOutcome::Stuck(_)),
+            "{:?}",
+            r.outcome
+        );
         // The tour is short: no TTL-scale wandering.
         assert!(r.hops() <= 2 * net.len(), "hops {}", r.hops());
     }

@@ -211,10 +211,10 @@ mod tests {
         // Two forward options: GF must take the one closest to d.
         let net = Network::from_positions(
             vec![
-                Point::new(0.0, 0.0),   // 0 src
-                Point::new(10.0, 4.0),  // 1 less progress
-                Point::new(13.0, 0.0),  // 2 more progress
-                Point::new(26.0, 0.0),  // 3 dst
+                Point::new(0.0, 0.0),  // 0 src
+                Point::new(10.0, 4.0), // 1 less progress
+                Point::new(13.0, 0.0), // 2 more progress
+                Point::new(26.0, 0.0), // 3 dst
             ],
             14.0,
             area(),

@@ -182,7 +182,10 @@ mod tests {
                 compared += 1;
             }
         }
-        assert!(compared >= 10, "dense IA pairs rarely need recovery: {compared}");
+        assert!(
+            compared >= 10,
+            "dense IA pairs rarely need recovery: {compared}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sp_baselines::{GfgRouter, GfRouter};
+use sp_baselines::{GfRouter, GfgRouter};
 use sp_core::{LgfRouter, Routing};
 use sp_net::{DeploymentConfig, FaModel, Network, NodeId};
 

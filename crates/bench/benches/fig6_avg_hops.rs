@@ -10,8 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_experiments::{
-    figures, random_connected_pair, run_sweep, DeploymentKind, PreparedNetwork, Scheme,
-    SweepConfig,
+    figures, random_connected_pair, run_sweep, DeploymentKind, PreparedNetwork, Scheme, SweepConfig,
 };
 use sp_metrics::render_text;
 use sp_net::Network;

@@ -1,0 +1,111 @@
+//! Unit-disk-graph construction: the `SpatialIndex` grid path versus
+//! the `O(n²)` brute-force reference, at paper scale and beyond.
+//!
+//! Deployments keep the paper's density (radius 20 m, ~500 nodes per
+//! 200 m × 200 m) while the area grows with `n`, so the comparison
+//! reflects scaling the *network*, not packing one arena ever denser.
+//! Besides the criterion output, the measured medians land in
+//! `BENCH_construction.json` at the workspace root, including the
+//! speedup the tentpole acceptance criterion reads (≥ 5× at
+//! n = 10000).
+//!
+//! Run with: `cargo bench -p sp-bench --bench grid_vs_bruteforce`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_geom::{Point, Rect};
+use sp_net::{DeploymentConfig, Network};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [500, 2000, 10_000];
+
+/// A paper-density deployment of `n` nodes: the area scales so that
+/// every instance keeps ~500 nodes per 200 m × 200 m.
+fn deployment(n: usize) -> DeploymentConfig {
+    let side = 200.0 * (n as f64 / 500.0).sqrt();
+    DeploymentConfig {
+        area: Rect::from_corners(Point::new(0.0, 0.0), Point::new(side, side)),
+        node_count: n,
+        radius: 20.0,
+    }
+}
+
+/// Median wall-clock seconds of `runs` executions of `f`.
+fn median_secs<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn construction_benches(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("construction");
+    for n in SIZES {
+        let cfg = deployment(n);
+        let positions = cfg.deploy_uniform(7);
+
+        // Sanity: both paths must produce the identical graph.
+        let grid = Network::from_positions(positions.clone(), cfg.radius, cfg.area);
+        let brute = Network::from_positions_brute_force(positions.clone(), cfg.radius, cfg.area);
+        assert_eq!(
+            grid.edge_count(),
+            brute.edge_count(),
+            "paths diverge at n={n}"
+        );
+
+        let runs = if n >= 10_000 { 3 } else { 5 };
+        let grid_s = median_secs(runs, || {
+            Network::from_positions(positions.clone(), cfg.radius, cfg.area)
+        });
+        let brute_s = median_secs(runs, || {
+            Network::from_positions_brute_force(positions.clone(), cfg.radius, cfg.area)
+        });
+        let speedup = brute_s / grid_s;
+        eprintln!(
+            "n={n}: grid {:.3} ms | brute {:.3} ms | speedup {speedup:.1}x",
+            grid_s * 1e3,
+            brute_s * 1e3
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"n\": {}, \"edges\": {}, \"grid_seconds\": {:.6}, ",
+                "\"bruteforce_seconds\": {:.6}, \"speedup\": {:.2}}}"
+            ),
+            n,
+            grid.edge_count(),
+            grid_s,
+            brute_s,
+            speedup
+        ));
+
+        // Criterion lines for the same comparison (its own timing loop).
+        group.bench_function(BenchmarkId::new("grid", n), |b| {
+            b.iter(|| Network::from_positions(positions.clone(), cfg.radius, cfg.area));
+        });
+        if n <= 2000 {
+            group.bench_function(BenchmarkId::new("bruteforce", n), |b| {
+                b.iter(|| {
+                    Network::from_positions_brute_force(positions.clone(), cfg.radius, cfg.area)
+                });
+            });
+        }
+    }
+    group.finish();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"grid_vs_bruteforce\",\n  \"unit\": \"seconds (median)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_construction.json");
+    std::fs::write(out, &json).expect("write BENCH_construction.json");
+    eprintln!("wrote {out}");
+}
+
+criterion_group!(benches, construction_benches);
+criterion_main!(benches);

@@ -17,7 +17,10 @@ fn geometry_benches(c: &mut Criterion) {
     let candidates: Vec<(usize, Point)> = (0..24)
         .map(|i| {
             let t = i as f64 * std::f64::consts::TAU / 24.0;
-            (i, Point::new(100.0 + 15.0 * t.cos(), 100.0 + 15.0 * t.sin()))
+            (
+                i,
+                Point::new(100.0 + 15.0 * t.cos(), 100.0 + 15.0 * t.sin()),
+            )
         })
         .collect();
     c.bench_function("geom/quadrant_of", |b| {

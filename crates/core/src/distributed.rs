@@ -19,7 +19,9 @@
 use crate::{SafetyInfo, SafetyMap, SafetyTuple, ShapeEstimate, ShapeMap};
 use sp_geom::{ccw_order_in_quadrant, Point, Quadrant, Rect};
 use sp_net::{edge_nodes::edge_node_mask, Network, NodeId};
-use sp_sim::{AsyncConfig, AsyncEngine, AsyncStats, Ctx, Engine, FailurePlan, NodeProcess, SimError, SimStats};
+use sp_sim::{
+    AsyncConfig, AsyncEngine, AsyncStats, Ctx, Engine, FailurePlan, NodeProcess, SimError, SimStats,
+};
 use std::collections::BTreeMap;
 
 /// One type's chain endpoints as carried in announcements: the ids and
@@ -176,7 +178,11 @@ impl LabelingProcess {
             .find(|&&(id, _)| id == v.index())
             .map(|&(id, p)| (NodeId(id), p))
             .expect("chain target comes from the in-zone candidate list");
-        match self.neighbor_view.get(&v).and_then(|a| a.chains[q.array_index()]) {
+        match self
+            .neighbor_view
+            .get(&v)
+            .and_then(|a| a.chains[q.array_index()])
+        {
             Some(chain) => {
                 if first {
                     chain.first
@@ -282,7 +288,11 @@ pub struct AsyncConstructionRun {
 /// active after a generous per-node event budget (it never should be:
 /// statuses flip monotonically, so re-announcements are finite).
 pub fn construct_async(net: &Network, seed: u64) -> Result<AsyncConstructionRun, SimError> {
-    construct_async_with(net, edge_node_mask(net, net.radius()), AsyncConfig::jittered(seed))
+    construct_async_with(
+        net,
+        edge_node_mask(net, net.radius()),
+        AsyncConfig::jittered(seed),
+    )
 }
 
 /// [`construct_async`] with an explicit pinned mask and delay model.
@@ -348,11 +358,7 @@ mod tests {
         let run = construct_with(net, pinned.clone(), FailurePlan::new()).unwrap();
         let central = SafetyInfo::build_with_pinned(net, pinned);
         for u in net.node_ids() {
-            assert_eq!(
-                run.info.tuple(u),
-                central.tuple(u),
-                "tuple mismatch at {u}"
-            );
+            assert_eq!(run.info.tuple(u), central.tuple(u), "tuple mismatch at {u}");
             for q in Quadrant::ALL {
                 let dist_est = run.info.estimate(u, q);
                 let cent_est = central.estimate(u, q);
@@ -406,12 +412,9 @@ mod tests {
         let pinned = edge_node_mask(&net, net.radius());
         let central = SafetyInfo::build_with_pinned(&net, pinned.clone());
         for seed in 0..4 {
-            let run = construct_async_with(
-                &net,
-                pinned.clone(),
-                sp_sim::AsyncConfig::jittered(seed),
-            )
-            .unwrap();
+            let run =
+                construct_async_with(&net, pinned.clone(), sp_sim::AsyncConfig::jittered(seed))
+                    .unwrap();
             assert!(run.stats.quiesced);
             for u in net.node_ids() {
                 assert_eq!(

@@ -126,7 +126,10 @@ mod tests {
             sp_geom::Point::new(100.0, 100.0),
         );
         let net = Network::from_positions(
-            vec![sp_geom::Point::new(0.0, 0.0), sp_geom::Point::new(90.0, 90.0)],
+            vec![
+                sp_geom::Point::new(0.0, 0.0),
+                sp_geom::Point::new(90.0, 90.0),
+            ],
             10.0,
             area,
         );

@@ -59,8 +59,7 @@ impl SafetyMap {
                         continue;
                     }
                     let has_safe_forward = net.neighbors(u).iter().any(|&v| {
-                        Quadrant::of(pu, net.position(v)) == Some(q)
-                            && tuples[v.index()].is_safe(q)
+                        Quadrant::of(pu, net.position(v)) == Some(q) && tuples[v.index()].is_safe(q)
                     });
                     if !has_safe_forward {
                         next[u.index()].mark_unsafe(q);
@@ -152,9 +151,10 @@ impl SafetyMap {
         for u in net.node_ids() {
             let pu = net.position(u);
             for q in Quadrant::ALL {
-                let has_safe_forward = net.neighbors(u).iter().any(|&v| {
-                    Quadrant::of(pu, net.position(v)) == Some(q) && self.is_safe(v, q)
-                });
+                let has_safe_forward = net
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| Quadrant::of(pu, net.position(v)) == Some(q) && self.is_safe(v, q));
                 let safe = self.is_safe(u, q);
                 if self.pinned[u.index()] {
                     if !safe {

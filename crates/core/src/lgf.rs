@@ -9,8 +9,8 @@
 //! greedy/perimeter alternation of \[2\]).
 
 use crate::{
-    closer_than_entry, greedy_pick, perimeter_sweep, walk, zone_candidates, default_ttl,
-    Hand, HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing,
+    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, walk, zone_candidates, Hand,
+    HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing,
 };
 use sp_net::{Network, NodeId};
 
@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn straight_corridor_routes_greedily() {
         let net = Network::from_positions(
-            (0..8).map(|i| Point::new(10.0 * i as f64, 0.5 * i as f64)).collect(),
+            (0..8)
+                .map(|i| Point::new(10.0 * i as f64, 0.5 * i as f64))
+                .collect(),
             12.0,
             area(),
         );
@@ -143,11 +145,11 @@ mod tests {
     fn hole_forces_perimeter_detour() {
         let net = Network::from_positions(
             vec![
-                Point::new(0.0, 0.0),  // 0
-                Point::new(10.0, 0.0), // 1 stuck toward d
-                Point::new(46.0, 2.0), // 2 = d (far)
-                Point::new(22.0, 12.0),// 3 detour node (reaches 1 and 4)
-                Point::new(34.0, 2.0), // 4 approach node
+                Point::new(0.0, 0.0),   // 0
+                Point::new(10.0, 0.0),  // 1 stuck toward d
+                Point::new(46.0, 2.0),  // 2 = d (far)
+                Point::new(22.0, 12.0), // 3 detour node (reaches 1 and 4)
+                Point::new(34.0, 2.0),  // 4 approach node
             ],
             17.0,
             area(),
@@ -158,7 +160,11 @@ mod tests {
         assert!(net.has_edge(NodeId(3), NodeId(4)));
         let r = LgfRouter::new().route(&net, NodeId(0), NodeId(2));
         assert!(r.delivered(), "outcome {:?}", r.outcome);
-        assert!(r.path.contains(&NodeId(3)), "must detour via n3: {:?}", r.path);
+        assert!(
+            r.path.contains(&NodeId(3)),
+            "must detour via n3: {:?}",
+            r.path
+        );
         assert!(r.perimeter_entries >= 1);
         assert!(r.hops_in_phase(RoutePhase::Perimeter) >= 1);
     }

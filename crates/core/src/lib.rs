@@ -64,8 +64,8 @@ pub use maintenance::{InfoMaintainer, RepairReport};
 pub use packet::{FaceState, Mode, PacketState, RouteOutcome, RoutePhase, RouteResult};
 pub use regions::{choose_hand, hand_order, Hand, RegionSplit};
 pub use router::{
-    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, set_phase, walk,
-    zone_candidates, zone_type, HopPolicy, Routing,
+    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, set_phase, walk, zone_candidates,
+    zone_type, HopPolicy, Routing,
 };
 pub use shape::{greedy_region, ShapeEstimate, ShapeMap};
 pub use slgf::SlgfRouter;

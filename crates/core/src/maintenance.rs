@@ -340,10 +340,7 @@ mod tests {
         let victims: Vec<NodeId> = net.node_ids().step_by(31).take(6).collect();
         maint.kill_many(&victims);
         let info = maint.info();
-        let central = SafetyInfo::build_with_pinned(
-            maint.network(),
-            maint.pinned.clone(),
-        );
+        let central = SafetyInfo::build_with_pinned(maint.network(), maint.pinned.clone());
         for u in maint.network().node_ids() {
             if maint.is_dead(u) {
                 continue;

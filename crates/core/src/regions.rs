@@ -241,9 +241,9 @@ mod tests {
         let u = Point::new(0.0, 0.0);
         let d = Point::new(10.0, 0.0); // east
         let cands = vec![
-            (0, Point::new(5.0, 5.0)),   // NE, 45° CCW
-            (1, Point::new(5.0, -5.0)),  // SE, 45° CW (=315° CCW)
-            (2, Point::new(-5.0, 0.0)),  // W, 180°
+            (0, Point::new(5.0, 5.0)),  // NE, 45° CCW
+            (1, Point::new(5.0, -5.0)), // SE, 45° CW (=315° CCW)
+            (2, Point::new(-5.0, 0.0)), // W, 180°
         ];
         let ccw = hand_order(u, d, Hand::Ccw, cands.clone());
         assert_eq!(ccw, vec![0, 2, 1]);

@@ -20,6 +20,20 @@ pub trait Routing {
     fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult;
 }
 
+/// References to routers route too — this lets registries hand out
+/// `Box<dyn Routing + 'a>` over routers owned elsewhere (e.g. the
+/// prebuilt GF/GFG recovery structures of a prepared network) without
+/// cloning them.
+impl<T: Routing + ?Sized> Routing for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
+        (**self).route(net, src, dst)
+    }
+}
+
 /// Per-hop successor policy for the LGF-family walker.
 pub trait HopPolicy {
     /// Scheme name for reports.
@@ -129,11 +143,7 @@ pub fn zone_type(net: &Network, u: NodeId, d: NodeId) -> Option<Quadrant> {
 /// The perimeter-phase sweep of Algo. 1 step 4: rotate the ray `ud`
 /// counter-clockwise (or clockwise, per the committed hand) and take the
 /// first *untried* neighbor hit.
-pub fn perimeter_sweep(
-    net: &Network,
-    pkt: &PacketState,
-    hand: crate::Hand,
-) -> Option<NodeId> {
+pub fn perimeter_sweep(net: &Network, pkt: &PacketState, hand: crate::Hand) -> Option<NodeId> {
     let u = pkt.current;
     let pu = net.position(u);
     let pd = net.position(pkt.dst);

@@ -50,8 +50,7 @@ impl ShapeMap {
     /// Computes every estimate from a stabilized [`SafetyMap`].
     pub fn build(net: &Network, safety: &SafetyMap) -> ShapeMap {
         let n = net.len();
-        let mut per_type: [Vec<Option<ShapeEstimate>>; 4] =
-            std::array::from_fn(|_| vec![None; n]);
+        let mut per_type: [Vec<Option<ShapeEstimate>>; 4] = std::array::from_fn(|_| vec![None; n]);
         for q in Quadrant::ALL {
             let mut unsafe_ids: Vec<NodeId> = safety.unsafe_nodes(q);
             // Deepest-in-quadrant first: chain targets resolve before
@@ -75,10 +74,8 @@ impl ShapeMap {
                 let order = ccw_order_in_quadrant(pu, q, in_zone);
                 match (order.first(), order.last()) {
                     (Some(&v1), Some(&v2)) => {
-                        let f = first_far[v1]
-                            .expect("chain target processed first (depth order)");
-                        let l = last_far[v2]
-                            .expect("chain target processed first (depth order)");
+                        let f = first_far[v1].expect("chain target processed first (depth order)");
+                        let l = last_far[v2].expect("chain target processed first (depth order)");
                         first_far[u.index()] = Some(f);
                         last_far[u.index()] = Some(l);
                     }
@@ -93,8 +90,7 @@ impl ShapeMap {
             for &u in &unsafe_ids {
                 let u1 = first_far[u.index()].expect("every unsafe node got a chain");
                 let u2 = last_far[u.index()].expect("every unsafe node got a chain");
-                per_type[q.array_index()][u.index()] =
-                    Some(make_estimate(net, u, q, u1, u2));
+                per_type[q.array_index()][u.index()] = Some(make_estimate(net, u, q, u1, u2));
             }
         }
         ShapeMap { per_type }
@@ -114,8 +110,7 @@ impl ShapeMap {
     /// exact one — the chains walk inside the region).
     pub fn build_exact(net: &Network, safety: &SafetyMap) -> ShapeMap {
         let n = net.len();
-        let mut per_type: [Vec<Option<ShapeEstimate>>; 4] =
-            std::array::from_fn(|_| vec![None; n]);
+        let mut per_type: [Vec<Option<ShapeEstimate>>; 4] = std::array::from_fn(|_| vec![None; n]);
         for q in Quadrant::ALL {
             let (sx, sy) = q.signs();
             for u in safety.unsafe_nodes(q) {
@@ -436,7 +431,9 @@ mod tests {
     #[test]
     fn exact_shape_on_wedge_matches_estimate() {
         let (net, map) = wedge();
-        let est = ShapeMap::build(&net, &map).estimate(NodeId(0), Quadrant::I).copied();
+        let est = ShapeMap::build(&net, &map)
+            .estimate(NodeId(0), Quadrant::I)
+            .copied();
         let exact = ShapeMap::build_exact(&net, &map)
             .estimate(NodeId(0), Quadrant::I)
             .copied();

@@ -10,8 +10,8 @@
 //! with its backup-path and shape-estimate machinery.
 
 use crate::{
-    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, walk, zone_candidates,
-    Hand, HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing, SafetyInfo,
+    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, walk, zone_candidates, Hand,
+    HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing, SafetyInfo,
 };
 use sp_geom::Quadrant;
 use sp_net::{Network, NodeId};
@@ -179,10 +179,16 @@ mod tests {
 
         // The trap is type-1 unsafe, the corridor type-1 safe.
         for t in [1, 2, 3] {
-            assert!(!info.is_safe(NodeId(t), sp_geom::Quadrant::I), "t{t} must be unsafe");
+            assert!(
+                !info.is_safe(NodeId(t), sp_geom::Quadrant::I),
+                "t{t} must be unsafe"
+            );
         }
         for g in [4, 5, 6, 7, 8, 9, 10] {
-            assert!(info.is_safe(NodeId(g), sp_geom::Quadrant::I), "g{g} must be safe");
+            assert!(
+                info.is_safe(NodeId(g), sp_geom::Quadrant::I),
+                "g{g} must be safe"
+            );
         }
 
         // SLGF: safe forwarding all the way around, no perimeter.
@@ -191,12 +197,20 @@ mod tests {
         assert!(r.delivered(), "outcome {:?} path {:?}", r.outcome, r.path);
         assert_eq!(r.perimeter_entries, 0, "phases {:?}", r.phases);
         for t in [1, 2, 3] {
-            assert!(!r.path.contains(&NodeId(t)), "SLGF must avoid the trap: {:?}", r.path);
+            assert!(
+                !r.path.contains(&NodeId(t)),
+                "SLGF must avoid the trap: {:?}",
+                r.path
+            );
         }
 
         // LGF on the same network greedily dives into the trap.
         let lgf = crate::LgfRouter::new().route(&net, NodeId(0), NodeId(11));
-        assert!(lgf.path.contains(&NodeId(3)), "LGF dives in: {:?}", lgf.path);
+        assert!(
+            lgf.path.contains(&NodeId(3)),
+            "LGF dives in: {:?}",
+            lgf.path
+        );
         assert!(lgf.perimeter_entries >= 1);
     }
 

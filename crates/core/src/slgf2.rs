@@ -175,7 +175,9 @@ impl<'a> Slgf2Router<'a> {
             return None;
         }
         let hand = *pkt.hand.get_or_insert_with(|| self.pick_hand(net, u, d));
-        hand_order(pu, pd, hand, candidates).first().map(|&id| NodeId(id))
+        hand_order(pu, pd, hand, candidates)
+            .first()
+            .map(|&id| NodeId(id))
     }
 }
 
@@ -282,8 +284,8 @@ mod tests {
             area(),
         );
         let mut pinned = vec![false; 10];
-        for i in 5..10 {
-            pinned[i] = true;
+        for p in pinned.iter_mut().skip(5) {
+            *p = true;
         }
         let info = SafetyInfo::build_with_pinned(&net, pinned);
         (net, info)

@@ -26,7 +26,14 @@ fn assert_same_info(a: &SafetyInfo, b: &SafetyInfo, net: &Network) -> Result<(),
                     prop_assert_eq!(x.first_far, y.first_far, "u(1) at {} {}", u, q);
                     prop_assert_eq!(x.last_far, y.last_far, "u(2) at {} {}", u, q);
                 }
-                (x, y) => prop_assert!(false, "presence mismatch at {} {}: {:?} vs {:?}", u, q, x, y),
+                (x, y) => prop_assert!(
+                    false,
+                    "presence mismatch at {} {}: {:?} vs {:?}",
+                    u,
+                    q,
+                    x,
+                    y
+                ),
             }
         }
     }

@@ -137,8 +137,9 @@ fn main() {
                 )]
             }
             "a7" => {
-                let mut out =
-                    collect_panels(&ia_results, &fa_results, |r| keep_paper_set(figures::energy_figure(r)));
+                let mut out = collect_panels(&ia_results, &fa_results, |r| {
+                    keep_paper_set(figures::energy_figure(r))
+                });
                 out.extend(collect_panels(&ia_results, &fa_results, |r| {
                     keep_paper_set(figures::interference_figure(r))
                 }));
@@ -191,7 +192,13 @@ fn main() {
                 vec![sp_experiments::lifetime_figure(
                     500,
                     instances,
-                    &[Scheme::Gf, Scheme::Lgf, Scheme::Slgf, Scheme::Slgf2, Scheme::Gfg],
+                    &[
+                        Scheme::Gf,
+                        Scheme::Lgf,
+                        Scheme::Slgf,
+                        Scheme::Slgf2,
+                        Scheme::Gfg,
+                    ],
                     &stream_cfg,
                 )]
             }
@@ -260,7 +267,11 @@ fn slgf2_face_figure(results: &SweepResults) -> Figure {
                 renamed.label = format!(
                     "{} {}",
                     s.label,
-                    if std::ptr::eq(src, &hops) { "hops" } else { "delivery" }
+                    if std::ptr::eq(src, &hops) {
+                        "hops"
+                    } else {
+                        "delivery"
+                    }
                 );
                 fig.push_series(renamed);
             }

@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn paper_sweeps_match_section5() {
         let ia = SweepConfig::paper_ia();
-        assert_eq!(ia.node_counts, vec![400, 450, 500, 550, 600, 650, 700, 750, 800]);
+        assert_eq!(
+            ia.node_counts,
+            vec![400, 450, 500, 550, 600, 650, 700, 750, 800]
+        );
         assert_eq!(ia.networks_per_point, 100);
         assert_eq!(ia.deployment.tag(), "IA");
         let fa = SweepConfig::paper_fa();

@@ -87,7 +87,11 @@ pub fn figure_from_sweep(results: &SweepResults, metric: Metric, title: &str) ->
 
 /// Fig. 5 (panel by deployment tag): maximum hops.
 pub fn fig5(results: &SweepResults) -> Figure {
-    let panel = if results.deployment_tag == "IA" { "a" } else { "b" };
+    let panel = if results.deployment_tag == "IA" {
+        "a"
+    } else {
+        "b"
+    };
     figure_from_sweep(
         results,
         Metric::MaxHops,
@@ -100,7 +104,11 @@ pub fn fig5(results: &SweepResults) -> Figure {
 
 /// Fig. 6: average hops.
 pub fn fig6(results: &SweepResults) -> Figure {
-    let panel = if results.deployment_tag == "IA" { "a" } else { "b" };
+    let panel = if results.deployment_tag == "IA" {
+        "a"
+    } else {
+        "b"
+    };
     figure_from_sweep(
         results,
         Metric::MeanHops,
@@ -113,7 +121,11 @@ pub fn fig6(results: &SweepResults) -> Figure {
 
 /// Fig. 7: average path length.
 pub fn fig7(results: &SweepResults) -> Figure {
-    let panel = if results.deployment_tag == "IA" { "a" } else { "b" };
+    let panel = if results.deployment_tag == "IA" {
+        "a"
+    } else {
+        "b"
+    };
     figure_from_sweep(
         results,
         Metric::MeanLength,
@@ -228,8 +240,7 @@ pub fn mobility_staleness_figure(
             let start = dc.deploy_uniform(seed);
             let net0 = Network::from_positions(start.clone(), dc.radius, dc.area);
             let info0 = SafetyInfo::build(&net0);
-            let mut rw =
-                sp_net::RandomWaypoint::new(start, dc.area, speed.0, speed.1, 0.0, seed);
+            let mut rw = sp_net::RandomWaypoint::new(start, dc.area, speed.0, speed.1, 0.0, seed);
             rw.step(t);
             let snapshot = rw.snapshot(dc.radius);
             let fresh_info = SafetyInfo::build(&snapshot);
@@ -280,7 +291,10 @@ pub fn estimate_accuracy_figure(cfg: &SweepConfig, instances: usize) -> Figure {
     use sp_core::{SafetyMap, ShapeMap};
     use sp_geom::Quadrant;
     let mut fig = Figure::new(
-        format!("A14 shape-estimate accuracy ({} model)", cfg.deployment.tag()),
+        format!(
+            "A14 shape-estimate accuracy ({} model)",
+            cfg.deployment.tag()
+        ),
         "nodes",
         "fraction / ratio / hops",
     );
@@ -319,10 +333,8 @@ pub fn estimate_accuracy_figure(cfg: &SweepConfig, instances: usize) -> Figure {
                 fracs.push(equal as f64 / total as f64);
             }
             // Route a few pairs under each information variant.
-            let info_est = SafetyInfo::from_parts(
-                SafetyMap::label(&net),
-                ShapeMap::build(&net, &safety),
-            );
+            let info_est =
+                SafetyInfo::from_parts(SafetyMap::label(&net), ShapeMap::build(&net, &safety));
             let info_exact = SafetyInfo::from_parts(
                 SafetyMap::label(&net),
                 ShapeMap::build_exact(&net, &safety),
@@ -379,8 +391,7 @@ pub fn async_cost_figure(cfg: &SweepConfig, instances: usize) -> Figure {
             let net = Network::from_positions(positions, dc.radius, dc.area);
             let sync_run = construct_distributed(&net).expect("labeling quiesces");
             sync_tx.push(sync_run.stats.transmissions() as f64 / net.len() as f64);
-            let async_run =
-                sp_core::construct_async(&net, seed).expect("async labeling quiesces");
+            let async_run = sp_core::construct_async(&net, seed).expect("async labeling quiesces");
             async_tx.push(async_run.stats.transmissions() as f64 / net.len() as f64);
         }
         sync_series.push(n as f64, sp_metrics::Summary::of(&sync_tx).mean);
@@ -424,10 +435,8 @@ pub fn maintenance_cost_figure(
                 let report = maint.kill(v);
                 inc_work.push(report.work_items as f64);
                 // A full rebuild sweeps every node once per Jacobi round.
-                let mask = sp_net::edge_nodes::edge_node_mask(
-                    maint.network(),
-                    maint.network().radius(),
-                );
+                let mask =
+                    sp_net::edge_nodes::edge_node_mask(maint.network(), maint.network().radius());
                 let pinned: Vec<bool> = mask
                     .iter()
                     .enumerate()
@@ -516,10 +525,8 @@ pub fn failure_robustness_figure(
                 continue;
             };
             // Kill random nodes other than s and d.
-            let mut victims: Vec<sp_net::NodeId> = net
-                .node_ids()
-                .filter(|&u| u != s && u != d)
-                .collect();
+            let mut victims: Vec<sp_net::NodeId> =
+                net.node_ids().filter(|&u| u != s && u != d).collect();
             victims.shuffle(&mut rng);
             victims.truncate((frac * node_count as f64).round() as usize);
             let degraded = net.without_nodes(&victims);

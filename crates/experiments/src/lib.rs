@@ -40,5 +40,5 @@ pub use runner::{
     SweepResults,
 };
 pub use scenarios::{all_scenarios, Scenario};
-pub use scheme::{PreparedNetwork, Scheme};
+pub use scheme::{PreparedNetwork, RouterContext, Scheme, SchemeBuild, SchemeRegistry};
 pub use workload::{lifetime_figure, run_lifetime, LifetimeReport, StreamingConfig};

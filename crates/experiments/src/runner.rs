@@ -95,7 +95,7 @@ impl SchemePoint {
         if r.delivered {
             self.delivered += 1;
             self.hops.push(r.hops as f64);
-            self.lengths.push(r.length as f64);
+            self.lengths.push(r.length);
             self.energies.push(r.energy_uj);
             self.interference.push(r.interference as f64);
             self.hop_stretches.push(r.hop_stretch);
@@ -220,6 +220,9 @@ pub fn run_sweep(cfg: &SweepConfig, schemes: &[Scheme]) -> SweepResults {
 }
 
 /// Executes the instance jobs across worker threads.
+///
+/// Workers pull jobs from a shared atomic cursor, so load balances
+/// dynamically even when instance sizes differ widely.
 fn run_jobs(
     cfg: &SweepConfig,
     schemes: &[Scheme],
@@ -229,28 +232,28 @@ fn run_jobs(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, usize, u64)>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Vec<RouteRecord>)>();
-    for &job in jobs {
-        job_tx.send(job).expect("queue is open");
-    }
-    drop(job_tx);
+    let next = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok((point_idx, n, seed)) = job_rx.recv() {
-                    let recs = run_instance(cfg, schemes, n, seed);
-                    res_tx
-                        .send((point_idx, recs))
-                        .expect("result channel open");
-                }
-            });
-        }
-        drop(res_tx);
-        res_rx.iter().collect()
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(point_idx, n, seed)) = jobs.get(i) else {
+                            break;
+                        };
+                        out.push((point_idx, run_instance(cfg, schemes, n, seed)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     })
 }
 
@@ -266,6 +269,11 @@ pub fn run_instance(
     let positions = cfg.deployment.deploy(&dc, seed);
     let net = Network::from_positions(positions, dc.radius, dc.area);
     let prepared = PreparedNetwork::new(net);
+    let ctx = prepared.ctx();
+    // Resolve each scheme's router once per instance — the registry
+    // lookup (a read lock) and router construction stay out of the
+    // per-packet loop.
+    let routers: Vec<_> = schemes.iter().map(|s| s.build(&ctx)).collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7a1c_5eed);
     let mut out = Vec::with_capacity(schemes.len() * cfg.pairs_per_network);
     for _ in 0..cfg.pairs_per_network {
@@ -277,8 +285,8 @@ pub fn run_instance(
         // Dijkstra "ideal routing path" of Fig. 1(a).
         let min_hops = prepared.net.bfs_hops(s)[d.index()].map(f64::from);
         let ideal_len = prepared.net.shortest_path(s, d).map(|(_, len)| len);
-        for &scheme in schemes {
-            let r = prepared.route(scheme, s, d);
+        for (&scheme, router) in schemes.iter().zip(&routers) {
+            let r = router.route(&prepared.net, s, d);
             let delivered = r.delivered();
             let hop_stretch = match (delivered, min_hops) {
                 (true, Some(m)) if m > 0.0 => r.hops() as f64 / m,

@@ -92,15 +92,15 @@ pub fn fig1a_intertwined_minima() -> Scenario {
     // within the 17 m radius, strictly northeast so the chain stays
     // type-1 safe).
     for (x, y) in [
-        (34.0, 22.0),  // 6
-        (47.0, 26.0),  // 7
-        (60.0, 32.0),  // 8
-        (72.0, 40.0),  // 9
-        (84.0, 50.0),  // 10
-        (96.0, 60.0),  // 11
-        (108.0, 71.0), // 12
-        (119.0, 83.0), // 13
-        (128.0, 96.0), // 14
+        (34.0, 22.0),   // 6
+        (47.0, 26.0),   // 7
+        (60.0, 32.0),   // 8
+        (72.0, 40.0),   // 9
+        (84.0, 50.0),   // 10
+        (96.0, 60.0),   // 11
+        (108.0, 71.0),  // 12
+        (119.0, 83.0),  // 13
+        (128.0, 96.0),  // 14
         (135.0, 108.0), // 15
     ] {
         positions.push(Point::new(x, y));
@@ -179,9 +179,9 @@ pub fn fig4d_backup_path() -> Scenario {
 /// the routing must fail finitely instead of looping.
 pub fn fig4e_disconnected_pocket() -> Scenario {
     let positions = vec![
-        Point::new(20.0, 20.0), // 0 = s
-        Point::new(30.0, 24.0), // 1 pocket
-        Point::new(24.0, 30.0), // 2 pocket
+        Point::new(20.0, 20.0),   // 0 = s
+        Point::new(30.0, 24.0),   // 1 pocket
+        Point::new(24.0, 30.0),   // 2 pocket
         Point::new(150.0, 150.0), // 3 = d (unreachable)
         Point::new(160.0, 158.0), // 4 d's companion
     ];
@@ -283,7 +283,11 @@ mod tests {
         let sc = fig4e_disconnected_pocket();
         assert!(sc.info.tuple(sc.source).fully_unsafe());
         let r = sc.route_slgf2();
-        assert!(matches!(r.outcome, RouteOutcome::Stuck(_)), "{:?}", r.outcome);
+        assert!(
+            matches!(r.outcome, RouteOutcome::Stuck(_)),
+            "{:?}",
+            r.outcome
+        );
         assert!(r.hops() <= 4, "pocket tour must be short: {}", r.hops());
     }
 

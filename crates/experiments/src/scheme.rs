@@ -1,34 +1,177 @@
-//! The routing schemes under evaluation and a prepared-network wrapper.
+//! The routing schemes under evaluation: an open [`SchemeRegistry`]
+//! plus the [`PreparedNetwork`] wrapper the sweeps route on.
+//!
+//! # Adding a scheme
+//!
+//! Historically every scheme lived in an enum whose `match` arms were
+//! duplicated across the sweep runner and the streaming workload;
+//! adding an ablation variant meant touching every dispatch site. Now a
+//! scheme is a [`Scheme`] handle into the registry, and adding one is
+//! **one registration call** — no other file changes:
+//!
+//! ```
+//! use sp_core::Routing;
+//! use sp_experiments::{RouterContext, Scheme};
+//!
+//! // A new curve for the figures: SLGF2 with the backup phase ablated
+//! // *and* the superseding rule ablated (nothing else to edit — the
+//! // sweeps, figures, and workloads all dispatch through the handle).
+//! let scheme = Scheme::register("SLGF2-bare", |ctx: &RouterContext<'_>| {
+//!     Box::new(
+//!         sp_core::Slgf2Router::new(ctx.info)
+//!             .without_superseding()
+//!             .without_backup(),
+//!     )
+//! });
+//! assert_eq!(scheme.name(), "SLGF2-bare");
+//! assert_eq!(Scheme::by_name("SLGF2-bare"), Some(scheme));
+//! ```
 
 use sp_baselines::{GfRouter, GfgRouter, Slgf2FaceRouter};
-use sp_core::{LgfRouter, RouteResult, Routing, SafetyInfo, SlgfRouter, Slgf2Router};
+use sp_core::{LgfRouter, RouteResult, Routing, SafetyInfo, Slgf2Router, SlgfRouter};
 use sp_net::{Network, NodeId};
+use std::sync::{OnceLock, RwLock};
 
-/// A scheme of the paper's figures, plus the ablation variants of
-/// `DESIGN.md` (A3/A4) and the GFG face-routing extension (A8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scheme {
-    /// Greedy forwarding with BOUNDHOLE recovery (baseline \[5\]/\[6\]).
-    Gf,
-    /// Limited greedy forwarding, Algo. 1.
-    Lgf,
-    /// Safety-information LGF of \[7\].
-    Slgf,
-    /// The paper's contribution, Algo. 3.
-    Slgf2,
-    /// SLGF2 without the either-hand superseding rule (ablation A3).
-    Slgf2NoSuperseding,
-    /// SLGF2 without the backup-path phase (ablation A4).
-    Slgf2NoBackup,
-    /// Greedy-Face-Greedy with full planar face changes (Bose et al.
-    /// \[2\]) — the guaranteed-delivery comparison of ablation A8.
-    Gfg,
-    /// SLGF2 with FACE-2 recovery instead of the untried sweep — the
-    /// paper's §6 future-work direction (ablation A12).
-    Slgf2Face,
+/// Everything a scheme's router may borrow when it is constructed: the
+/// topology to route on plus the precomputed per-network structures.
+///
+/// The topology is carried separately from the structures so callers
+/// like the lifetime workload can route on a *degraded* snapshot while
+/// reusing incrementally-repaired safety information.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterContext<'a> {
+    /// The unit disk graph to route on.
+    pub net: &'a Network,
+    /// Safety + shape information for the SLGF family.
+    pub info: &'a SafetyInfo,
+    /// The prebuilt GF baseline (hole atlas + recovery structures).
+    pub gf: &'a GfRouter,
+    /// The prebuilt GFG face-routing baseline (planarization).
+    pub gfg: &'a GfgRouter,
 }
 
+/// Constructs a boxed router borrowing from the context.
+pub type SchemeBuild = for<'a> fn(&RouterContext<'a>) -> Box<dyn Routing + 'a>;
+
+struct SchemeEntry {
+    name: &'static str,
+    build: SchemeBuild,
+}
+
+/// The process-wide table mapping [`Scheme`] handles to names and
+/// router builders.
+///
+/// All built-in schemes are registered in [`SchemeRegistry::builtin`] —
+/// the **single registration site** — and ablation variants can be
+/// appended at runtime with [`Scheme::register`]. Handles are plain
+/// `Copy` indices, so they flow through sweep records and thread pools
+/// exactly like the old enum did.
+pub struct SchemeRegistry {
+    entries: Vec<SchemeEntry>,
+}
+
+impl SchemeRegistry {
+    /// Names of every registered scheme, in registration order
+    /// (parallel to [`Scheme::all`]).
+    pub fn names() -> Vec<&'static str> {
+        read_registry().entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Number of registered schemes.
+    pub fn len() -> usize {
+        read_registry().entries.len()
+    }
+
+    /// The built-in schemes: the paper's four curves, the A3/A4
+    /// ablations, and the two face-routing baselines/hybrids.
+    ///
+    /// This function is the only place a built-in scheme is declared;
+    /// the `Scheme` constants below are fixed indices into this table
+    /// (in registration order).
+    fn builtin() -> SchemeRegistry {
+        let mut reg = SchemeRegistry {
+            entries: Vec::new(),
+        };
+        // === The scheme registration table ====================[order matters]
+        reg.add("GF", |ctx| Box::new(ctx.gf)); // Scheme::Gf
+        reg.add("LGF", |_| Box::new(LgfRouter::new())); // Scheme::Lgf
+        reg.add("SLGF", |ctx| Box::new(SlgfRouter::new(ctx.info))); // Scheme::Slgf
+        reg.add("SLGF2", |ctx| Box::new(Slgf2Router::new(ctx.info))); // Scheme::Slgf2
+        reg.add("SLGF2-noEH", |ctx| {
+            Box::new(Slgf2Router::new(ctx.info).without_superseding()) // Scheme::Slgf2NoSuperseding
+        });
+        reg.add("SLGF2-noBP", |ctx| {
+            Box::new(Slgf2Router::new(ctx.info).without_backup()) // Scheme::Slgf2NoBackup
+        });
+        reg.add("GFG", |ctx| Box::new(ctx.gfg)); // Scheme::Gfg
+        reg.add("SLGF2-F", |ctx| {
+            Box::new(Slgf2FaceRouter::with_face_router(ctx.info, ctx.gfg.clone()))
+            // Scheme::Slgf2Face
+        });
+        // ======================================================================
+        reg
+    }
+
+    fn add(&mut self, name: &'static str, build: SchemeBuild) -> Scheme {
+        self.try_add(name, build).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add(&mut self, name: &'static str, build: SchemeBuild) -> Result<Scheme, String> {
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(format!("scheme {name:?} registered twice"));
+        }
+        if self.entries.len() >= u16::MAX as usize {
+            return Err("scheme registry full".to_owned());
+        }
+        self.entries.push(SchemeEntry { name, build });
+        Ok(Scheme((self.entries.len() - 1) as u16))
+    }
+}
+
+/// Reads the global registry, recovering from a poisoned lock — the
+/// registry is append-only, so a panic mid-registration cannot leave a
+/// torn entry behind.
+fn read_registry() -> std::sync::RwLockReadGuard<'static, SchemeRegistry> {
+    registry()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn registry() -> &'static RwLock<SchemeRegistry> {
+    static GLOBAL: OnceLock<RwLock<SchemeRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(SchemeRegistry::builtin()))
+}
+
+/// A handle to one registered routing scheme.
+///
+/// `Copy`, order-stable, and cheap to compare — records, sweep points,
+/// and figures carry it by value. The associated constants name the
+/// built-in schemes of [`SchemeRegistry::builtin`]; further schemes get
+/// their handles from [`Scheme::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Scheme(u16);
+
+#[allow(non_upper_case_globals)] // named like the enum variants they replaced
 impl Scheme {
+    /// Greedy forwarding with BOUNDHOLE recovery (baseline \[5\]/\[6\]).
+    pub const Gf: Scheme = Scheme(0);
+    /// Limited greedy forwarding, Algo. 1.
+    pub const Lgf: Scheme = Scheme(1);
+    /// Safety-information LGF of \[7\].
+    pub const Slgf: Scheme = Scheme(2);
+    /// The paper's contribution, Algo. 3.
+    pub const Slgf2: Scheme = Scheme(3);
+    /// SLGF2 without the either-hand superseding rule (ablation A3).
+    pub const Slgf2NoSuperseding: Scheme = Scheme(4);
+    /// SLGF2 without the backup-path phase (ablation A4).
+    pub const Slgf2NoBackup: Scheme = Scheme(5);
+    /// Greedy-Face-Greedy with full planar face changes (Bose et al.
+    /// \[2\]) — the guaranteed-delivery comparison of ablation A8.
+    pub const Gfg: Scheme = Scheme(6);
+    /// SLGF2 with FACE-2 recovery instead of the untried sweep — the
+    /// paper's §6 future-work direction (ablation A12).
+    pub const Slgf2Face: Scheme = Scheme(7);
+
     /// The four curves of every figure in the paper, in its order.
     pub const PAPER_SET: [Scheme; 4] = [Scheme::Gf, Scheme::Lgf, Scheme::Slgf, Scheme::Slgf2];
 
@@ -41,18 +184,51 @@ impl Scheme {
         Scheme::Gfg,
     ];
 
+    /// Registers a new scheme under `name` and returns its handle.
+    ///
+    /// This is the *only* edit needed to add a scheme: everything
+    /// downstream (sweeps, figures, workloads, benches) dispatches
+    /// through the handle. Names must be unique; registering a
+    /// duplicate name panics.
+    pub fn register(name: &'static str, build: SchemeBuild) -> Scheme {
+        let result = registry()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .try_add(name, build);
+        // Panic only after the lock guard is released, so a rejected
+        // registration cannot poison the registry for other threads.
+        result.unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Looks a scheme up by its display name.
+    pub fn by_name(name: &str) -> Option<Scheme> {
+        let reg = read_registry();
+        reg.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| Scheme(i as u16))
+    }
+
+    /// Every currently registered scheme, in registration order.
+    pub fn all() -> Vec<Scheme> {
+        let reg = read_registry();
+        (0..reg.entries.len() as u16).map(Scheme).collect()
+    }
+
     /// Display name (figure legend).
     pub fn name(&self) -> &'static str {
-        match self {
-            Scheme::Gf => "GF",
-            Scheme::Lgf => "LGF",
-            Scheme::Slgf => "SLGF",
-            Scheme::Slgf2 => "SLGF2",
-            Scheme::Slgf2NoSuperseding => "SLGF2-noEH",
-            Scheme::Slgf2NoBackup => "SLGF2-noBP",
-            Scheme::Gfg => "GFG",
-            Scheme::Slgf2Face => "SLGF2-F",
-        }
+        read_registry().entries[self.0 as usize].name
+    }
+
+    /// Constructs this scheme's router over the given context.
+    pub fn build<'a>(&self, ctx: &RouterContext<'a>) -> Box<dyn Routing + 'a> {
+        let build = read_registry().entries[self.0 as usize].build;
+        build(ctx)
+    }
+
+    /// Routes one packet under this scheme.
+    pub fn route(&self, ctx: &RouterContext<'_>, src: NodeId, dst: NodeId) -> RouteResult {
+        self.build(ctx).route(ctx.net, src, dst)
     }
 }
 
@@ -89,25 +265,19 @@ impl PreparedNetwork {
         PreparedNetwork { net, info, gf, gfg }
     }
 
+    /// The borrow bundle scheme builders construct routers from.
+    pub fn ctx(&self) -> RouterContext<'_> {
+        RouterContext {
+            net: &self.net,
+            info: &self.info,
+            gf: &self.gf,
+            gfg: &self.gfg,
+        }
+    }
+
     /// Routes one packet under the given scheme.
     pub fn route(&self, scheme: Scheme, src: NodeId, dst: NodeId) -> RouteResult {
-        match scheme {
-            Scheme::Gf => self.gf.route(&self.net, src, dst),
-            Scheme::Lgf => LgfRouter::new().route(&self.net, src, dst),
-            Scheme::Slgf => SlgfRouter::new(&self.info).route(&self.net, src, dst),
-            Scheme::Slgf2 => Slgf2Router::new(&self.info).route(&self.net, src, dst),
-            Scheme::Slgf2NoSuperseding => Slgf2Router::new(&self.info)
-                .without_superseding()
-                .route(&self.net, src, dst),
-            Scheme::Slgf2NoBackup => Slgf2Router::new(&self.info)
-                .without_backup()
-                .route(&self.net, src, dst),
-            Scheme::Gfg => self.gfg.route(&self.net, src, dst),
-            Scheme::Slgf2Face => {
-                Slgf2FaceRouter::with_face_router(&self.info, self.gfg.clone())
-                    .route(&self.net, src, dst)
-            }
-        }
+        scheme.route(&self.ctx(), src, dst)
     }
 }
 
@@ -118,21 +288,19 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let all = [
-            Scheme::Gf,
-            Scheme::Lgf,
-            Scheme::Slgf,
-            Scheme::Slgf2,
-            Scheme::Slgf2NoSuperseding,
-            Scheme::Slgf2NoBackup,
-            Scheme::Gfg,
-            Scheme::Slgf2Face,
-        ];
-        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        let mut names: Vec<&str> = Scheme::all().iter().map(|s| s.name()).collect();
+        let total = names.len();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), all.len());
+        assert_eq!(names.len(), total);
+        assert!(total >= 8, "all built-ins registered");
         assert_eq!(Scheme::PAPER_SET.len(), 4);
+        assert_eq!(Scheme::Slgf2.name(), "SLGF2");
+        assert_eq!(Scheme::by_name("GFG"), Some(Scheme::Gfg));
+        assert_eq!(Scheme::by_name("no-such-scheme"), None);
+        assert_eq!(SchemeRegistry::len(), Scheme::all().len());
+        let listed: Vec<&str> = Scheme::all().iter().map(|s| s.name()).collect();
+        assert_eq!(SchemeRegistry::names(), listed);
     }
 
     #[test]
@@ -156,5 +324,32 @@ mod tests {
             assert_eq!(r.path.first(), Some(&s), "{scheme}");
             assert!(r.hops() > 0, "{scheme}");
         }
+    }
+
+    /// The registry's acceptance criterion: a new scheme is ONE
+    /// registration call, after which every downstream consumer (here:
+    /// the prepared-network dispatch the sweeps use) handles it with no
+    /// further edits.
+    #[test]
+    fn registering_a_scheme_is_a_single_site_change() {
+        let scheme = Scheme::register("TEST-always-left", |ctx| {
+            Box::new(Slgf2Router::new(ctx.info).without_superseding())
+        });
+        assert_eq!(scheme.name(), "TEST-always-left");
+        assert!(Scheme::all().contains(&scheme));
+
+        let cfg = DeploymentConfig::paper_default(400);
+        let net = Network::from_positions(cfg.deploy_uniform(3), cfg.radius, cfg.area);
+        let comp = net.largest_component();
+        let prepared = PreparedNetwork::new(net);
+        let r = prepared.route(scheme, comp[0], comp[comp.len() - 1]);
+        assert_eq!(r.path.first(), Some(&comp[0]));
+        assert!(r.delivered());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_are_rejected() {
+        let _ = Scheme::register("SLGF2", |ctx| Box::new(Slgf2Router::new(ctx.info)));
     }
 }

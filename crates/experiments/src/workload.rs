@@ -10,11 +10,11 @@
 //! [`InfoMaintainer`]), until the network can no longer carry a flow.
 //! The packets delivered until then are the scheme's *lifetime*.
 
-use crate::Scheme;
+use crate::{RouterContext, Scheme};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sp_baselines::{GfRouter, GfgRouter, Slgf2FaceRouter};
-use sp_core::{InfoMaintainer, LgfRouter, Routing, SlgfRouter, Slgf2Router};
+use sp_baselines::{GfRouter, GfgRouter};
+use sp_core::InfoMaintainer;
 use sp_metrics::{Figure, Series};
 use sp_net::{radio::EnergyLedger, Network, RadioModel};
 
@@ -106,22 +106,16 @@ pub fn run_lifetime(
                 break 'rounds; // a flow endpoint died: end of lifetime
             }
             let topo = maint.network();
-            let route = match scheme {
-                Scheme::Gf => gf.route(topo, s, d),
-                Scheme::Lgf => LgfRouter::new().route(topo, s, d),
-                Scheme::Slgf => SlgfRouter::new(&info).route(topo, s, d),
-                Scheme::Slgf2 => Slgf2Router::new(&info).route(topo, s, d),
-                Scheme::Slgf2NoSuperseding => Slgf2Router::new(&info)
-                    .without_superseding()
-                    .route(topo, s, d),
-                Scheme::Slgf2NoBackup => {
-                    Slgf2Router::new(&info).without_backup().route(topo, s, d)
-                }
-                Scheme::Gfg => gfg.route(topo, s, d),
-                Scheme::Slgf2Face => {
-                    Slgf2FaceRouter::with_face_router(&info, gfg.clone()).route(topo, s, d)
-                }
+            // Registry dispatch over the *degraded* topology, reusing
+            // the incrementally-repaired info and the rebuilt recovery
+            // structures — no per-scheme match anywhere.
+            let ctx = RouterContext {
+                net: topo,
+                info: &info,
+                gf: &gf,
+                gfg: &gfg,
             };
+            let route = scheme.route(&ctx, s, d);
             if !route.delivered() {
                 report.packets_lost += 1;
                 if !topo.connected(s, d) {
@@ -167,7 +161,7 @@ pub fn lifetime_figure(
         let mut series = Series::new(scheme.name());
         let mut total = Vec::new();
         for k in 0..instances {
-            let seed = 0xa15_00 + k as u64;
+            let seed = 0xa_1500 + k as u64;
             let net = Network::from_positions(dc.deploy_uniform(seed), dc.radius, dc.area);
             let report = run_lifetime(&net, scheme, cfg, seed);
             total.push(report.packets_delivered as f64);
@@ -236,12 +230,7 @@ mod tests {
 
     #[test]
     fn lifetime_figure_has_one_series_per_scheme() {
-        let fig = lifetime_figure(
-            250,
-            1,
-            &[Scheme::Slgf2, Scheme::Gfg],
-            &small_cfg(),
-        );
+        let fig = lifetime_figure(250, 1, &[Scheme::Slgf2, Scheme::Gfg], &small_cfg());
         assert_eq!(fig.series.len(), 2);
         for s in &fig.series {
             assert!(s.points[0].1 > 0.0, "{}: no packets delivered", s.label);

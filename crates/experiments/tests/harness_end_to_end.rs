@@ -115,7 +115,10 @@ fn slgf2_beats_lgf_on_fa_deployments() {
             }
         }
     }
-    assert!(both * 2 >= total, "most pairs deliver under both: {both}/{total}");
+    assert!(
+        both * 2 >= total,
+        "most pairs deliver under both: {both}/{total}"
+    );
     assert!(
         slgf2_hops <= lgf_hops,
         "on commonly-delivered pairs SLGF2 ({slgf2_hops}) must not exceed LGF ({lgf_hops})"

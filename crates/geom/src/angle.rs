@@ -169,9 +169,7 @@ mod tests {
 
     #[test]
     fn angle_ordering_is_total_on_unit_circle() {
-        let mut angles: Vec<Angle> = (0..16)
-            .map(|i| Angle::new(i as f64 * TAU / 16.0))
-            .collect();
+        let mut angles: Vec<Angle> = (0..16).map(|i| Angle::new(i as f64 * TAU / 16.0)).collect();
         let sorted = angles.clone();
         angles.reverse();
         angles.sort();

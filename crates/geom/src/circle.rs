@@ -30,7 +30,10 @@ impl Circle {
     ///
     /// Panics if `radius` is negative or NaN.
     pub fn new(center: Point, radius: f64) -> Circle {
-        assert!(radius >= 0.0, "circle radius must be non-negative, got {radius}");
+        assert!(
+            radius >= 0.0,
+            "circle radius must be non-negative, got {radius}"
+        );
         Circle { center, radius }
     }
 

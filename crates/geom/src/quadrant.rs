@@ -204,10 +204,7 @@ mod tests {
             let t = i as f64 * crate::TAU / 100.0;
             let p = Point::new(3.0 * t.cos(), 3.0 * t.sin());
             let q = Quadrant::of(o, p).expect("non-origin point must classify");
-            let hits = Quadrant::ALL
-                .iter()
-                .filter(|c| c.contains(o, p))
-                .count();
+            let hits = Quadrant::ALL.iter().filter(|c| c.contains(o, p)).count();
             assert_eq!(hits, 1, "point {p} claimed by {hits} quadrants (got {q})");
         }
     }

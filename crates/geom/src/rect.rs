@@ -266,9 +266,15 @@ mod tests {
         let a = Rect::from_corners(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
         let b = Rect::from_corners(Point::new(2.0, 2.0), Point::new(6.0, 6.0));
         let i = a.intersection(&b).unwrap();
-        assert_eq!(i, Rect::from_corners(Point::new(2.0, 2.0), Point::new(4.0, 4.0)));
+        assert_eq!(
+            i,
+            Rect::from_corners(Point::new(2.0, 2.0), Point::new(4.0, 4.0))
+        );
         let u = a.union(&b);
-        assert_eq!(u, Rect::from_corners(Point::new(0.0, 0.0), Point::new(6.0, 6.0)));
+        assert_eq!(
+            u,
+            Rect::from_corners(Point::new(0.0, 0.0), Point::new(6.0, 6.0))
+        );
         let far = Rect::from_corners(Point::new(9.0, 9.0), Point::new(10.0, 10.0));
         assert!(a.intersection(&far).is_none());
         assert!(!a.intersects(&far));

@@ -88,12 +88,9 @@ impl Segment {
                 return Some(p);
             }
         }
-        for p in [other.a, other.b] {
-            if on_segment(self.a, self.b, p) && orient(self.a, self.b, p) == 0.0 {
-                return Some(p);
-            }
-        }
-        None
+        [other.a, other.b]
+            .into_iter()
+            .find(|&p| on_segment(self.a, self.b, p) && orient(self.a, self.b, p) == 0.0)
     }
 
     /// Smallest distance from `p` to the closed segment.

@@ -29,10 +29,7 @@ impl Series {
 
     /// The y value at a given x, if present (exact match).
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|(px, _)| *px == x)
-            .map(|&(_, y)| y)
+        self.points.iter().find(|(px, _)| *px == x).map(|&(_, y)| y)
     }
 
     /// Mean of the y values.

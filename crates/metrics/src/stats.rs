@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn ci_shrinks_with_n() {
         let a = Summary::of(&[1.0, 3.0]);
-        let many: Vec<f64> = std::iter::repeat([1.0, 3.0]).take(50).flatten().collect();
+        let many: Vec<f64> = std::iter::repeat_n([1.0, 3.0], 50).flatten().collect();
         let b = Summary::of(&many);
         assert!(b.ci95() < a.ci95());
     }

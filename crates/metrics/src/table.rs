@@ -13,11 +13,7 @@ pub fn render_text(fig: &Figure) -> String {
     for &x in &xs {
         let mut row = vec![format_num(x)];
         for s in &fig.series {
-            row.push(
-                s.y_at(x)
-                    .map(format_num)
-                    .unwrap_or_else(|| "-".to_string()),
-            );
+            row.push(s.y_at(x).map(format_num).unwrap_or_else(|| "-".to_string()));
         }
         rows.push(row);
     }

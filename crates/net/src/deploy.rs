@@ -259,14 +259,20 @@ mod tests {
             );
             // Rect obstacles must be fully inside the margin.
             if let Obstacle::Rect(r) = o {
-                assert!(inner.contains_rect(&r), "rect {r} breaches the border margin");
+                assert!(
+                    inner.contains_rect(&r),
+                    "rect {r} breaches the border margin"
+                );
             }
         }
     }
 
     #[test]
     fn obstacle_membership_borders() {
-        let r = Obstacle::Rect(Rect::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 2.0)));
+        let r = Obstacle::Rect(Rect::from_corners(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+        ));
         assert!(r.contains(Point::new(2.0, 2.0)));
         let c = Obstacle::Circle(Circle::new(Point::new(0.0, 0.0), 1.0));
         assert!(c.contains(Point::new(1.0, 0.0)));

@@ -6,14 +6,20 @@
 //! Dijkstra Euclidean shortest paths ("ideal routing path" in Fig. 1(a)) —
 //! and connectivity queries used to filter valid source/destination pairs.
 
-use crate::{GridIndex, NodeId};
+use crate::{NodeId, SpatialIndex};
 use sp_geom::{Point, Rect};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// An immutable wireless ad hoc sensor network snapshot.
 ///
-/// Construction materializes sorted adjacency lists; all queries are
-/// read-only, so a `Network` can be shared freely across threads.
+/// Construction bucket-indexes the positions into a [`SpatialIndex`]
+/// (cell size = radio radius) and materializes sorted adjacency lists
+/// from `O(n · k)` cell lookups; the index stays attached to the
+/// network ([`Network::index`]) so planarization, routing heuristics,
+/// and deployment tooling can issue further range/nearest queries
+/// without rebuilding anything. All queries are read-only, so a
+/// `Network` can be shared freely across threads.
 ///
 /// ```
 /// use sp_net::Network;
@@ -30,8 +36,11 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Network {
-    positions: Vec<Point>,
+    // One shared allocation with the index (Arc), so snapshots and
+    // degraded copies never duplicate the position table.
+    positions: Arc<[Point]>,
     adjacency: Vec<Vec<NodeId>>,
+    index: SpatialIndex,
     radius: f64,
     area: Rect,
 }
@@ -40,28 +49,77 @@ impl Network {
     /// Builds the UDG over `positions` with communication `radius`,
     /// deployed in `area` (the paper's interest area).
     ///
+    /// Adjacency is derived from a [`SpatialIndex`] with cell size
+    /// `radius`, so construction is `O(n · k)` in the mean cell
+    /// occupancy `k` rather than `O(n²)` pairwise checks (the
+    /// brute-force reference survives as
+    /// [`Network::from_positions_brute_force`]).
+    ///
     /// # Panics
     ///
     /// Panics if `radius` is not strictly positive.
     pub fn from_positions(positions: Vec<Point>, radius: f64, area: Rect) -> Network {
         assert!(radius > 0.0, "communication radius must be positive");
-        let grid = GridIndex::build(&positions, area, radius);
-        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); positions.len()];
-        for (i, &p) in positions.iter().enumerate() {
-            let mut neigh: Vec<NodeId> = grid
-                .within_radius(p, radius)
-                .filter(|&v| v.index() != i)
-                .collect();
-            neigh.sort_unstable();
-            neigh.dedup();
-            adjacency[i] = neigh;
-        }
+        let positions: Arc<[Point]> = positions.into();
+        let index = SpatialIndex::build_shared(Arc::clone(&positions), area, radius);
+        let adjacency = index.adjacency_within(radius);
         Network {
             positions,
             adjacency,
+            index,
             radius,
             area,
         }
+    }
+
+    /// The `O(n²)` pairwise reference construction.
+    ///
+    /// Kept *only* as the ground truth for equivalence tests and the
+    /// `grid_vs_bruteforce` benchmark; production code paths must use
+    /// [`Network::from_positions`].
+    #[doc(hidden)]
+    pub fn from_positions_brute_force(positions: Vec<Point>, radius: f64, area: Rect) -> Network {
+        assert!(radius > 0.0, "communication radius must be positive");
+        let r_sq = radius * radius;
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); positions.len()];
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if positions[i].distance_sq(positions[j]) <= r_sq {
+                    adjacency[i].push(NodeId(j));
+                    adjacency[j].push(NodeId(i));
+                }
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        let positions: Arc<[Point]> = positions.into();
+        let index = SpatialIndex::build_shared(Arc::clone(&positions), area, radius);
+        Network {
+            positions,
+            adjacency,
+            index,
+            radius,
+            area,
+        }
+    }
+
+    /// The spatial index the network was built from (cell size =
+    /// communication radius). Shared by planarization, mobility
+    /// snapshots, and any caller needing range or nearest queries over
+    /// the deployment:
+    ///
+    /// ```
+    /// use sp_net::{deploy::DeploymentConfig, Network};
+    /// use sp_geom::Point;
+    ///
+    /// let cfg = DeploymentConfig::paper_default(300);
+    /// let net = Network::from_positions(cfg.deploy_uniform(1), cfg.radius, cfg.area);
+    /// let gateway = net.index().nearest(Point::new(0.0, 0.0)).unwrap();
+    /// assert!(net.index().within_radius(net.position(gateway), cfg.radius).count() >= 1);
+    /// ```
+    pub fn index(&self) -> &SpatialIndex {
+        &self.index
     }
 
     /// Number of nodes.
@@ -263,7 +321,10 @@ impl Network {
                 if next < dist[v.index()] {
                     dist[v.index()] = next;
                     prev[v.index()] = Some(node);
-                    heap.push(Entry { cost: next, node: v });
+                    heap.push(Entry {
+                        cost: next,
+                        node: v,
+                    });
                 }
             }
         }
@@ -283,9 +344,7 @@ impl Network {
 
     /// Total Euclidean length of a node sequence in this network.
     pub fn path_length(&self, path: &[NodeId]) -> f64 {
-        path.windows(2)
-            .map(|w| self.distance(w[0], w[1]))
-            .sum()
+        path.windows(2).map(|w| self.distance(w[0], w[1])).sum()
     }
 
     /// A copy of the network with the given nodes failed: ids and
@@ -293,6 +352,10 @@ impl Network {
     /// stays index-aligned), but every edge touching a dead node is
     /// removed, leaving the dead nodes isolated. Used by the
     /// failure-robustness experiments.
+    ///
+    /// The attached [`SpatialIndex`] keeps indexing the dead nodes'
+    /// positions — it answers geometric queries over the deployment,
+    /// not liveness queries, which stay with the adjacency lists.
     pub fn without_nodes(&self, dead: &[NodeId]) -> Network {
         let mut is_dead = vec![false; self.len()];
         for &d in dead {
@@ -315,8 +378,9 @@ impl Network {
             })
             .collect();
         Network {
-            positions: self.positions.clone(),
+            positions: Arc::clone(&self.positions),
             adjacency,
+            index: self.index.clone(),
             radius: self.radius,
             area: self.area,
         }
@@ -376,11 +440,14 @@ mod tests {
         let edges: Vec<_> = net.edges().collect();
         assert_eq!(edges.len(), net.edge_count());
         // Spacing 10, radius 15: only consecutive line nodes are adjacent.
-        assert_eq!(edges, vec![
-            (NodeId(0), NodeId(1)),
-            (NodeId(1), NodeId(2)),
-            (NodeId(2), NodeId(3)),
-        ]);
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
     }
 
     #[test]

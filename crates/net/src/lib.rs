@@ -8,7 +8,10 @@
 //!
 //! * [`deploy`] — the two deployment models of §5: uniform (**IA**) and
 //!   forbidden-area (**FA**), with seeded reproducible randomness;
-//! * [`grid`] — bucket index making UDG construction `O(n · density)`;
+//! * [`spatial`] — the uniform-grid [`SpatialIndex`] making UDG
+//!   construction, planarization, and mobility re-snapshots
+//!   `O(n · density)` instead of `O(n²)`; every [`Network`] carries one
+//!   ([`Network::index`]);
 //! * [`graph`] — the [`Network`] type: adjacency, BFS hop counts,
 //!   Dijkstra reference paths, connectivity;
 //! * [`planar`] — Gabriel / RNG planarization plus the CCW/CW pivots that
@@ -38,17 +41,17 @@
 pub mod deploy;
 pub mod edge_nodes;
 pub mod graph;
-pub mod grid;
 pub mod mobility;
 pub mod node;
 pub mod planar;
 pub mod radio;
+pub mod spatial;
 
 pub use deploy::{DeploymentConfig, FaModel, Obstacle};
 pub use edge_nodes::edge_node_ids;
 pub use graph::Network;
-pub use grid::GridIndex;
 pub use mobility::RandomWaypoint;
 pub use node::NodeId;
 pub use planar::{PlanarGraph, Planarization};
 pub use radio::{interference_count, interference_set, EnergyLedger, RadioModel};
+pub use spatial::SpatialIndex;

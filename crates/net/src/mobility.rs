@@ -73,7 +73,7 @@ impl RandomWaypoint {
             "speed range must satisfy 0 < min <= max"
         );
         assert!(pause >= 0.0, "pause must be non-negative");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0b11_e0_0b11_e0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0b11_e00b_11e0);
         let motions = positions
             .into_iter()
             .map(|pos| {
@@ -147,6 +147,12 @@ impl RandomWaypoint {
     }
 
     /// A unit-disk-graph snapshot of the current positions.
+    ///
+    /// Each snapshot re-buckets the moved positions through a fresh
+    /// [`sp_net::SpatialIndex`](crate::SpatialIndex) (inside
+    /// [`Network::from_positions`]), so taking frequent topology
+    /// snapshots of a large mobile network stays `O(n · k)` per tick
+    /// rather than `O(n²)`.
     pub fn snapshot(&self, radius: f64) -> Network {
         Network::from_positions(self.positions(), radius, self.area)
     }
@@ -248,7 +254,10 @@ mod tests {
         let after = rw.snapshot(20.0);
         let before_edges: std::collections::BTreeSet<_> = before.edges().collect();
         let after_edges: std::collections::BTreeSet<_> = after.edges().collect();
-        assert_ne!(before_edges, after_edges, "an hour of motion rewires the UDG");
+        assert_ne!(
+            before_edges, after_edges,
+            "an hour of motion rewires the UDG"
+        );
     }
 
     #[test]

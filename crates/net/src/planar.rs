@@ -52,11 +52,25 @@ pub struct PlanarGraph {
 impl PlanarGraph {
     /// Extracts the planar subgraph of `net`.
     ///
-    /// Witness search only inspects `N(u)`: in a unit disk graph any
-    /// witness inside the Gabriel disk (or RNG lune) of edge `(u, v)` is
-    /// within range of both endpoints, hence already a neighbor.
+    /// Witness candidates come from the network's [`SpatialIndex`]
+    /// ([`Network::index`]): a Gabriel witness lies inside the disk of
+    /// diameter `uv` — i.e. within `|uv|/2` of the edge midpoint — and
+    /// an RNG witness lies within `|uv|` of `u`, so a single range
+    /// query per edge bounds the scan to the cells covering that disk
+    /// instead of the full neighbor list (or, worse, all `n` points).
+    /// The exact geometric predicates then filter the pruned candidates.
+    ///
+    /// A candidate only counts as a witness if it is a *neighbor of
+    /// `u`* — the same rule the classic `N(u)` scan applies. In a fully
+    /// live unit disk graph the distinction is vacuous (anything inside
+    /// the disk/lune is in range of `u`), but on degraded networks
+    /// ([`Network::without_nodes`]) the index still holds dead nodes'
+    /// positions, and a dead node must not delete planar edges between
+    /// live ones — that would disconnect the planar subgraph face
+    /// routing relies on.
     pub fn build(net: &Network, kind: Planarization) -> PlanarGraph {
         let n = net.len();
+        let index = net.index();
         let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for u in net.node_ids() {
             let pu = net.position(u);
@@ -65,16 +79,32 @@ impl PlanarGraph {
                     continue; // handle each undirected edge once
                 }
                 let pv = net.position(v);
-                let blocked = net.neighbors(u).iter().any(|&w| {
-                    if w == u || w == v {
-                        return false;
+                let blocked = match kind {
+                    Planarization::Gabriel => {
+                        let mid = Point::new((pu.x + pv.x) / 2.0, (pu.y + pv.y) / 2.0);
+                        // Inflate the pruning radius a hair: the exact
+                        // dot-product predicate and the distance-to-
+                        // midpoint query round differently, and the
+                        // query must stay a *superset* of the predicate
+                        // for witnesses within ulps of the circle.
+                        let half = pu.distance(pv) / 2.0 * (1.0 + 1e-9);
+                        index.within_radius(mid, half).any(|w| {
+                            w != u
+                                && w != v
+                                && net.has_edge(u, w)
+                                && in_gabriel_disk(pu, pv, net.position(w))
+                        })
                     }
-                    let pw = net.position(w);
-                    match kind {
-                        Planarization::Gabriel => in_gabriel_disk(pu, pv, pw),
-                        Planarization::Rng => in_rng_lune(pu, pv, pw),
+                    Planarization::Rng => {
+                        let len = pu.distance(pv);
+                        index.within_radius(pu, len).any(|w| {
+                            w != u
+                                && w != v
+                                && net.has_edge(u, w)
+                                && in_rng_lune(pu, pv, net.position(w))
+                        })
                     }
-                });
+                };
                 if !blocked {
                     adjacency[u.index()].push(v);
                     adjacency[v.index()].push(u);
@@ -262,6 +292,70 @@ mod tests {
     }
 
     #[test]
+    fn index_pruned_witness_search_matches_neighbor_scan() {
+        // The pre-SpatialIndex implementation scanned N(u) for
+        // witnesses; in a UDG that set contains every possible witness.
+        // The index-pruned query must select exactly the same edges.
+        let cfg = crate::DeploymentConfig::paper_default(300);
+        let net = Network::from_positions(cfg.deploy_uniform(31), cfg.radius, cfg.area);
+        for kind in [Planarization::Gabriel, Planarization::Rng] {
+            let fast = PlanarGraph::build(&net, kind);
+            for u in net.node_ids() {
+                let pu = net.position(u);
+                for &v in net.neighbors(u) {
+                    if v < u {
+                        continue;
+                    }
+                    let pv = net.position(v);
+                    let blocked = net.neighbors(u).iter().any(|&w| {
+                        if w == u || w == v {
+                            return false;
+                        }
+                        let pw = net.position(w);
+                        match kind {
+                            Planarization::Gabriel => in_gabriel_disk(pu, pv, pw),
+                            Planarization::Rng => in_rng_lune(pu, pv, pw),
+                        }
+                    });
+                    assert_eq!(
+                        fast.has_edge(u, v),
+                        !blocked,
+                        "{kind:?} edge {u}-{v} disagrees with neighbor-scan witnesses"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_nodes_do_not_witness_on_degraded_networks() {
+        // Node 2 sits inside the Gabriel disk of edge 0-1. Alive, it
+        // removes that edge; dead (removed via without_nodes), it must
+        // not — its position lingers in the spatial index, but a failed
+        // node cannot relay, so it cannot justify pruning a live edge.
+        let net = Network::from_positions(
+            vec![
+                Point::new(40.0, 50.0),
+                Point::new(50.0, 50.0),
+                Point::new(45.0, 50.5),
+            ],
+            15.0,
+            area(),
+        );
+        let live = PlanarGraph::build(&net, Planarization::Gabriel);
+        assert!(!live.has_edge(NodeId(0), NodeId(1)), "live witness prunes");
+
+        let degraded = net.without_nodes(&[NodeId(2)]);
+        for kind in [Planarization::Gabriel, Planarization::Rng] {
+            let pg = PlanarGraph::build(&degraded, kind);
+            assert!(
+                pg.has_edge(NodeId(0), NodeId(1)),
+                "{kind:?}: dead node 2 must not delete the live 0-1 edge"
+            );
+        }
+    }
+
+    #[test]
     fn gabriel_removes_witnessed_edge() {
         let net = Network::from_positions(
             vec![
@@ -339,6 +433,9 @@ mod tests {
             area(),
         );
         let pg = PlanarGraph::build(&net, Planarization::Gabriel);
-        assert_eq!(pg.first_from_direction(NodeId(0), Vec2::new(1.0, 0.0), true), None);
+        assert_eq!(
+            pg.first_from_direction(NodeId(0), Vec2::new(1.0, 0.0), true),
+            None
+        );
     }
 }

@@ -292,7 +292,9 @@ mod tests {
     fn line_net(n: usize, spacing: f64, radius: f64) -> Network {
         let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(500.0, 500.0));
         Network::from_positions(
-            (0..n).map(|i| Point::new(spacing * i as f64, 0.0)).collect(),
+            (0..n)
+                .map(|i| Point::new(spacing * i as f64, 0.0))
+                .collect(),
             radius,
             area,
         )

@@ -1,0 +1,431 @@
+//! The uniform-grid [`SpatialIndex`] behind every radius-bounded
+//! neighbor query in the stack.
+//!
+//! Unit-disk-graph construction, planarization witness tests, and
+//! mobility re-snapshots all need "the points within distance `r` of
+//! here". Bucketing points into square cells whose side equals the
+//! radio radius bounds each query to a 3×3 cell neighborhood, so graph
+//! construction costs `O(n · k)` (k = mean cell occupancy) instead of
+//! `O(n²)` — the difference between milliseconds and seconds at the
+//! paper's 800-node, 100-network sweeps, and the enabling structure for
+//! the 10⁴–10⁶-node deployments the roadmap targets.
+//!
+//! The index is exposed on every [`Network`](crate::Network) via
+//! [`Network::index`](crate::Network::index), so routing layers and
+//! deployment tooling share one structure instead of re-deriving ad hoc
+//! scans.
+
+use crate::NodeId;
+use sp_geom::{Point, Rect};
+use std::sync::Arc;
+
+/// A uniform grid over a bounding rectangle with square cells.
+///
+/// Build once over a position snapshot, then issue any number of
+/// *range* ([`within_radius`](SpatialIndex::within_radius)) and
+/// *nearest* ([`nearest`](SpatialIndex::nearest),
+/// [`k_nearest`](SpatialIndex::k_nearest)) queries. All queries compare
+/// true Euclidean distances — the grid only prunes candidates — so
+/// results are exact, not approximate.
+///
+/// ```
+/// use sp_net::SpatialIndex;
+/// use sp_geom::{Point, Rect};
+///
+/// let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+/// let pts = vec![Point::new(10.0, 10.0), Point::new(15.0, 10.0), Point::new(90.0, 90.0)];
+/// let index = SpatialIndex::build(&pts, area, 20.0);
+/// let near: Vec<usize> = index.within_radius(Point::new(12.0, 10.0), 20.0).map(|id| id.index()).collect();
+/// assert!(near.contains(&0) && near.contains(&1) && !near.contains(&2));
+/// assert_eq!(index.nearest(Point::new(80.0, 80.0)), Some(sp_net::NodeId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    cells: Vec<Vec<NodeId>>,
+    // Shared with the owning Network (when built through one), so a
+    // deployment's positions exist once no matter how many snapshots
+    // or index clones reference them.
+    points: Arc<[Point]>,
+    origin: Point,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl SpatialIndex {
+    /// Builds the index over a copy of `points` with the given
+    /// `cell_size` (normally the radio radius, so radius queries scan
+    /// 3×3 cells).
+    ///
+    /// Points outside `bounds` are clamped into the border cells, so the
+    /// index remains correct (queries still compare true distances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build(points: &[Point], bounds: Rect, cell_size: f64) -> SpatialIndex {
+        SpatialIndex::build_shared(points.into(), bounds, cell_size)
+    }
+
+    /// Builds the index over an already-shared position slice without
+    /// copying it — [`Network::from_positions`](crate::Network) uses
+    /// this so the network and its index reference one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build_shared(points: Arc<[Point]>, bounds: Rect, cell_size: f64) -> SpatialIndex {
+        assert!(
+            cell_size > 0.0,
+            "spatial index cell size must be positive, got {cell_size}"
+        );
+        let cols = ((bounds.width() / cell_size).ceil() as usize).max(1);
+        let rows = ((bounds.height() / cell_size).ceil() as usize).max(1);
+        let mut cells = vec![Vec::new(); cols * rows];
+        let origin = bounds.min();
+        let mut index = SpatialIndex {
+            cells: Vec::new(),
+            points,
+            origin,
+            cell_size,
+            cols,
+            rows,
+        };
+        for (i, &p) in index.points.iter().enumerate() {
+            let c = index.cell_of(p);
+            cells[c].push(NodeId(i));
+        }
+        index.cells = cells;
+        index
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Side length of the square cells.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Grid dimensions as `(columns, rows)`.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The indexed position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn position(&self, u: NodeId) -> Point {
+        self.points[u.index()]
+    }
+
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.origin.x) / self.cell_size).floor();
+        let cy = ((p.y - self.origin.y) / self.cell_size).floor();
+        let cx = (cx.max(0.0) as usize).min(self.cols - 1);
+        let cy = (cy.max(0.0) as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+
+    fn cell_of(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy * self.cols + cx
+    }
+
+    /// All indexed points within `radius` of `center` (inclusive), in
+    /// ascending id order within each scanned cell.
+    ///
+    /// The query radius may differ from the build cell size; the scan
+    /// window widens accordingly.
+    pub fn within_radius(&self, center: Point, radius: f64) -> impl Iterator<Item = NodeId> + '_ {
+        let reach = (radius / self.cell_size).ceil() as isize;
+        let (cx, cy) = self.cell_coords(center);
+        let (cx, cy) = (cx as isize, cy as isize);
+        let r_sq = radius * radius;
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        (-reach..=reach)
+            .flat_map(move |dy| (-reach..=reach).map(move |dx| (cx + dx, cy + dy)))
+            .filter(move |&(x, y)| x >= 0 && x < cols && y >= 0 && y < rows)
+            .flat_map(move |(x, y)| self.cells[(y * cols + x) as usize].iter().copied())
+            .filter(move |id| self.points[id.index()].distance_sq(center) <= r_sq)
+    }
+
+    /// Sorted adjacency lists of the radius graph over all indexed
+    /// points — the bulk form of [`within_radius`](Self::within_radius)
+    /// that unit-disk-graph construction uses.
+    ///
+    /// Works cell-pairwise: points inside one cell are paired `i < j`,
+    /// and each unordered pair of nearby cells is visited exactly once
+    /// (cell pairs whose minimum separation exceeds `radius` are pruned
+    /// up front), so every candidate pair costs one distance test and
+    /// no per-point iterator setup. Self-loops are never produced.
+    pub fn adjacency_within(&self, radius: f64) -> Vec<Vec<NodeId>> {
+        let r_sq = radius * radius;
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        let reach = (radius / self.cell_size).ceil() as isize;
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.points.len()];
+        // Forward cell offsets covering each unordered cell pair once;
+        // (0, 0) is handled by the in-cell `i < j` loop.
+        let mut offsets: Vec<(isize, isize)> = Vec::new();
+        for dy in 0..=reach {
+            let dxs = if dy == 0 { 1..=reach } else { -reach..=reach };
+            for dx in dxs {
+                // Minimum separation between cells (dx, dy) apart.
+                let gx = (dx.abs() - 1).max(0) as f64 * self.cell_size;
+                let gy = (dy - 1).max(0) as f64 * self.cell_size;
+                if gx * gx + gy * gy <= r_sq {
+                    offsets.push((dx, dy));
+                }
+            }
+        }
+        for cy in 0..rows {
+            for cx in 0..cols {
+                let cell = &self.cells[(cy * cols + cx) as usize];
+                for (i, &u) in cell.iter().enumerate() {
+                    let pu = self.points[u.index()];
+                    for &v in &cell[i + 1..] {
+                        if pu.distance_sq(self.points[v.index()]) <= r_sq {
+                            adj[u.index()].push(v);
+                            adj[v.index()].push(u);
+                        }
+                    }
+                }
+                for &(dx, dy) in &offsets {
+                    let (nx, ny) = (cx + dx, cy + dy);
+                    if nx < 0 || nx >= cols || ny < 0 || ny >= rows {
+                        continue;
+                    }
+                    let other = &self.cells[(ny * cols + nx) as usize];
+                    for &u in cell {
+                        let pu = self.points[u.index()];
+                        for &v in other {
+                            if pu.distance_sq(self.points[v.index()]) <= r_sq {
+                                adj[u.index()].push(v);
+                                adj[v.index()].push(u);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        adj
+    }
+
+    /// The indexed point closest to `center` (ties broken by lowest id),
+    /// or `None` when the index is empty.
+    ///
+    /// Searches expanding cell rings outward from `center`, so the cost
+    /// is proportional to the ring at which the first point appears —
+    /// `O(1)` cells on dense deployments.
+    pub fn nearest(&self, center: Point) -> Option<NodeId> {
+        self.k_nearest(center, 1).into_iter().next()
+    }
+
+    /// The `k` indexed points closest to `center`, ascending by distance
+    /// (ties broken by lowest id). Returns fewer than `k` when the index
+    /// holds fewer points.
+    pub fn k_nearest(&self, center: Point, k: usize) -> Vec<NodeId> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let (cx, cy) = self.cell_coords(center);
+        let (cx, cy) = (cx as isize, cy as isize);
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        let max_ring = self.cols.max(self.rows) as isize;
+        // (distance², id) of the best candidates seen so far.
+        let mut best: Vec<(f64, NodeId)> = Vec::new();
+        for ring in 0..=max_ring {
+            // Once k candidates are known, a farther ring can only help
+            // if its nearest possible point beats the current k-th best:
+            // every cell in ring r is at least (r-1)·cell away.
+            if best.len() >= k {
+                let ring_min = ((ring - 1).max(0) as f64) * self.cell_size;
+                if ring_min * ring_min > best[k - 1].0 {
+                    break;
+                }
+            }
+            let mut grew = false;
+            for (x, y) in ring_cells(cx, cy, ring) {
+                if x < 0 || x >= cols || y < 0 || y >= rows {
+                    continue;
+                }
+                for &id in &self.cells[(y * cols + x) as usize] {
+                    let d = self.points[id.index()].distance_sq(center);
+                    best.push((d, id));
+                    grew = true;
+                }
+            }
+            if grew {
+                best.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                best.truncate(k);
+            }
+        }
+        best.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+/// The cells of the square ring at Chebyshev distance `ring` around
+/// `(cx, cy)` (the single center cell for `ring == 0`).
+fn ring_cells(cx: isize, cy: isize, ring: isize) -> Vec<(isize, isize)> {
+    if ring == 0 {
+        return vec![(cx, cy)];
+    }
+    let mut out = Vec::with_capacity((8 * ring) as usize);
+    for dx in -ring..=ring {
+        out.push((cx + dx, cy - ring));
+        out.push((cx + dx, cy + ring));
+    }
+    for dy in (-ring + 1)..ring {
+        out.push((cx - ring, cy + dy));
+        out.push((cx + ring, cy + dy));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_area() -> Rect {
+        Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    /// Deterministic pseudo-random scatter without pulling in rand.
+    fn scatter(n: usize, seed: u64) -> Vec<Point> {
+        let mut pts = Vec::new();
+        let mut state = seed;
+        for _ in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((state >> 16) % 10000) as f64 / 100.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = ((state >> 16) % 10000) as f64 / 100.0;
+            pts.push(Point::new(x, y));
+        }
+        pts
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let pts = scatter(300, 12345);
+        let index = SpatialIndex::build(&pts, demo_area(), 20.0);
+        for (qi, &q) in pts.iter().enumerate().step_by(17) {
+            let mut got: Vec<usize> = index.within_radius(q, 20.0).map(|n| n.index()).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance_sq(q) <= 400.0)
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi} mismatch");
+        }
+    }
+
+    #[test]
+    fn includes_center_point_itself() {
+        let pts = vec![Point::new(50.0, 50.0)];
+        let index = SpatialIndex::build(&pts, demo_area(), 10.0);
+        let hits: Vec<NodeId> = index.within_radius(Point::new(50.0, 50.0), 10.0).collect();
+        assert_eq!(hits, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn radius_larger_than_cell_size() {
+        let pts = vec![Point::new(5.0, 5.0), Point::new(95.0, 95.0)];
+        let index = SpatialIndex::build(&pts, demo_area(), 10.0);
+        let hits: Vec<NodeId> = index.within_radius(Point::new(50.0, 50.0), 200.0).collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_points_still_found() {
+        let pts = vec![Point::new(-5.0, -5.0), Point::new(105.0, 105.0)];
+        let index = SpatialIndex::build(&pts, demo_area(), 10.0);
+        let hits: Vec<NodeId> = index.within_radius(Point::new(-3.0, -3.0), 5.0).collect();
+        assert_eq!(hits, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = SpatialIndex::build(&[], demo_area(), 10.0);
+        assert!(index.is_empty());
+        assert_eq!(index.within_radius(Point::new(1.0, 1.0), 50.0).count(), 0);
+        assert_eq!(index.nearest(Point::new(1.0, 1.0)), None);
+        assert!(index.k_nearest(Point::new(1.0, 1.0), 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_rejected() {
+        let _ = SpatialIndex::build(&[], demo_area(), 0.0);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = scatter(250, 99);
+        let index = SpatialIndex::build(&pts, demo_area(), 20.0);
+        let queries = [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(99.0, 1.0),
+            Point::new(-10.0, 120.0),
+            Point::new(33.3, 66.6),
+        ];
+        for q in queries {
+            let want = pts
+                .iter()
+                .enumerate()
+                .min_by(|(i, a), (j, b)| {
+                    a.distance_sq(q).total_cmp(&b.distance_sq(q)).then(i.cmp(j))
+                })
+                .map(|(i, _)| NodeId(i));
+            assert_eq!(index.nearest(q), want, "nearest mismatch at {q}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_order() {
+        let pts = scatter(180, 4242);
+        let index = SpatialIndex::build(&pts, demo_area(), 15.0);
+        for &q in &[Point::new(10.0, 90.0), Point::new(70.0, 20.0)] {
+            for k in [1usize, 3, 7, 200] {
+                let got = index.k_nearest(q, k);
+                let mut want: Vec<(f64, NodeId)> = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.distance_sq(q), NodeId(i)))
+                    .collect();
+                want.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                let want: Vec<NodeId> = want.into_iter().take(k).map(|(_, id)| id).collect();
+                assert_eq!(got, want, "k={k} at {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_shape_reflects_bounds() {
+        let index = SpatialIndex::build(&[], demo_area(), 20.0);
+        assert_eq!(index.grid_shape(), (5, 5));
+        assert_eq!(index.cell_size(), 20.0);
+    }
+}

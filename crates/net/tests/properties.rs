@@ -70,6 +70,56 @@ proptest! {
         prop_assert!(len <= hops * net.radius() + 1e-9);
     }
 
+    /// The tentpole invariant of the SpatialIndex refactor: the
+    /// grid-derived unit-disk adjacency equals the brute-force O(n²)
+    /// adjacency, node for node, across sparse, paper-scale, and dense
+    /// deployments (~5, ~20, and ~47 expected neighbors in the paper's
+    /// 200 m x 200 m area).
+    #[test]
+    fn spatial_index_adjacency_equals_brute_force(seed in 0u64..10_000) {
+        for n in [120usize, 500, 1200] {
+            let cfg = paper_cfg(n);
+            let pos = cfg.deploy_uniform(seed);
+            let fast = Network::from_positions(pos.clone(), cfg.radius, cfg.area);
+            let brute = Network::from_positions_brute_force(pos, cfg.radius, cfg.area);
+            prop_assert_eq!(fast.edge_count(), brute.edge_count(), "edge count at n={}", n);
+            for u in fast.node_ids() {
+                prop_assert_eq!(
+                    fast.neighbors(u),
+                    brute.neighbors(u),
+                    "adjacency mismatch at n={}, node {}",
+                    n,
+                    u
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_index_nearest_agrees_with_exhaustive_argmin(seed in 0u64..10_000) {
+        let cfg = paper_cfg(250);
+        let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+        let probes = [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(200.0, 0.0),
+            Point::new(37.5, 141.0),
+        ];
+        for q in probes {
+            let got = net.index().nearest(q).unwrap();
+            let want = net
+                .node_ids()
+                .min_by(|&a, &b| {
+                    net.position(a)
+                        .distance_sq(q)
+                        .total_cmp(&net.position(b).distance_sq(q))
+                        .then(a.cmp(&b))
+                })
+                .unwrap();
+            prop_assert_eq!(got, want, "nearest mismatch at probe {}", q);
+        }
+    }
+
     #[test]
     fn planar_subgraph_has_no_proper_crossings(seed in 0u64..100) {
         let cfg = paper_cfg(90);

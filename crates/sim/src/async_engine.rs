@@ -218,7 +218,8 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
         if self.cfg.min_delay == self.cfg.max_delay {
             self.cfg.min_delay
         } else {
-            self.rng.random_range(self.cfg.min_delay..self.cfg.max_delay)
+            self.rng
+                .random_range(self.cfg.min_delay..self.cfg.max_delay)
         }
     }
 
@@ -422,7 +423,10 @@ mod tests {
         // final state is the same but the trace differs.
         let a = run(1);
         let b = run(2);
-        assert_ne!((a.deliveries, a.virtual_time), (b.deliveries, b.virtual_time));
+        assert_ne!(
+            (a.deliveries, a.virtual_time),
+            (b.deliveries, b.virtual_time)
+        );
     }
 
     #[test]

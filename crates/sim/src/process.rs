@@ -1,7 +1,7 @@
 //! The per-node state-machine trait and its execution context.
 
-use sp_net::{Network, NodeId};
 use sp_geom::Point;
+use sp_net::{Network, NodeId};
 
 /// A local protocol instance running on one node.
 ///

@@ -37,7 +37,11 @@ impl std::fmt::Display for SimStats {
             self.broadcasts,
             self.unicasts,
             self.receptions,
-            if self.quiesced { ", quiesced" } else { ", round-limited" }
+            if self.quiesced {
+                ", quiesced"
+            } else {
+                ", round-limited"
+            }
         )
     }
 }

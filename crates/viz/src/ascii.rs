@@ -140,6 +140,7 @@ pub fn render_chart(fig: &Figure, opts: ChartOptions) -> String {
 }
 
 /// Maps a data point to a grid cell (row 0 is the top).
+#[allow(clippy::too_many_arguments)] // plain plot-geometry plumbing
 fn cell(
     x: f64,
     y: f64,
@@ -207,7 +208,13 @@ mod tests {
         lo.push(1.0, 0.0);
         fig.push_series(hi);
         fig.push_series(lo);
-        let chart = render_chart(&fig, ChartOptions { width: 20, height: 10 });
+        let chart = render_chart(
+            &fig,
+            ChartOptions {
+                width: 20,
+                height: 10,
+            },
+        );
         let hi_row = chart
             .lines()
             .position(|l| l.contains('o'))
@@ -239,7 +246,13 @@ mod tests {
 
     #[test]
     fn tiny_grid_is_rejected() {
-        let chart = render_chart(&sample_figure(), ChartOptions { width: 1, height: 1 });
+        let chart = render_chart(
+            &sample_figure(),
+            ChartOptions {
+                width: 1,
+                height: 1,
+            },
+        );
         assert!(chart.contains("(no data)"));
     }
 }

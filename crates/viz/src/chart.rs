@@ -82,7 +82,10 @@ pub fn render_figure_svg(fig: &Figure, opts: FigureSvgOptions) -> String {
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}" font-family="sans-serif">"#
     );
-    let _ = writeln!(out, r##"<rect width="{w:.0}" height="{h:.0}" fill="#ffffff"/>"##);
+    let _ = writeln!(
+        out,
+        r##"<rect width="{w:.0}" height="{h:.0}" fill="#ffffff"/>"##
+    );
     let _ = writeln!(
         out,
         r##"<text x="{:.0}" y="24" font-size="15" font-weight="bold" fill="#111">{}</text>"##,
@@ -248,7 +251,9 @@ fn draw_marker(out: &mut String, marker: Marker, cx: f64, cy: f64, color: &str) 
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -258,7 +263,12 @@ mod tests {
 
     fn sample() -> Figure {
         let mut fig = Figure::new("Fig. 7(b) average length (FA)", "nodes", "meters");
-        for (label, base) in [("GF", 150.0), ("LGF", 160.0), ("SLGF", 140.0), ("SLGF2", 120.0)] {
+        for (label, base) in [
+            ("GF", 150.0),
+            ("LGF", 160.0),
+            ("SLGF", 140.0),
+            ("SLGF2", 120.0),
+        ] {
             let mut s = Series::new(label);
             for (i, n) in (400..=800).step_by(100).enumerate() {
                 s.push(n as f64, base - 6.0 * i as f64);

@@ -276,7 +276,11 @@ impl<'a> Scene<'a> {
                 }
                 Some(info) => {
                     let tuple = info.tuple(u);
-                    let fill = if tuple.fully_safe() { "#90a4ae" } else { "#263238" };
+                    let fill = if tuple.fully_safe() {
+                        "#90a4ae"
+                    } else {
+                        "#263238"
+                    };
                     let _ = writeln!(
                         out,
                         r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r}" fill="{fill}"><title>{u} {tuple}</title></circle>"#
@@ -371,7 +375,10 @@ mod tests {
             .node_ids()
             .map(|u| 4 - info.tuple(u).safe_count() as usize)
             .sum();
-        assert_eq!(svg.matches("fill=\"none\" stroke=\"#").count(), unsafe_statuses);
+        assert_eq!(
+            svg.matches("fill=\"none\" stroke=\"#").count(),
+            unsafe_statuses
+        );
     }
 
     #[test]

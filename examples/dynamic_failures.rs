@@ -44,24 +44,24 @@ fn main() {
     for (i, &v) in victims.iter().enumerate() {
         plan.kill_at(clean.stats.rounds + 2 + i / 5, v);
     }
-    let repaired = straightpath::core::construct_with(&net, pinned, plan)
-        .expect("repair quiesces");
+    let repaired = straightpath::core::construct_with(&net, pinned, plan).expect("repair quiesces");
     println!(
         "with {} failures injected: {} total rounds, {} broadcasts \
          (repair overhead {} broadcasts)",
         victims.len(),
         repaired.stats.rounds,
         repaired.stats.broadcasts,
-        repaired.stats.broadcasts.saturating_sub(clean.stats.broadcasts),
+        repaired
+            .stats
+            .broadcasts
+            .saturating_sub(clean.stats.broadcasts),
     );
 
     // Phase 3: route on the degraded network with the repaired info.
     let degraded = net.without_nodes(&victims);
     let more_unsafe = degraded
         .node_ids()
-        .filter(|&u| {
-            !repaired.info.tuple(u).fully_safe() && clean.info.tuple(u).fully_safe()
-        })
+        .filter(|&u| !repaired.info.tuple(u).fully_safe() && clean.info.tuple(u).fully_safe())
         .count();
     println!("{more_unsafe} nodes became (partially) unsafe after the failures\n");
 

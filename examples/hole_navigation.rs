@@ -62,9 +62,7 @@ fn main() {
         println!("{}", row.iter().collect::<String>());
     }
     println!("\n@ source  $ destination  . forbidden area");
-    println!(
-        "- Dijkstra ideal  g GF  S SLGF2  F SLGF2-F (overlaps shown by last writer)\n"
-    );
+    println!("- Dijkstra ideal  g GF  S SLGF2  F SLGF2-F (overlaps shown by last writer)\n");
 
     println!(
         "{:<22} {:>5}  {:>9}  {:>10}",
@@ -94,7 +92,10 @@ fn main() {
     // Stretch is only meaningful for delivered routes.
     for (name, r) in [("GF", &r_gf), ("SLGF2", &r_s2), ("SLGF2-F", &r_f)] {
         if r.delivered() {
-            println!("{name} path stretch vs ideal: {:.2}x", r.length(&net) / ideal.1);
+            println!(
+                "{name} path stretch vs ideal: {:.2}x",
+                r.length(&net) / ideal.1
+            );
         } else {
             println!(
                 "{name} lost the packet after {} hops (a hole this large \

@@ -39,14 +39,14 @@ fn main() {
 
     // Kill 10% of the nodes in random order (sparing the endpoints).
     let mut rng = StdRng::seed_from_u64(0xdead);
-    let mut victims: Vec<NodeId> = net
-        .node_ids()
-        .filter(|&u| u != src && u != dst)
-        .collect();
+    let mut victims: Vec<NodeId> = net.node_ids().filter(|&u| u != src && u != dst).collect();
     victims.shuffle(&mut rng);
     victims.truncate(60);
 
-    println!("\n{:<8} {:>9} {:>10} {:>12} {:>8}", "kill", "relabeled", "work items", "unsafe nodes", "hops");
+    println!(
+        "\n{:<8} {:>9} {:>10} {:>12} {:>8}",
+        "kill", "relabeled", "work items", "unsafe nodes", "hops"
+    );
     for (i, &victim) in victims.iter().enumerate() {
         let report = maint.kill(victim);
         if !maint.network().connected(src, dst) {

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r2 = sc.route_slgf2();
         println!(
             "  SLGF2: {} in {} hops ({} backup, {} perimeter entries)",
-            if r2.delivered() { "delivered" } else { "failed" },
+            if r2.delivered() {
+                "delivered"
+            } else {
+                "failed"
+            },
             r2.hops(),
             r2.backup_entries,
             r2.perimeter_entries,
@@ -27,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r1 = sc.route(Scheme::Lgf);
         println!(
             "  LGF:   {} in {} hops ({} perimeter entries)",
-            if r1.delivered() { "delivered" } else { "failed" },
+            if r1.delivered() {
+                "delivered"
+            } else {
+                "failed"
+            },
             r1.hops(),
             r1.perimeter_entries,
         );

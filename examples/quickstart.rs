@@ -49,8 +49,8 @@ fn main() {
         .shortest_path(src, dst)
         .expect("connected pair has a shortest path");
     println!(
-        "{:<8} {:>5} {:>9}  {}",
-        "scheme", "hops", "length", "phases (greedy/backup/perimeter)"
+        "{:<8} {:>5} {:>9}  phases (greedy/backup/perimeter)",
+        "scheme", "hops", "length"
     );
     println!(
         "{:<8} {:>5} {:>8.1}m  (Dijkstra reference)",
@@ -62,8 +62,12 @@ fn main() {
     let lgf = LgfRouter::new();
     let slgf = SlgfRouter::new(&info);
     let slgf2 = Slgf2Router::new(&info);
-    let schemes: [(&str, &dyn Routing); 4] =
-        [("GF", &gf), ("LGF", &lgf), ("SLGF", &slgf), ("SLGF2", &slgf2)];
+    let schemes: [(&str, &dyn Routing); 4] = [
+        ("GF", &gf),
+        ("LGF", &lgf),
+        ("SLGF", &slgf),
+        ("SLGF2", &slgf2),
+    ];
     for (name, router) in schemes {
         let r = router.route(&net, src, dst);
         let status = if r.delivered() { "" } else { " [FAILED]" };
@@ -80,5 +84,8 @@ fn main() {
     }
 
     // The SLGF2 walk, hop by hop, with safety tuples.
-    println!("\n{}", sp_core::explain_route(&net, &slgf2.route(&net, src, dst), Some(&info)));
+    println!(
+        "\n{}",
+        sp_core::explain_route(&net, &slgf2.route(&net, src, dst), Some(&info))
+    );
 }

@@ -50,8 +50,12 @@ fn main() {
         "scheme", "tx (energy)", "mean hops", "nodes touched", "delivered"
     );
 
-    let schemes: [(&str, &dyn Routing); 4] =
-        [("GF", &gf), ("LGF", &lgf), ("SLGF", &slgf), ("SLGF2", &slgf2)];
+    let schemes: [(&str, &dyn Routing); 4] = [
+        ("GF", &gf),
+        ("LGF", &lgf),
+        ("SLGF", &slgf),
+        ("SLGF2", &slgf2),
+    ];
     for (name, router) in schemes {
         let mut transmissions = 0usize;
         let mut delivered = 0usize;

@@ -69,8 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lgf = LgfRouter::new();
     let slgf = SlgfRouter::new(&info);
     let slgf2 = Slgf2Router::new(&info);
-    let schemes: [(&str, &dyn Routing); 4] =
-        [("gf", &gf), ("lgf", &lgf), ("slgf", &slgf), ("slgf2", &slgf2)];
+    let schemes: [(&str, &dyn Routing); 4] = [
+        ("gf", &gf),
+        ("lgf", &lgf),
+        ("slgf", &slgf),
+        ("slgf2", &slgf2),
+    ];
     for (name, router) in schemes {
         let r = router.route(&net, src, dst);
         println!(

@@ -59,12 +59,18 @@ impl Flags<'_> {
     }
     fn usize_or(&self, key: &str, default: usize) -> usize {
         self.value(key)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("{key} wants a number, got {v}"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("{key} wants a number, got {v}")))
+            })
             .unwrap_or(default)
     }
     fn u64_or(&self, key: &str, default: u64) -> u64 {
         self.value(key)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("{key} wants a number, got {v}"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("{key} wants a number, got {v}")))
+            })
             .unwrap_or(default)
     }
 }
@@ -102,7 +108,11 @@ fn cmd_deploy(rest: &[String]) {
     println!("nodes:             {}", net.len());
     println!("edges:             {}", net.edge_count());
     println!("avg degree:        {:.2}", net.avg_degree());
-    println!("largest component: {} ({:.1} %)", comp.len(), 100.0 * comp.len() as f64 / net.len() as f64);
+    println!(
+        "largest component: {} ({:.1} %)",
+        comp.len(),
+        100.0 * comp.len() as f64 / net.len() as f64
+    );
     println!("obstacles:         {}", obstacles.len());
 }
 
@@ -143,7 +153,9 @@ fn cmd_route(rest: &[String]) {
         "slgf2" => Scheme::Slgf2,
         "gfg" => Scheme::Gfg,
         "slgf2-f" => Scheme::Slgf2Face,
-        other => die(&format!("unknown scheme {other} (gf|lgf|slgf|slgf2|gfg|slgf2-f)")),
+        other => die(&format!(
+            "unknown scheme {other} (gf|lgf|slgf|slgf2|gfg|slgf2-f)"
+        )),
     };
     let comp = net.largest_component();
     if comp.len() < 2 {
@@ -172,13 +184,19 @@ fn cmd_route(rest: &[String]) {
         print!("{}", explain_route(&prepared.net, &r, Some(&prepared.info)));
     }
     if let Some(path) = flags.value("--svg") {
-        let svg = Scene::new(&prepared.net, SceneOptions { draw_edges: false, ..SceneOptions::default() })
-            .with_obstacles(&obstacles)
-            .with_safety(&prepared.info)
-            .with_route(scheme.name(), &r)
-            .with_mark(src, "s")
-            .with_mark(dst, "d")
-            .render();
+        let svg = Scene::new(
+            &prepared.net,
+            SceneOptions {
+                draw_edges: false,
+                ..SceneOptions::default()
+            },
+        )
+        .with_obstacles(&obstacles)
+        .with_safety(&prepared.info)
+        .with_route(scheme.name(), &r)
+        .with_mark(src, "s")
+        .with_mark(dst, "d")
+        .render();
         std::fs::write(path, svg).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         println!("wrote {path}");
     }

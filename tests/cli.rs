@@ -50,14 +50,18 @@ fn label_census_covers_all_nodes() {
 
 #[test]
 fn route_is_deterministic_and_schemes_differ() {
-    let args = ["route", "--nodes", "500", "--seed", "7", "--fa", "--scheme", "slgf2"];
+    let args = [
+        "route", "--nodes", "500", "--seed", "7", "--fa", "--scheme", "slgf2",
+    ];
     let (a, _, ok_a) = run(&args);
     let (b, _, ok_b) = run(&args);
     assert!(ok_a && ok_b);
     assert_eq!(a, b, "same seed, same route");
     assert!(a.contains("SLGF2:"));
 
-    let (gfg, _, ok) = run(&["route", "--nodes", "500", "--seed", "7", "--fa", "--scheme", "gfg"]);
+    let (gfg, _, ok) = run(&[
+        "route", "--nodes", "500", "--seed", "7", "--fa", "--scheme", "gfg",
+    ]);
     assert!(ok);
     assert!(gfg.contains("GFG:"));
 }
@@ -65,7 +69,14 @@ fn route_is_deterministic_and_schemes_differ() {
 #[test]
 fn route_explain_prints_the_walk() {
     let (stdout, _, ok) = run(&[
-        "route", "--nodes", "400", "--seed", "5", "--scheme", "slgf2", "--explain",
+        "route",
+        "--nodes",
+        "400",
+        "--seed",
+        "5",
+        "--scheme",
+        "slgf2",
+        "--explain",
     ]);
     assert!(ok);
     assert!(stdout.contains("hop   0:"), "{stdout}");
@@ -90,8 +101,15 @@ fn svg_output_lands_on_disk() {
     std::fs::create_dir_all(&dir).unwrap();
     let svg = dir.join("route.svg");
     let (_, _, ok) = run(&[
-        "route", "--nodes", "400", "--seed", "2", "--scheme", "slgf2",
-        "--svg", svg.to_str().unwrap(),
+        "route",
+        "--nodes",
+        "400",
+        "--seed",
+        "2",
+        "--scheme",
+        "slgf2",
+        "--svg",
+        svg.to_str().unwrap(),
     ]);
     assert!(ok);
     let content = std::fs::read_to_string(&svg).expect("svg written");

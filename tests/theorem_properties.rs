@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use straightpath::core::{construct_distributed, zone_type};
-use straightpath::prelude::*;
 use straightpath::net::Network as Net;
+use straightpath::prelude::*;
 
 fn build_net(n: usize, seed: u64) -> Net {
     let cfg = DeploymentConfig::paper_default(n);

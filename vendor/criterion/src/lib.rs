@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors a minimal wall-clock harness with criterion's API shape:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the simple
+//! and the `name/config/targets` forms).
+//!
+//! Each benchmark is warmed up once, then timed over enough iterations
+//! to fill a short measurement window; the mean time per iteration is
+//! printed as `bench: <name> ... <time>`. There are no statistical
+//! comparisons, plots, or saved baselines. [`Criterion::last_estimate`]
+//! exposes the most recent measurement so callers can post-process
+//! results (e.g. emit JSON).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Hard cap on timed iterations per benchmark.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// A label for one benchmark: a function name plus an optional
+/// parameter, rendered `function/parameter` like criterion does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// How `iter_batched` amortizes setup; only an API placeholder here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup re-run per iteration).
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` and records the mean wall-clock nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and single-shot estimate.
+        let start = Instant::now();
+        let _ = routine();
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Enough iterations to fill the window, at least one.
+        let iters =
+            (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let _ = routine(input);
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    last_estimate: Option<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            last_estimate: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (accepted for API compatibility;
+    /// the harness sizes its own measurement window).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        self.run(None, id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Mean nanoseconds of the most recently run benchmark, with its
+    /// full `group/function/parameter` label.
+    pub fn last_estimate(&self) -> Option<(&str, f64)> {
+        self.last_estimate.as_ref().map(|(s, v)| (s.as_str(), *v))
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, group: Option<&str>, id: BenchmarkId, mut f: F) {
+        let label = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        f(&mut bencher);
+        eprintln!("bench: {label:<50} {:>12}/iter", human(bencher.mean_ns));
+        self.last_estimate = Some((label, bencher.mean_ns));
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample size (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let name = self.name.clone();
+        self.criterion.run(Some(&name), id.into(), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark entry point from one or more target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        let (label, ns) = c.last_estimate().expect("estimate recorded");
+        assert_eq!(label, "spin");
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_labels() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("f", 42), |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        });
+        group.finish();
+        let (label, _) = c.last_estimate().expect("estimate recorded");
+        assert_eq!(label, "g/f/42");
+    }
+
+    criterion_group!(simple, noop_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(10);
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macros_produce_runnable_fns() {
+        simple();
+        configured();
+    }
+}

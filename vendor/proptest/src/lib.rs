@@ -1,0 +1,425 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests
+//! use: the [`proptest!`] macro over `arg in strategy` bindings, range
+//! and tuple strategies, [`Strategy::prop_map`], collection strategies
+//! ([`prop::collection::vec`] / [`prop::collection::btree_set`]),
+//! uniform selection ([`prop::sample::select`]), and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the ordinary assertion message. Case generation is
+//! deterministic — the RNG is seeded from the test's name — so failures
+//! reproduce exactly across runs.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // In test code this fn carries #[test]; attributes pass through.
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// A failed property-test case.
+///
+/// In real proptest the `prop_assert*` macros return this through the
+/// enclosing function; this stand-in panics at the assertion site
+/// instead (no shrinking), so the type exists mainly so that helper
+/// functions written against proptest's signatures —
+/// `fn check(..) -> Result<(), TestCaseError>` — compile unchanged.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure reason.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-test configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 32 keeps the full suite fast
+        // while still exercising a meaningful sample.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The deterministic case RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test identifier (FNV-1a over the name).
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// Strategy combinator modules mirroring proptest's layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::RngExt;
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// `Vec` strategy with a length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// The strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.rng().random_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `BTreeSet` strategy targeting a size drawn from `len`
+        /// (duplicates are retried a bounded number of times).
+        pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, len }
+        }
+
+        /// The strategy returned by [`btree_set`].
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let target = rng.rng().random_range(self.len.clone());
+                let mut out = BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < target && attempts < target * 20 + 20 {
+                    out.insert(self.element.sample(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+        use rand::RngExt;
+
+        /// Uniform selection from a non-empty vector of options.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+
+        /// The strategy returned by [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.options[rng.rng().random_range(0..self.options.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Only valid directly inside a [`proptest!`] body (or any function
+/// returning `Result<_, TestCaseError>`): it returns `Ok(())` early.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+///
+/// Attributes (including doc comments and `#[test]` itself) are carried
+/// over to the generated test function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $($crate::__proptest_one!(($cfg) $(#[$meta])* fn $name($($arg in $strat),+) $body);)*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $($crate::__proptest_one!(
+            ($crate::ProptestConfig::default()) $(#[$meta])* fn $name($($arg in $strat),+) $body
+        );)*
+    };
+}
+
+/// Expansion of one property test; implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // The case body runs in a Result-returning closure so
+                // `prop_assume!` can skip the case with an early return
+                // and `?`-style helpers compile unchanged. `mut` is
+                // needed only when the body mutates a captured binding.
+                #[allow(unused_mut)]
+                let mut case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = case() {
+                    panic!("property failed: {}", e);
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 5u64..50, b in -3i32..=3, x in 0.25..0.75f64) {
+            prop_assert!((5..50).contains(&a));
+            prop_assert!((-3..=3).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_map_compose(p in (0.0..1.0f64, 0.0..1.0f64).prop_map(|(x, y)| x + y)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+
+        #[test]
+        fn collections_hit_requested_sizes(
+            v in prop::collection::vec(0u8..255, 3..9),
+            s in prop::collection::btree_set(0usize..1000, 2..6),
+        ) {
+            prop_assert!((3..9).contains(&v.len()));
+            prop_assert!(s.len() >= 2 && s.len() < 6);
+        }
+
+        #[test]
+        fn select_picks_members(q in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert!([1, 2, 3].contains(&q));
+        }
+
+        #[test]
+        fn mut_bindings_parse(mut v in prop::collection::vec(0u32..10, 1..5)) {
+            v.push(99);
+            prop_assert_eq!(*v.last().unwrap(), 99);
+        }
+    }
+
+    #[test]
+    fn same_test_name_reproduces_cases() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let sa: Vec<u64> = (0..16)
+            .map(|_| crate::Strategy::sample(&(0u64..1000), &mut a))
+            .collect();
+        let sb: Vec<u64> = (0..16)
+            .map(|_| crate::Strategy::sample(&(0u64..1000), &mut b))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,288 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the small slice of `rand`'s API it actually uses: a seeded
+//! deterministic generator ([`rngs::StdRng`]), the [`SeedableRng`]
+//! constructor, uniform range sampling via [`RngExt::random_range`],
+//! and [`seq::SliceRandom::shuffle`]. The generator is SplitMix64 —
+//! statistically solid for simulation workloads and fully reproducible
+//! per seed, which is all the experiment harness requires. It is *not*
+//! cryptographically secure.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x = rng.random_range(0..10usize);
+//! assert!(x < 10);
+//! let y = rng.random_range(0.0..1.0f64);
+//! assert!((0.0..1.0).contains(&y));
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Identical seeds produce
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Passes through every 64-bit state exactly once per period and has
+    /// no weak low bits, unlike a raw LCG.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // One mixing round so that nearby seeds diverge immediately.
+            let mut rng = StdRng { state: seed };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// A type that can be sampled uniformly from a range by an RNG.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`; callers guarantee `lo <= hi`.
+    fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounding: unbiased enough for simulation
+                // use and branch-free.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+            fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "empty sample range");
+                // 53 high bits -> uniform in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = lo as f64 + unit * (hi as f64 - lo as f64);
+                // Guard against rounding up to the open bound.
+                if v as $t >= hi { lo } else { v as $t }
+            }
+            fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi, "empty sample range");
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// A range argument accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Convenience sampling methods on any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform draw from `range` (half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniform boolean.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random_range(0.0..1.0f64) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle(&mut self, rng: &mut impl RngCore);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose(&self, rng: &mut impl RngCore) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle(&mut self, rng: &mut impl RngCore) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_inclusive(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose(&self, rng: &mut impl RngCore) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_half_open(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0..=5u8);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&v));
+            let w = rng.random_range(0.0..=1.0f64);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_sampling_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = [10, 20, 30];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
