@@ -6,13 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_core::{construct_distributed, SafetyInfo};
-use sp_experiments::{figures, DeploymentKind, SweepConfig};
+use sp_experiments::{figures, Scenario, SweepConfig};
 use sp_metrics::render_text;
 use sp_net::Network;
 use std::hint::black_box;
 
 fn construction_benches(c: &mut Criterion) {
-    let cfg = SweepConfig::quick(DeploymentKind::Ia);
+    let cfg = SweepConfig::quick(Scenario::Ia);
     eprintln!(
         "{}",
         render_text(&figures::construction_cost_figure(&cfg, 2))

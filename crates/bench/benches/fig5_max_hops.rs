@@ -9,14 +9,14 @@
 //! `cargo run -p sp-experiments --bin repro-figures -- 5a 5b`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sp_experiments::{figures, run_instance, run_sweep, DeploymentKind, Scheme, SweepConfig};
+use sp_experiments::{figures, run_instance, run_sweep, Scenario, Scheme, SweepConfig};
 use sp_metrics::render_text;
 use std::hint::black_box;
 
 fn fig5_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_max_hops");
     group.sample_size(10);
-    for kind in [DeploymentKind::Ia, DeploymentKind::fa_default()] {
+    for kind in [Scenario::Ia, Scenario::Fa] {
         let cfg = SweepConfig::quick(kind);
         let results = run_sweep(&cfg, &Scheme::PAPER_SET);
         eprintln!("{}", render_text(&figures::fig5(&results)));

@@ -10,21 +10,21 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_experiments::{
-    figures, random_connected_pair, run_sweep, DeploymentKind, PreparedNetwork, Scheme, SweepConfig,
+    figures, random_connected_pair, run_sweep, PreparedNetwork, Scenario, Scheme, SweepConfig,
 };
 use sp_metrics::render_text;
 use sp_net::Network;
 use std::hint::black_box;
 
 fn fig6_benches(c: &mut Criterion) {
-    for kind in [DeploymentKind::Ia, DeploymentKind::fa_default()] {
+    for kind in [Scenario::Ia, Scenario::Fa] {
         let cfg = SweepConfig::quick(kind);
         let results = run_sweep(&cfg, &Scheme::PAPER_SET);
         eprintln!("{}", render_text(&figures::fig6(&results)));
     }
 
     // Route timing on a prepared network (IA, n=600).
-    let cfg = SweepConfig::quick(DeploymentKind::Ia);
+    let cfg = SweepConfig::quick(Scenario::Ia);
     let dc = cfg.deployment_config(600);
     let net = Network::from_positions(cfg.deployment.deploy(&dc, 42), dc.radius, dc.area);
     let prepared = PreparedNetwork::new(net);

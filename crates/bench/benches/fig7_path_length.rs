@@ -7,14 +7,14 @@
 //! Full-scale: `cargo run -p sp-experiments --bin repro-figures -- 7a 7b`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sp_experiments::{figures, run_sweep, DeploymentKind, Scheme, SweepConfig};
+use sp_experiments::{figures, run_sweep, Scenario, Scheme, SweepConfig};
 use sp_metrics::render_text;
 use std::hint::black_box;
 
 fn fig7_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_path_length");
     group.sample_size(10);
-    for kind in [DeploymentKind::Ia, DeploymentKind::fa_default()] {
+    for kind in [Scenario::Ia, Scenario::Fa] {
         let cfg = SweepConfig::quick(kind);
         let results = run_sweep(&cfg, &Scheme::PAPER_SET);
         eprintln!("{}", render_text(&figures::fig7(&results)));

@@ -1,0 +1,89 @@
+//! The sweep runner end-to-end: spec-string resolution through both
+//! registries plus the parallel `run_sweep` over each deployment
+//! scenario, at smoke scale.
+//!
+//! Besides the criterion output, the measured medians (of repeated
+//! whole-sweep runs, ROADMAP "criterion stub fidelity") land in
+//! `BENCH_sweep.json` at the workspace root, one row per scenario.
+//!
+//! Run with: `cargo bench -p sp-bench --bench sweep_runner`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_experiments::SweepSpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One smoke sweep per scenario: 2 node counts × 4 networks, the
+/// paper's four schemes (the CI spec run uses the corridor row).
+const SPECS: [(&str, &str); 3] = [
+    ("IA", "scenario=IA;nodes=400,600;nets=4;schemes=PAPER"),
+    (
+        "corridor",
+        "scenario=corridor;nodes=400,600;nets=4;schemes=PAPER",
+    ),
+    (
+        "clustered",
+        "scenario=clustered;nodes=400,600;nets=4;schemes=PAPER",
+    ),
+];
+
+/// Median wall-clock seconds of `runs` executions of `f`.
+fn median_secs<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn sweep_benches(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(10);
+    for (tag, spec_str) in SPECS {
+        let spec = SweepSpec::parse(spec_str).expect("bench specs parse");
+        let results = spec.run();
+        let routes: usize = results
+            .points
+            .iter()
+            .flat_map(|p| p.schemes.iter().map(|s| s.total))
+            .sum();
+        assert!(routes > 0, "{tag}: sweep produced no routes");
+
+        let sweep_s = median_secs(5, || spec.run());
+        // The front end itself must stay out of the noise floor.
+        let parse_s = median_secs(64, || SweepSpec::parse(spec_str).unwrap());
+        eprintln!(
+            "{tag}: sweep {:.1} ms ({routes} routes) | parse {:.3} ms",
+            sweep_s * 1e3,
+            parse_s * 1e3
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", \"routes\": {}, ",
+                "\"sweep_seconds\": {:.6}, \"parse_seconds\": {:.6}}}"
+            ),
+            tag, routes, sweep_s, parse_s
+        ));
+
+        group.bench_function(BenchmarkId::new("run", tag), |b| {
+            b.iter(|| spec.run());
+        });
+    }
+    group.finish();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_runner\",\n  \"unit\": \"seconds (median)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(out, &json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {out}");
+}
+
+criterion_group!(benches, sweep_benches);
+criterion_main!(benches);

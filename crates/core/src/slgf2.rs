@@ -18,8 +18,8 @@
 //!    plus the rectangular estimates keep it near the unsafe area).
 
 use crate::{
-    choose_hand, default_ttl, greedy_pick, hand_order, walk, zone_candidates, Hand, HopPolicy,
-    Mode, PacketState, RoutePhase, RouteResult, Routing, SafetyInfo,
+    choose_hand, greedy_pick, hand_order, walk, zone_candidates, Hand, HopPolicy, Mode,
+    PacketState, RoutePhase, RouteResult, Routing, SafetyInfo,
 };
 use sp_geom::{Point, Quadrant};
 use sp_net::{Network, NodeId};
@@ -46,6 +46,7 @@ pub struct Slgf2Router<'a> {
     info: &'a SafetyInfo,
     superseding: bool,
     backup: bool,
+    ttl_multiplier: f64,
 }
 
 impl<'a> Slgf2Router<'a> {
@@ -55,7 +56,16 @@ impl<'a> Slgf2Router<'a> {
             info,
             superseding: true,
             backup: true,
+            ttl_multiplier: 4.0,
         }
+    }
+
+    /// Sets the hop budget to `multiplier × n` instead of the
+    /// [`crate::default_ttl`] of `4n` — the knob the TTL-policy
+    /// ablation families sweep. Values below `1/n` still allow one hop.
+    pub fn with_ttl_multiplier(mut self, multiplier: f64) -> Slgf2Router<'a> {
+        self.ttl_multiplier = multiplier;
+        self
     }
 
     /// Ablation A3: drop the either-hand superseding rule (step 3).
@@ -241,7 +251,9 @@ impl Routing for Slgf2Router<'_> {
     }
 
     fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
-        walk(self, net, src, dst, default_ttl(net))
+        // At the default multiplier of 4.0 this equals default_ttl(net).
+        let ttl = ((self.ttl_multiplier * net.len().max(1) as f64).ceil() as usize).max(1);
+        walk(self, net, src, dst, ttl)
     }
 }
 

@@ -2,16 +2,19 @@
 //! ablations) from the command line.
 //!
 //! ```text
-//! repro-figures [--quick] [--chart] [--svg] [--out DIR] [FIGURE...]
+//! repro-figures [--quick] [--chart] [--svg] [--out DIR] [--spec SPEC | FIGURE...]
 //!
 //! FIGURE: 5a 5b 6a 6b 7a 7b a1..a13 | all   (default: all)
 //! --quick  reduced sweep (3 node counts, 8 networks/point) for smoke runs
 //! --chart  also print each figure as an ASCII line chart
 //! --svg    also write each figure as an SVG line chart
 //! --out    directory for .md/.csv/.svg outputs (default: results/)
+//! --spec   run one custom sweep instead of the paper figures, e.g.
+//!          "scenario=corridor;nodes=400..800:50;nets=100;schemes=PAPER"
+//!          (names resolve through the scheme/scenario registries)
 //! ```
 
-use sp_experiments::{figures, run_sweep, DeploymentKind, Scheme, SweepConfig, SweepResults};
+use sp_experiments::{figures, run_sweep, Scenario, Scheme, SweepConfig, SweepResults, SweepSpec};
 use sp_metrics::{render_csv, render_json, render_markdown, render_text, Figure};
 use sp_viz::ascii::{render_chart, ChartOptions};
 use sp_viz::chart::{render_figure_svg, FigureSvgOptions};
@@ -28,6 +31,7 @@ fn main() {
     let mut quick = false;
     let mut chart = false;
     let mut svg = false;
+    let mut spec: Option<String> = None;
     let mut out_dir = PathBuf::from("results");
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
@@ -42,11 +46,19 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--spec" => {
+                spec = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--spec requires a spec-string argument");
+                    std::process::exit(2);
+                }));
+            }
             "all" => {
                 wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro-figures [--quick] [--chart] [--out DIR] [FIGURE...]");
+                eprintln!(
+                    "usage: repro-figures [--quick] [--chart] [--out DIR] [--spec SPEC | FIGURE...]"
+                );
                 eprintln!("FIGURE: {} | all", ALL_FIGURES.join(" "));
                 return;
             }
@@ -65,13 +77,18 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
-    let sweep_for = |kind: DeploymentKind| -> SweepConfig {
+    if let Some(spec) = spec {
+        run_spec(&spec, quick, chart, svg, &out_dir);
+        return;
+    }
+
+    let sweep_for = |scenario: Scenario| -> SweepConfig {
         if quick {
-            SweepConfig::quick(kind)
+            SweepConfig::quick(scenario)
         } else {
-            match kind {
-                DeploymentKind::Ia => SweepConfig::paper_ia(),
-                DeploymentKind::Fa(_) => SweepConfig::paper_fa(),
+            SweepConfig {
+                deployment: scenario,
+                ..SweepConfig::paper_ia()
             }
         }
     };
@@ -100,11 +117,11 @@ fn main() {
 
     let ia_results = needs_ia.then(|| {
         eprintln!("running IA sweep...");
-        run_sweep(&sweep_for(DeploymentKind::Ia), &full_set)
+        run_sweep(&sweep_for(Scenario::Ia), &full_set)
     });
     let fa_results = needs_fa.then(|| {
         eprintln!("running FA sweep...");
-        run_sweep(&sweep_for(DeploymentKind::fa_default()), &full_set)
+        run_sweep(&sweep_for(Scenario::Fa), &full_set)
     });
 
     let mut emitted = 0;
@@ -118,7 +135,7 @@ fn main() {
             "7b" => vec![keep_paper_set(figures::fig7(fa_results.as_ref().unwrap()))],
             "a1" => {
                 eprintln!("running construction-cost sweep...");
-                let cfg = sweep_for(DeploymentKind::Ia);
+                let cfg = sweep_for(Scenario::Ia);
                 let instances = if quick { 2 } else { 10 };
                 vec![figures::construction_cost_figure(&cfg, instances)]
             }
@@ -130,7 +147,7 @@ fn main() {
                 eprintln!("running failure-robustness sweep...");
                 let (inst, n) = if quick { (4, 400) } else { (30, 600) };
                 vec![figures::failure_robustness_figure(
-                    DeploymentKind::Ia,
+                    Scenario::Ia,
                     n,
                     inst,
                     &[0.0, 0.05, 0.10, 0.15, 0.20, 0.25],
@@ -155,7 +172,7 @@ fn main() {
                     (400..=800).step_by(100).collect()
                 };
                 vec![figures::maintenance_cost_figure(
-                    DeploymentKind::Ia,
+                    Scenario::Ia,
                     &counts,
                     inst,
                     kills,
@@ -204,7 +221,7 @@ fn main() {
             }
             "a14" => {
                 eprintln!("running shape-estimate accuracy sweep...");
-                let mut cfg = sweep_for(DeploymentKind::fa_default());
+                let mut cfg = sweep_for(Scenario::Fa);
                 let instances = if quick { 2 } else { 10 };
                 if quick {
                     cfg.node_counts = vec![400, 600, 800];
@@ -213,7 +230,7 @@ fn main() {
             }
             "a10" => {
                 eprintln!("running sync-vs-async construction sweep...");
-                let mut cfg = sweep_for(DeploymentKind::Ia);
+                let mut cfg = sweep_for(Scenario::Ia);
                 let instances = if quick { 2 } else { 8 };
                 if quick {
                     cfg.node_counts = vec![400, 600, 800];
@@ -242,8 +259,8 @@ fn gfg_figure(results: &SweepResults) -> Figure {
         "A8 GFG face-routing comparison ({} model)",
         results.deployment_tag
     );
-    let keep: Vec<&str> = Scheme::EXTENDED_SET.iter().map(|s| s.name()).collect();
-    fig.series.retain(|s| keep.contains(&s.label.as_str()));
+    let keep: Vec<String> = Scheme::EXTENDED_SET.iter().map(|s| s.name()).collect();
+    fig.series.retain(|s| keep.contains(&s.label));
     fig
 }
 
@@ -283,8 +300,8 @@ fn slgf2_face_figure(results: &SweepResults) -> Figure {
 /// Restrict a figure to the paper's four curves (the sweep also carries
 /// the ablation variants).
 fn keep_paper_set(mut fig: Figure) -> Figure {
-    let keep: Vec<&str> = Scheme::PAPER_SET.iter().map(|s| s.name()).collect();
-    fig.series.retain(|s| keep.contains(&s.label.as_str()));
+    let keep: Vec<String> = Scheme::PAPER_SET.iter().map(|s| s.name()).collect();
+    fig.series.retain(|s| keep.contains(&s.label));
     fig
 }
 
@@ -301,6 +318,55 @@ fn ablation_figure(results: &SweepResults, superseding: bool) -> Figure {
     fig.series
         .retain(|s| s.label == "SLGF2" || s.label == variant);
     fig
+}
+
+/// `--spec` mode: resolve the spec through the registries, run the one
+/// sweep it describes, and emit the standard metric views of it.
+fn run_spec(spec: &str, quick: bool, chart: bool, svg: bool, out_dir: &Path) {
+    let mut resolved = SweepSpec::parse(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if quick {
+        // Smoke-run bounds, mirroring SweepConfig::quick: at most 8
+        // networks per point over at most 3 node counts (first, middle,
+        // last of the requested axis).
+        resolved.config.networks_per_point = resolved.config.networks_per_point.min(8);
+        let counts = &mut resolved.config.node_counts;
+        if counts.len() > 3 {
+            *counts = vec![
+                counts[0],
+                counts[counts.len() / 2],
+                counts[counts.len() - 1],
+            ];
+        }
+    }
+    let names: Vec<String> = resolved.schemes.iter().map(|s| s.name()).collect();
+    eprintln!(
+        "running spec sweep: scenario={}, {} node counts x {} nets, schemes [{}]...",
+        resolved.config.deployment,
+        resolved.config.node_counts.len(),
+        resolved.config.networks_per_point,
+        names.join(", ")
+    );
+    let results = resolved.run();
+    let tag = &results.deployment_tag;
+    let views = [
+        (figures::Metric::MaxHops, "maximum hops"),
+        (figures::Metric::MeanHops, "average hops"),
+        (figures::Metric::MeanLength, "average path length"),
+        (figures::Metric::DeliveryRatio, "delivery ratio"),
+    ];
+    for (metric, label) in views {
+        let fig =
+            figures::figure_from_sweep(&results, metric, &format!("sweep {label} ({tag} model)"));
+        println!("{}", render_text(&fig));
+        if chart {
+            println!("{}", render_chart(&fig, ChartOptions::default()));
+        }
+        write_outputs(out_dir, "sweep", &fig, svg);
+    }
+    eprintln!("wrote 4 figure(s) to {}", out_dir.display());
 }
 
 fn collect_panels(

@@ -6,44 +6,14 @@
 //! > increments of 50. For each case, 100 networks are randomly
 //! > generated, and the average routing performance over all of these
 //! > randomly sampled networks is reported."
+//!
+//! The deployment model of a sweep is a [`Scenario`] handle into the
+//! open scenario registry — the paper's IA/FA pair are the first two
+//! built-ins, and any registered scenario (clustered, corridor,
+//! city-block, or a runtime registration) sweeps identically.
 
-use sp_geom::Point;
-use sp_net::{deploy::DeploymentConfig, FaModel};
-
-/// Which deployment model a sweep uses (the two panels of every figure).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum DeploymentKind {
-    /// IA: uniform ("ideal") deployment — holes only from sparsity.
-    Ia,
-    /// FA: uniform deployment avoiding random forbidden areas.
-    Fa(FaModel),
-}
-
-impl DeploymentKind {
-    /// The paper's FA model with default obstacle parameters.
-    pub fn fa_default() -> DeploymentKind {
-        DeploymentKind::Fa(FaModel::paper_default())
-    }
-
-    /// Short panel tag used in figure titles: "IA" or "FA".
-    pub fn tag(&self) -> &'static str {
-        match self {
-            DeploymentKind::Ia => "IA",
-            DeploymentKind::Fa(_) => "FA",
-        }
-    }
-
-    /// Generates one deployment instance.
-    pub fn deploy(&self, cfg: &DeploymentConfig, seed: u64) -> Vec<Point> {
-        match self {
-            DeploymentKind::Ia => cfg.deploy_uniform(seed),
-            DeploymentKind::Fa(fa) => {
-                let obstacles = fa.generate_obstacles(cfg, seed);
-                cfg.deploy_with_obstacles(&obstacles, seed)
-            }
-        }
-    }
-}
+use crate::Scenario;
+use sp_net::deploy::DeploymentConfig;
 
 /// A full figure sweep: node counts × seeded network instances.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,8 +24,8 @@ pub struct SweepConfig {
     pub networks_per_point: usize,
     /// Random source/destination pairs routed per network.
     pub pairs_per_network: usize,
-    /// Deployment model.
-    pub deployment: DeploymentKind,
+    /// Deployment scenario (resolved through the scenario registry).
+    pub deployment: Scenario,
     /// Base seed; instance seeds derive deterministically from it.
     pub base_seed: u64,
 }
@@ -67,7 +37,7 @@ impl SweepConfig {
             node_counts: (400..=800).step_by(50).collect(),
             networks_per_point: 100,
             pairs_per_network: 1,
-            deployment: DeploymentKind::Ia,
+            deployment: Scenario::Ia,
             base_seed: 0x5eed_0001,
         }
     }
@@ -75,14 +45,14 @@ impl SweepConfig {
     /// The paper's FA sweep.
     pub fn paper_fa() -> SweepConfig {
         SweepConfig {
-            deployment: DeploymentKind::fa_default(),
+            deployment: Scenario::Fa,
             ..SweepConfig::paper_ia()
         }
     }
 
     /// A reduced sweep for tests and smoke benchmarks: three node
     /// counts, a handful of networks.
-    pub fn quick(deployment: DeploymentKind) -> SweepConfig {
+    pub fn quick(deployment: Scenario) -> SweepConfig {
         SweepConfig {
             node_counts: vec![400, 600, 800],
             networks_per_point: 8,
@@ -145,8 +115,8 @@ mod tests {
     }
 
     #[test]
-    fn deploy_kinds_generate_right_counts() {
-        let sweep = SweepConfig::quick(DeploymentKind::fa_default());
+    fn deploy_scenarios_generate_right_counts() {
+        let sweep = SweepConfig::quick(Scenario::Fa);
         let cfg = sweep.deployment_config(400);
         let pts = sweep.deployment.deploy(&cfg, 3);
         assert_eq!(pts.len(), 400);

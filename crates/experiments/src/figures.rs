@@ -5,7 +5,7 @@
 //! length**; each figure has an IA panel (a) and an FA panel (b). The
 //! ablation figures (A1–A6 of `DESIGN.md`) extend the evaluation.
 
-use crate::{DeploymentKind, Scheme, SweepConfig, SweepResults};
+use crate::{Scenario, Scheme, SweepConfig, SweepResults};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
 use sp_core::{construct_distributed, Routing, SafetyInfo, Slgf2Router};
@@ -407,13 +407,16 @@ pub fn async_cost_figure(cfg: &SweepConfig, instances: usize) -> Figure {
 /// the Definition-1 sweep). Each instance kills `kills` random non-hull
 /// nodes one at a time.
 pub fn maintenance_cost_figure(
-    kind: DeploymentKind,
+    scenario: Scenario,
     node_counts: &[usize],
     instances: usize,
     kills: usize,
 ) -> Figure {
     let mut fig = Figure::new(
-        format!("A9 incremental repair vs rebuild ({} model)", kind.tag()),
+        format!(
+            "A9 incremental repair vs rebuild ({} model)",
+            scenario.tag()
+        ),
         "nodes",
         "node recomputations per failure",
     );
@@ -425,7 +428,7 @@ pub fn maintenance_cost_figure(
         let mut full_work = Vec::new();
         for k in 0..instances {
             let seed = 0xa9_0000 ^ ((i as u64) << 20) ^ k as u64;
-            let positions = kind.deploy(&dc, seed);
+            let positions = scenario.deploy(&dc, seed);
             let net = Network::from_positions(positions, dc.radius, dc.area);
             let mut maint = sp_core::InfoMaintainer::new(net.clone());
             let mut rng = StdRng::seed_from_u64(seed ^ 0xfa11);
@@ -495,7 +498,7 @@ pub fn construction_cost_figure(cfg: &SweepConfig, instances: usize) -> Figure {
 /// A6: SLGF2 delivery ratio under node failures, with stale vs rebuilt
 /// safety information, as a function of the failed fraction.
 pub fn failure_robustness_figure(
-    kind: DeploymentKind,
+    scenario: Scenario,
     node_count: usize,
     instances: usize,
     kill_fractions: &[f64],
@@ -503,7 +506,7 @@ pub fn failure_robustness_figure(
     let mut fig = Figure::new(
         format!(
             "A6 SLGF2 delivery under node failures ({} model, n={node_count})",
-            kind.tag()
+            scenario.tag()
         ),
         "failed fraction (%)",
         "delivery ratio",
@@ -517,7 +520,7 @@ pub fn failure_robustness_figure(
         let mut total = 0usize;
         for k in 0..instances {
             let seed = 0xa6_0000 + k as u64;
-            let positions = kind.deploy(&dc, seed);
+            let positions = scenario.deploy(&dc, seed);
             let net = Network::from_positions(positions, dc.radius, dc.area);
             let info = SafetyInfo::build(&net);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
@@ -565,7 +568,7 @@ mod tests {
             node_counts: vec![450, 550],
             networks_per_point: 3,
             pairs_per_network: 1,
-            deployment: DeploymentKind::Ia,
+            deployment: Scenario::Ia,
             base_seed: 99,
         };
         run_sweep(&cfg, &Scheme::PAPER_SET)
@@ -601,7 +604,7 @@ mod tests {
             node_counts: vec![400],
             networks_per_point: 1,
             pairs_per_network: 1,
-            deployment: DeploymentKind::Ia,
+            deployment: Scenario::Ia,
             base_seed: 5,
         };
         let fig = construction_cost_figure(&cfg, 1);
@@ -643,7 +646,7 @@ mod tests {
             node_counts: vec![400],
             networks_per_point: 1,
             pairs_per_network: 1,
-            deployment: DeploymentKind::Ia,
+            deployment: Scenario::Ia,
             base_seed: 11,
         };
         let fig = async_cost_figure(&cfg, 2);
@@ -664,7 +667,7 @@ mod tests {
 
     #[test]
     fn maintenance_repair_is_cheaper_than_rebuild() {
-        let fig = maintenance_cost_figure(DeploymentKind::Ia, &[400], 2, 3);
+        let fig = maintenance_cost_figure(Scenario::Ia, &[400], 2, 3);
         assert_eq!(fig.series.len(), 2);
         let inc = fig
             .series_by_label("incremental repair")
@@ -688,7 +691,7 @@ mod tests {
             node_counts: vec![450],
             networks_per_point: 2,
             pairs_per_network: 1,
-            deployment: DeploymentKind::Ia,
+            deployment: Scenario::Ia,
             base_seed: 23,
         };
         let res = run_sweep(&cfg, &Scheme::EXTENDED_SET);
@@ -719,7 +722,7 @@ mod tests {
 
     #[test]
     fn failure_robustness_reports_both_series() {
-        let fig = failure_robustness_figure(DeploymentKind::Ia, 400, 2, &[0.0, 0.1]);
+        let fig = failure_robustness_figure(Scenario::Ia, 400, 2, &[0.0, 0.1]);
         assert_eq!(fig.series.len(), 2);
         // With 0% failures both are perfect on connected pairs.
         let stale0 = fig.series_by_label("SLGF2 stale info").unwrap().y_at(0.0);

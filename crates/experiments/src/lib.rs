@@ -1,27 +1,44 @@
 //! Reproduction harness for every figure of the straightpath paper.
 //!
 //! Pipeline: a [`SweepConfig`] describes the paper's §5 setup (node
-//! counts 400–800, 100 seeded networks per point, IA or FA deployment);
-//! [`run_sweep`] routes every [`Scheme`] over every instance in
-//! parallel; [`figures`] folds the records into the exact curves of
-//! Figs. 5–7 plus the ablations A1–A15 of `DESIGN.md`; [`scenarios`]
-//! rebuilds the paper's hand-drawn figures as executable networks; and
-//! [`workload`] streams flows against per-node batteries for the
-//! lifetime experiment.
+//! counts 400–800, 100 seeded networks per point, a registered
+//! deployment [`Scenario`]); [`run_sweep`] routes every [`Scheme`] over
+//! every instance in parallel; [`figures`] folds the records into the
+//! exact curves of Figs. 5–7 plus the ablations A1–A15 of `DESIGN.md`;
+//! [`scenarios`] rebuilds the paper's hand-drawn figures as executable
+//! networks; and [`workload`] streams flows against per-node batteries
+//! for the lifetime experiment.
+//!
+//! Both experiment axes are **open registries**: schemes register
+//! closure builders carrying config payloads ([`Scheme::register`],
+//! [`SchemeFamily`]), deployments register generator closures
+//! ([`Scenario::register`]), and the spec-string front end
+//! ([`SweepSpec`]) resolves a one-line description through both.
 //!
 //! The `repro-figures` binary drives the whole thing from the command
-//! line and writes text/markdown/CSV/JSON (and `--svg`) outputs.
+//! line (including `--spec`) and writes text/markdown/CSV/JSON (and
+//! `--svg`) outputs.
 //!
 //! ```
-//! use sp_experiments::{run_sweep, Scheme, SweepConfig, DeploymentKind, figures};
+//! use sp_experiments::{run_sweep, Scheme, SweepConfig, Scenario, figures};
 //!
 //! // A miniature IA sweep (the paper uses 100 networks per point).
-//! let mut cfg = SweepConfig::quick(DeploymentKind::Ia);
+//! let mut cfg = SweepConfig::quick(Scenario::Ia);
 //! cfg.node_counts = vec![400];
 //! cfg.networks_per_point = 2;
 //! let results = run_sweep(&cfg, &Scheme::PAPER_SET);
 //! let fig6 = figures::fig6(&results);
 //! assert_eq!(fig6.series.len(), 4);
+//! ```
+//!
+//! Or, equivalently, through the spec-string front end:
+//!
+//! ```
+//! use sp_experiments::SweepSpec;
+//!
+//! let spec = SweepSpec::parse("scenario=IA;nodes=400;nets=2;schemes=PAPER").unwrap();
+//! let results = spec.run();
+//! assert_eq!(results.points.len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -30,15 +47,21 @@
 pub mod config;
 pub mod figures;
 pub mod runner;
+pub mod scenario;
 pub mod scenarios;
 pub mod scheme;
+pub mod spec;
 pub mod workload;
 
-pub use config::{DeploymentKind, SweepConfig};
+pub use config::SweepConfig;
 pub use runner::{
     random_connected_pair, run_instance, run_sweep, RouteRecord, SchemePoint, SweepPoint,
     SweepResults,
 };
-pub use scenarios::{all_scenarios, Scenario};
-pub use scheme::{PreparedNetwork, RouterContext, Scheme, SchemeBuild, SchemeRegistry};
+pub use scenario::{Scenario, ScenarioBuild, ScenarioRegistry};
+pub use scenarios::{all_scenarios, PaperScenario};
+pub use scheme::{
+    PreparedNetwork, RouterContext, Scheme, SchemeBuild, SchemeFamily, SchemeRegistry,
+};
+pub use spec::{SpecError, SweepSpec};
 pub use workload::{lifetime_figure, run_lifetime, LifetimeReport, StreamingConfig};

@@ -174,8 +174,9 @@ impl SweepPoint {
 pub struct SweepResults {
     /// One entry per node count, ascending.
     pub points: Vec<SweepPoint>,
-    /// The deployment model tag ("IA"/"FA") for figure titles.
-    pub deployment_tag: &'static str,
+    /// The deployment scenario tag ("IA"/"FA"/"corridor"/…) for figure
+    /// titles.
+    pub deployment_tag: String,
 }
 
 /// Runs the sweep with `schemes` on every instance, in parallel.
@@ -316,38 +317,43 @@ pub fn run_instance(
 }
 
 /// Draws a random distinct pair from the largest connected component.
+///
+/// The destination is drawn from the `len - 1` indices other than the
+/// source and shifted past it — uniform over distinct pairs and
+/// terminating by construction, where the old rejection loop re-drew
+/// `d` until it differed from `s` (unbounded on an unlucky RNG streak,
+/// and forever on a degenerate one-value stream).
 pub fn random_connected_pair(net: &Network, rng: &mut StdRng) -> Option<(NodeId, NodeId)> {
     let comp = net.largest_component();
     if comp.len() < 2 {
         return None;
     }
-    let s = comp[rng.random_range(0..comp.len())];
-    loop {
-        let d = comp[rng.random_range(0..comp.len())];
-        if d != s {
-            return Some((s, d));
-        }
+    let s_idx = rng.random_range(0..comp.len());
+    let mut d_idx = rng.random_range(0..comp.len() - 1);
+    if d_idx >= s_idx {
+        d_idx += 1;
     }
+    Some((comp[s_idx], comp[d_idx]))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::DeploymentKind;
+    use crate::Scenario;
 
-    fn tiny_sweep(kind: DeploymentKind) -> SweepConfig {
+    fn tiny_sweep(scenario: Scenario) -> SweepConfig {
         SweepConfig {
             node_counts: vec![400, 500],
             networks_per_point: 3,
             pairs_per_network: 1,
-            deployment: kind,
+            deployment: scenario,
             base_seed: 7,
         }
     }
 
     #[test]
     fn sweep_collects_all_points_and_schemes() {
-        let cfg = tiny_sweep(DeploymentKind::Ia);
+        let cfg = tiny_sweep(Scenario::Ia);
         let res = run_sweep(&cfg, &Scheme::PAPER_SET);
         assert_eq!(res.points.len(), 2);
         assert_eq!(res.deployment_tag, "IA");
@@ -363,7 +369,7 @@ mod tests {
 
     #[test]
     fn sweep_is_deterministic() {
-        let cfg = tiny_sweep(DeploymentKind::fa_default());
+        let cfg = tiny_sweep(Scenario::Fa);
         let a = run_sweep(&cfg, &[Scheme::Slgf2]);
         let b = run_sweep(&cfg, &[Scheme::Slgf2]);
         for (pa, pb) in a.points.iter().zip(&b.points) {
@@ -374,7 +380,7 @@ mod tests {
 
     #[test]
     fn delivered_routes_have_sane_metrics() {
-        let cfg = tiny_sweep(DeploymentKind::Ia);
+        let cfg = tiny_sweep(Scenario::Ia);
         let recs = run_instance(&cfg, &Scheme::PAPER_SET, 400, cfg.instance_seed(0, 0));
         assert_eq!(recs.len(), 4);
         for r in recs {

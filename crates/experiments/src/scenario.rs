@@ -1,0 +1,292 @@
+//! The open [`ScenarioRegistry`]: deployment scenarios as first-class,
+//! registrable generators.
+//!
+//! The paper evaluates two deployments — uniform (**IA**) and
+//! forbidden-area (**FA**) — and the harness used to hard-code them in
+//! a closed `DeploymentKind` enum matched at every consumer. A scenario
+//! is now a [`Scenario`] handle into a registry mirroring the scheme
+//! registry: the built-ins are IA, FA, and the structured
+//! clustered / corridor / city-block generators of [`sp_net::deploy`],
+//! and new deployments register at runtime with a closure capturing
+//! their configuration:
+//!
+//! ```
+//! use sp_experiments::Scenario;
+//! use sp_net::FaModel;
+//!
+//! // A heavier forbidden-area regime: the closure captures its model.
+//! let fa = FaModel { obstacle_count: 6, ..FaModel::paper_default() };
+//! let scenario = Scenario::register("FA-heavy-doc", move |cfg, seed| {
+//!     cfg.deploy_with_obstacles(&fa.generate_obstacles(cfg, seed), seed)
+//! });
+//! assert_eq!(scenario.name(), "FA-heavy-doc");
+//! assert_eq!(Scenario::by_name("FA-heavy-doc"), Some(scenario));
+//! assert_eq!(
+//!     scenario
+//!         .deploy(&sp_net::DeploymentConfig::paper_default(400), 7)
+//!         .len(),
+//!     400
+//! );
+//! ```
+
+use sp_geom::Point;
+use sp_net::deploy::{CityBlockModel, ClusterModel, CorridorModel, DeploymentConfig, FaModel};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Generates one deployment instance: `(constants, seed) -> positions`.
+///
+/// A shared closure so generators can capture their model parameters
+/// (obstacle counts, cluster spreads, street widths) at registration.
+pub type ScenarioBuild = Arc<dyn Fn(&DeploymentConfig, u64) -> Vec<Point> + Send + Sync>;
+
+struct ScenarioEntry {
+    name: String,
+    generate: ScenarioBuild,
+}
+
+/// The process-wide table mapping [`Scenario`] handles to names and
+/// deployment generators — the scenario-side mirror of
+/// [`crate::SchemeRegistry`].
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioEntry>,
+}
+
+impl ScenarioRegistry {
+    /// Names of every registered scenario, in registration order
+    /// (parallel to [`Scenario::all`]).
+    pub fn names() -> Vec<String> {
+        read_registry()
+            .entries
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len() -> usize {
+        read_registry().entries.len()
+    }
+
+    /// The built-in scenarios: the paper's two deployments plus the
+    /// structured generators of the scenario-diversity roadmap item.
+    ///
+    /// This function is the only place a built-in scenario is declared;
+    /// the `Scenario` constants below are fixed indices into this table
+    /// (in registration order).
+    fn builtin() -> ScenarioRegistry {
+        let mut reg = ScenarioRegistry {
+            entries: Vec::new(),
+        };
+        // === The scenario registration table ==================[order matters]
+        reg.add("IA", |cfg, seed| cfg.deploy_uniform(seed)); // Scenario::Ia
+        let fa = FaModel::paper_default();
+        reg.add("FA", move |cfg, seed| {
+            cfg.deploy_with_obstacles(&fa.generate_obstacles(cfg, seed), seed) // Scenario::Fa
+        });
+        let clusters = ClusterModel::paper_default();
+        reg.add("clustered", move |cfg, seed| {
+            cfg.deploy_clustered(&clusters, seed) // Scenario::Clustered
+        });
+        let corridor = CorridorModel::paper_default();
+        reg.add("corridor", move |cfg, seed| {
+            cfg.deploy_corridor(&corridor, seed) // Scenario::Corridor
+        });
+        let blocks = CityBlockModel::paper_default();
+        reg.add("city-block", move |cfg, seed| {
+            cfg.deploy_city_block(&blocks, seed) // Scenario::CityBlock
+        });
+        // ======================================================================
+        reg
+    }
+
+    fn add<F>(&mut self, name: &str, generate: F) -> Scenario
+    where
+        F: Fn(&DeploymentConfig, u64) -> Vec<Point> + Send + Sync + 'static,
+    {
+        self.try_add(name.to_owned(), Arc::new(generate))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add(&mut self, name: String, generate: ScenarioBuild) -> Result<Scenario, String> {
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(format!("scenario {name:?} registered twice"));
+        }
+        if self.entries.len() >= u16::MAX as usize {
+            return Err("scenario registry full".to_owned());
+        }
+        self.entries.push(ScenarioEntry { name, generate });
+        Ok(Scenario((self.entries.len() - 1) as u16))
+    }
+}
+
+/// Reads the global registry, recovering from a poisoned lock — the
+/// registry is append-only, so a panic mid-registration cannot leave a
+/// torn entry behind.
+fn read_registry() -> std::sync::RwLockReadGuard<'static, ScenarioRegistry> {
+    registry()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn registry() -> &'static RwLock<ScenarioRegistry> {
+    static GLOBAL: OnceLock<RwLock<ScenarioRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(ScenarioRegistry::builtin()))
+}
+
+/// A handle to one registered deployment scenario.
+///
+/// `Copy`, order-stable, and cheap to compare — sweep configs carry it
+/// by value exactly like [`crate::Scheme`]. The associated constants
+/// name the built-ins of [`ScenarioRegistry::builtin`]; further
+/// scenarios get their handles from [`Scenario::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Scenario(u16);
+
+#[allow(non_upper_case_globals)] // named like the enum variants they replaced
+impl Scenario {
+    /// IA: uniform ("ideal") deployment — holes only from sparsity.
+    pub const Ia: Scenario = Scenario(0);
+    /// FA: uniform deployment avoiding random forbidden areas
+    /// ([`FaModel::paper_default`]).
+    pub const Fa: Scenario = Scenario(1);
+    /// Clustered drop-point deployment ([`ClusterModel::paper_default`]).
+    pub const Clustered: Scenario = Scenario(2);
+    /// L-shaped corridor deployment ([`CorridorModel::paper_default`]).
+    pub const Corridor: Scenario = Scenario(3);
+    /// Manhattan street grid ([`CityBlockModel::paper_default`]).
+    pub const CityBlock: Scenario = Scenario(4);
+
+    /// Registers a new scenario under `name` and returns its handle.
+    ///
+    /// The generator may capture its deployment model; everything
+    /// downstream (sweep configs, the spec-string front end, figures)
+    /// dispatches through the handle with no further edits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered; use
+    /// [`Scenario::try_register`] to handle the collision instead.
+    pub fn register<F>(name: impl Into<String>, generate: F) -> Scenario
+    where
+        F: Fn(&DeploymentConfig, u64) -> Vec<Point> + Send + Sync + 'static,
+    {
+        // Panic only after the lock guard is released, so a rejected
+        // registration cannot poison the registry for other threads.
+        Scenario::try_register(name, generate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers a new scenario, reporting name collisions as `Err`
+    /// instead of panicking.
+    pub fn try_register<F>(name: impl Into<String>, generate: F) -> Result<Scenario, String>
+    where
+        F: Fn(&DeploymentConfig, u64) -> Vec<Point> + Send + Sync + 'static,
+    {
+        registry()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .try_add(name.into(), Arc::new(generate))
+    }
+
+    /// Looks a scenario up by its registered name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        let reg = read_registry();
+        reg.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| Scenario(i as u16))
+    }
+
+    /// Every currently registered scenario, in registration order.
+    pub fn all() -> Vec<Scenario> {
+        let reg = read_registry();
+        (0..reg.entries.len() as u16).map(Scenario).collect()
+    }
+
+    /// Registered name, e.g. `"IA"` or `"corridor"`.
+    pub fn name(&self) -> String {
+        read_registry().entries[self.0 as usize].name.clone()
+    }
+
+    /// Short panel tag used in figure titles (same as the name).
+    pub fn tag(&self) -> String {
+        self.name()
+    }
+
+    /// Generates one deployment instance.
+    pub fn deploy(&self, cfg: &DeploymentConfig, seed: u64) -> Vec<Point> {
+        // Clone the shared generator out so user code runs with the
+        // registry lock released (a generator may itself register).
+        let generate = Arc::clone(&read_registry().entries[self.0 as usize].generate);
+        generate(cfg, seed)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&read_registry().entries[self.0 as usize].name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered_in_table_order() {
+        assert_eq!(Scenario::Ia.name(), "IA");
+        assert_eq!(Scenario::Fa.name(), "FA");
+        assert_eq!(Scenario::Clustered.name(), "clustered");
+        assert_eq!(Scenario::Corridor.name(), "corridor");
+        assert_eq!(Scenario::CityBlock.name(), "city-block");
+        assert_eq!(Scenario::by_name("corridor"), Some(Scenario::Corridor));
+        assert_eq!(Scenario::by_name("no-such-scenario"), None);
+        assert!(ScenarioRegistry::len() >= 5);
+        assert_eq!(ScenarioRegistry::names().len(), Scenario::all().len());
+    }
+
+    #[test]
+    fn every_builtin_deploys_n_points_deterministically() {
+        let cfg = DeploymentConfig::paper_default(300);
+        for scenario in [
+            Scenario::Ia,
+            Scenario::Fa,
+            Scenario::Clustered,
+            Scenario::Corridor,
+            Scenario::CityBlock,
+        ] {
+            let a = scenario.deploy(&cfg, 9);
+            let b = scenario.deploy(&cfg, 9);
+            assert_eq!(a.len(), 300, "{scenario}");
+            assert_eq!(a, b, "{scenario} must replay per seed");
+            for p in &a {
+                assert!(cfg.area.contains(*p), "{scenario}: {p} escapes");
+            }
+        }
+    }
+
+    #[test]
+    fn registering_a_scenario_captures_its_payload() {
+        let margin = 40.0; // captured config: a shrunken deployment core
+        let scenario = Scenario::register("TEST-core-only", move |cfg, seed| {
+            let core = DeploymentConfig {
+                area: cfg.area.inflate(-margin),
+                ..*cfg
+            };
+            core.deploy_uniform(seed)
+        });
+        let cfg = DeploymentConfig::paper_default(100);
+        let pts = scenario.deploy(&cfg, 4);
+        assert_eq!(pts.len(), 100);
+        for p in &pts {
+            assert!(cfg.area.inflate(-margin).contains(*p));
+        }
+        assert_eq!(Scenario::by_name("TEST-core-only"), Some(scenario));
+    }
+
+    #[test]
+    fn duplicate_scenario_names_are_rejected() {
+        let err = Scenario::try_register("IA", |cfg, seed| cfg.deploy_uniform(seed))
+            .expect_err("IA is a built-in");
+        assert!(err.contains("registered twice"), "{err}");
+    }
+}

@@ -11,9 +11,11 @@ use sp_core::{RouteResult, SafetyInfo};
 use sp_geom::{Point, Rect};
 use sp_net::{Network, NodeId};
 
-/// One crafted paper scenario.
+/// One crafted paper scenario (an executable hand-drawn figure —
+/// distinct from the deployment-generator [`crate::Scenario`] handles
+/// the sweeps use).
 #[derive(Debug, Clone)]
-pub struct Scenario {
+pub struct PaperScenario {
     /// Short identifier ("fig1a", "fig3", …).
     pub name: &'static str,
     /// What the paper uses the situation for.
@@ -29,7 +31,7 @@ pub struct Scenario {
     pub destination: NodeId,
 }
 
-impl Scenario {
+impl PaperScenario {
     fn build(
         name: &'static str,
         description: &'static str,
@@ -38,11 +40,11 @@ impl Scenario {
         pinned: Vec<bool>,
         source: usize,
         destination: usize,
-    ) -> Scenario {
+    ) -> PaperScenario {
         let area = Rect::from_corners(Point::new(0.0, 0.0), Point::new(200.0, 200.0));
         let net = Network::from_positions(positions, radius, area);
         let info = SafetyInfo::build_with_pinned(&net, pinned);
-        Scenario {
+        PaperScenario {
             name,
             description,
             net,
@@ -76,7 +78,7 @@ impl Scenario {
 /// meet the second blocking area — the "mutual impact of blocking
 /// areas" the paper's §2 discusses. SLGF2's labeling marks *both* traps
 /// unsafe, so safe forwarding takes the corridor immediately.
-pub fn fig1a_intertwined_minima() -> Scenario {
+pub fn fig1a_intertwined_minima() -> PaperScenario {
     let mut positions = vec![
         Point::new(20.0, 20.0), // 0 = s
         // First trap: the diagonal chain toward d.
@@ -109,7 +111,7 @@ pub fn fig1a_intertwined_minima() -> Scenario {
     let n = positions.len();
     let mut pinned = vec![false; n];
     pinned[16] = true; // d anchors the safe chains
-    Scenario::build(
+    PaperScenario::build(
         "fig1a",
         "intertwined local minima: two blocking areas on the way (Fig. 1(a))",
         positions,
@@ -122,7 +124,7 @@ pub fn fig1a_intertwined_minima() -> Scenario {
 
 /// Fig. 3: the labeling wedge. A type-1 unsafe pocket whose two chains
 /// (`u^{(1)}` east, `u^{(2)}` north) bound the estimate `E_1(u)`.
-pub fn fig3_labeling_wedge() -> Scenario {
+pub fn fig3_labeling_wedge() -> PaperScenario {
     let positions = vec![
         Point::new(10.0, 10.0), // 0 = u
         Point::new(22.0, 15.0), // 1 first-chain hop
@@ -131,7 +133,7 @@ pub fn fig3_labeling_wedge() -> Scenario {
         Point::new(34.0, 20.0), // 4 = u^(1) (east tip)
     ];
     let pinned = vec![false; 5];
-    Scenario::build(
+    PaperScenario::build(
         "fig3",
         "type-1 unsafe wedge with chain endpoints u(1)/u(2) (Fig. 3)",
         positions,
@@ -145,7 +147,7 @@ pub fn fig3_labeling_wedge() -> Scenario {
 /// Fig. 4(d): backup-path routing. The source sits at the southwest tip
 /// of a type-1 unsafe wedge; a pinned-safe corridor around the wedge's
 /// east side carries the packet until safe forwarding resumes.
-pub fn fig4d_backup_path() -> Scenario {
+pub fn fig4d_backup_path() -> PaperScenario {
     let positions = vec![
         Point::new(10.0, 10.0), // 0 = s (type-1 unsafe)
         Point::new(22.0, 15.0), // 1 wedge
@@ -162,7 +164,7 @@ pub fn fig4d_backup_path() -> Scenario {
     for p in pinned.iter_mut().skip(5) {
         *p = true;
     }
-    Scenario::build(
+    PaperScenario::build(
         "fig4d",
         "backup-path escort around a type-1 unsafe area (Fig. 4(d))",
         positions,
@@ -177,7 +179,7 @@ pub fn fig4d_backup_path() -> Scenario {
 /// all-unsafe tuple `(0,0,0,0)` because the destination's side of the
 /// network is disconnected — "the network may have disconnected" — and
 /// the routing must fail finitely instead of looping.
-pub fn fig4e_disconnected_pocket() -> Scenario {
+pub fn fig4e_disconnected_pocket() -> PaperScenario {
     let positions = vec![
         Point::new(20.0, 20.0),   // 0 = s
         Point::new(30.0, 24.0),   // 1 pocket
@@ -186,7 +188,7 @@ pub fn fig4e_disconnected_pocket() -> Scenario {
         Point::new(160.0, 158.0), // 4 d's companion
     ];
     let pinned = vec![false; 5];
-    Scenario::build(
+    PaperScenario::build(
         "fig4e",
         "all-unsafe source pocket, destination disconnected (Fig. 4(e))",
         positions,
@@ -198,7 +200,7 @@ pub fn fig4e_disconnected_pocket() -> Scenario {
 }
 
 /// All crafted scenarios, in paper order.
-pub fn all_scenarios() -> Vec<Scenario> {
+pub fn all_scenarios() -> Vec<PaperScenario> {
     vec![
         fig1a_intertwined_minima(),
         fig3_labeling_wedge(),

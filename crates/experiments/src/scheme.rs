@@ -6,31 +6,34 @@
 //! Historically every scheme lived in an enum whose `match` arms were
 //! duplicated across the sweep runner and the streaming workload;
 //! adding an ablation variant meant touching every dispatch site. Now a
-//! scheme is a [`Scheme`] handle into the registry, and adding one is
-//! **one registration call** — no other file changes:
+//! scheme is a [`Scheme`] handle into the registry, its builder is a
+//! **closure** that may capture arbitrary configuration, and adding one
+//! is **one registration call** — no other file changes:
 //!
 //! ```
 //! use sp_core::Routing;
 //! use sp_experiments::{RouterContext, Scheme};
 //!
-//! // A new curve for the figures: SLGF2 with the backup phase ablated
-//! // *and* the superseding rule ablated (nothing else to edit — the
-//! // sweeps, figures, and workloads all dispatch through the handle).
-//! let scheme = Scheme::register("SLGF2-bare", |ctx: &RouterContext<'_>| {
-//!     Box::new(
-//!         sp_core::Slgf2Router::new(ctx.info)
-//!             .without_superseding()
-//!             .without_backup(),
-//!     )
+//! // A parameterized curve for the figures: the closure captures its
+//! // config payload (here a TTL multiplier), so ablation variants need
+//! // no new code — the sweeps, figures, and workloads all dispatch
+//! // through the handle.
+//! let ttl = 2.0;
+//! let scheme = Scheme::register(format!("SLGF2[ttl={ttl}n]"), move |ctx| {
+//!     Box::new(sp_core::Slgf2Router::new(ctx.info).with_ttl_multiplier(ttl))
 //! });
-//! assert_eq!(scheme.name(), "SLGF2-bare");
-//! assert_eq!(Scheme::by_name("SLGF2-bare"), Some(scheme));
+//! assert_eq!(scheme.name(), format!("SLGF2[ttl={ttl}n]"));
+//! assert_eq!(Scheme::by_name("SLGF2[ttl=2n]"), Some(scheme));
 //! ```
+//!
+//! Whole ablation *grids* register in one call through
+//! [`SchemeFamily`]: each variant is a `(parameter-tag, payload)` pair
+//! and the family stamps out `BASE[tag]` names.
 
 use sp_baselines::{GfRouter, GfgRouter, Slgf2FaceRouter};
 use sp_core::{LgfRouter, RouteResult, Routing, SafetyInfo, Slgf2Router, SlgfRouter};
 use sp_net::{Network, NodeId};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Everything a scheme's router may borrow when it is constructed: the
 /// topology to route on plus the precomputed per-network structures.
@@ -51,10 +54,17 @@ pub struct RouterContext<'a> {
 }
 
 /// Constructs a boxed router borrowing from the context.
-pub type SchemeBuild = for<'a> fn(&RouterContext<'a>) -> Box<dyn Routing + 'a>;
+///
+/// A shared closure rather than a `fn` pointer, so builders can capture
+/// configuration payloads (TTL policies, hand heuristics, ablation
+/// switches) at registration time. `Arc` rather than `Box` because the
+/// registry hands builders out to sweep worker threads without holding
+/// its lock across user code.
+pub type SchemeBuild =
+    Arc<dyn for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync>;
 
 struct SchemeEntry {
-    name: &'static str,
+    name: String,
     build: SchemeBuild,
 }
 
@@ -63,9 +73,10 @@ struct SchemeEntry {
 ///
 /// All built-in schemes are registered in [`SchemeRegistry::builtin`] —
 /// the **single registration site** — and ablation variants can be
-/// appended at runtime with [`Scheme::register`]. Handles are plain
-/// `Copy` indices, so they flow through sweep records and thread pools
-/// exactly like the old enum did.
+/// appended at runtime with [`Scheme::register`] /
+/// [`Scheme::try_register`] (or in bulk with [`SchemeFamily`]). Handles
+/// are plain `Copy` indices, so they flow through sweep records and
+/// thread pools exactly like the old enum did.
 pub struct SchemeRegistry {
     entries: Vec<SchemeEntry>,
 }
@@ -73,8 +84,12 @@ pub struct SchemeRegistry {
 impl SchemeRegistry {
     /// Names of every registered scheme, in registration order
     /// (parallel to [`Scheme::all`]).
-    pub fn names() -> Vec<&'static str> {
-        read_registry().entries.iter().map(|e| e.name).collect()
+    pub fn names() -> Vec<String> {
+        read_registry()
+            .entries
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
     }
 
     /// Number of registered schemes.
@@ -112,11 +127,15 @@ impl SchemeRegistry {
         reg
     }
 
-    fn add(&mut self, name: &'static str, build: SchemeBuild) -> Scheme {
-        self.try_add(name, build).unwrap_or_else(|e| panic!("{e}"))
+    fn add<F>(&mut self, name: &str, build: F) -> Scheme
+    where
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+    {
+        self.try_add(name.to_owned(), Arc::new(build))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn try_add(&mut self, name: &'static str, build: SchemeBuild) -> Result<Scheme, String> {
+    fn try_add(&mut self, name: String, build: SchemeBuild) -> Result<Scheme, String> {
         if self.entries.iter().any(|e| e.name == name) {
             return Err(format!("scheme {name:?} registered twice"));
         }
@@ -126,6 +145,33 @@ impl SchemeRegistry {
         self.entries.push(SchemeEntry { name, build });
         Ok(Scheme((self.entries.len() - 1) as u16))
     }
+
+    /// Appends a batch atomically: either every entry registers (in
+    /// order) or none does.
+    fn try_add_all(&mut self, batch: Vec<(String, SchemeBuild)>) -> Result<Vec<Scheme>, String> {
+        for (name, _) in &batch {
+            if self.entries.iter().any(|e| &e.name == name) {
+                return Err(format!("scheme {name:?} registered twice"));
+            }
+        }
+        let mut batch_names: Vec<&String> = batch.iter().map(|(n, _)| n).collect();
+        let unique_in_batch = batch_names.len();
+        batch_names.sort_unstable();
+        batch_names.dedup();
+        if batch_names.len() != unique_in_batch {
+            return Err("scheme family contains duplicate variant names".to_owned());
+        }
+        if self.entries.len() + batch.len() > u16::MAX as usize {
+            return Err("scheme registry full".to_owned());
+        }
+        Ok(batch
+            .into_iter()
+            .map(|(name, build)| {
+                self.entries.push(SchemeEntry { name, build });
+                Scheme((self.entries.len() - 1) as u16)
+            })
+            .collect())
+    }
 }
 
 /// Reads the global registry, recovering from a poisoned lock — the
@@ -134,6 +180,12 @@ impl SchemeRegistry {
 fn read_registry() -> std::sync::RwLockReadGuard<'static, SchemeRegistry> {
     registry()
         .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_registry() -> std::sync::RwLockWriteGuard<'static, SchemeRegistry> {
+    registry()
+        .write()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -147,7 +199,7 @@ fn registry() -> &'static RwLock<SchemeRegistry> {
 /// `Copy`, order-stable, and cheap to compare — records, sweep points,
 /// and figures carry it by value. The associated constants name the
 /// built-in schemes of [`SchemeRegistry::builtin`]; further schemes get
-/// their handles from [`Scheme::register`].
+/// their handles from [`Scheme::register`] or [`SchemeFamily`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Scheme(u16);
 
@@ -186,18 +238,31 @@ impl Scheme {
 
     /// Registers a new scheme under `name` and returns its handle.
     ///
-    /// This is the *only* edit needed to add a scheme: everything
-    /// downstream (sweeps, figures, workloads, benches) dispatches
-    /// through the handle. Names must be unique; registering a
-    /// duplicate name panics.
-    pub fn register(name: &'static str, build: SchemeBuild) -> Scheme {
-        let result = registry()
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .try_add(name, build);
+    /// The builder may capture configuration (it is stored as a shared
+    /// closure, not a `fn` pointer). This is the *only* edit needed to
+    /// add a scheme: everything downstream (sweeps, figures, workloads,
+    /// benches) dispatches through the handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered; use
+    /// [`Scheme::try_register`] to handle the collision instead.
+    pub fn register<F>(name: impl Into<String>, build: F) -> Scheme
+    where
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+    {
         // Panic only after the lock guard is released, so a rejected
         // registration cannot poison the registry for other threads.
-        result.unwrap_or_else(|e| panic!("{e}"))
+        Scheme::try_register(name, build).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers a new scheme, reporting name collisions as `Err`
+    /// instead of panicking.
+    pub fn try_register<F>(name: impl Into<String>, build: F) -> Result<Scheme, String>
+    where
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+    {
+        write_registry().try_add(name.into(), Arc::new(build))
     }
 
     /// Looks a scheme up by its display name.
@@ -215,14 +280,17 @@ impl Scheme {
         (0..reg.entries.len() as u16).map(Scheme).collect()
     }
 
-    /// Display name (figure legend).
-    pub fn name(&self) -> &'static str {
-        read_registry().entries[self.0 as usize].name
+    /// Display name (figure legend). Cloned out of the registry — names
+    /// are short and this never runs in a per-packet loop.
+    pub fn name(&self) -> String {
+        read_registry().entries[self.0 as usize].name.clone()
     }
 
     /// Constructs this scheme's router over the given context.
     pub fn build<'a>(&self, ctx: &RouterContext<'a>) -> Box<dyn Routing + 'a> {
-        let build = read_registry().entries[self.0 as usize].build;
+        // Clone the shared builder out so user code runs with the
+        // registry lock released (a builder may itself register).
+        let build = Arc::clone(&read_registry().entries[self.0 as usize].build);
         build(ctx)
     }
 
@@ -234,7 +302,99 @@ impl Scheme {
 
 impl std::fmt::Display for Scheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        f.write_str(&read_registry().entries[self.0 as usize].name)
+    }
+}
+
+/// A whole parameter sweep of one base scheme, registered in one call.
+///
+/// Each variant is a parameter tag plus a builder closure capturing its
+/// payload; the family stamps out `BASE[tag]` names so an ablation grid
+/// like `SLGF2[ttl=2n,hand=cw]` exists without new code:
+///
+/// ```
+/// use sp_core::Slgf2Router;
+/// use sp_experiments::{Scheme, SchemeFamily};
+///
+/// let ttls = SchemeFamily::new("SLGF2-ttl-doc")
+///     .sweep([("ttl=1n", 1.0), ("ttl=2n", 2.0), ("ttl=4n", 4.0)], |&m, ctx| {
+///         Box::new(Slgf2Router::new(ctx.info).with_ttl_multiplier(m))
+///     })
+///     .register();
+/// assert_eq!(ttls.len(), 3);
+/// assert_eq!(ttls[1].name(), "SLGF2-ttl-doc[ttl=2n]");
+/// assert_eq!(Scheme::by_name("SLGF2-ttl-doc[ttl=4n]"), Some(ttls[2]));
+/// ```
+#[must_use = "a family does nothing until `register`/`try_register` is called"]
+pub struct SchemeFamily {
+    base: String,
+    variants: Vec<(String, SchemeBuild)>,
+}
+
+impl SchemeFamily {
+    /// Starts an empty family named `base`.
+    pub fn new(base: impl Into<String>) -> SchemeFamily {
+        SchemeFamily {
+            base: base.into(),
+            variants: Vec::new(),
+        }
+    }
+
+    /// Adds one variant; its registered name is `base[params]` (or the
+    /// bare base name when `params` is empty).
+    pub fn variant<F>(mut self, params: impl Into<String>, build: F) -> SchemeFamily
+    where
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+    {
+        let params = params.into();
+        let name = if params.is_empty() {
+            self.base.clone()
+        } else {
+            format!("{}[{params}]", self.base)
+        };
+        self.variants.push((name, Arc::new(build)));
+        self
+    }
+
+    /// Adds one variant per `(tag, payload)` pair, all built by the
+    /// same factory closure — the one-call parameter sweep.
+    pub fn sweep<P, T, F>(mut self, params: impl IntoIterator<Item = (T, P)>, build: F) -> Self
+    where
+        P: Send + Sync + 'static,
+        T: Into<String>,
+        F: for<'a> Fn(&P, &RouterContext<'a>) -> Box<dyn Routing + 'a>
+            + Send
+            + Sync
+            + Clone
+            + 'static,
+    {
+        for (tag, payload) in params {
+            let build = build.clone();
+            self = self.variant(tag, move |ctx: &RouterContext<'_>| build(&payload, ctx));
+        }
+        self
+    }
+
+    /// Names this family will register, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.variants.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Registers every variant atomically and returns the handles in
+    /// variant order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any name is already registered (no variant is added
+    /// in that case); use [`SchemeFamily::try_register`] to recover.
+    pub fn register(self) -> Vec<Scheme> {
+        self.try_register().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers every variant atomically: on any name collision the
+    /// whole family is rejected and the registry is left untouched.
+    pub fn try_register(self) -> Result<Vec<Scheme>, String> {
+        write_registry().try_add_all(self.variants)
     }
 }
 
@@ -288,7 +448,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<&str> = Scheme::all().iter().map(|s| s.name()).collect();
+        let mut names: Vec<String> = Scheme::all().iter().map(|s| s.name()).collect();
         let total = names.len();
         names.sort_unstable();
         names.dedup();
@@ -299,7 +459,7 @@ mod tests {
         assert_eq!(Scheme::by_name("GFG"), Some(Scheme::Gfg));
         assert_eq!(Scheme::by_name("no-such-scheme"), None);
         assert_eq!(SchemeRegistry::len(), Scheme::all().len());
-        let listed: Vec<&str> = Scheme::all().iter().map(|s| s.name()).collect();
+        let listed: Vec<String> = Scheme::all().iter().map(|s| s.name()).collect();
         assert_eq!(SchemeRegistry::names(), listed);
     }
 
@@ -327,15 +487,17 @@ mod tests {
     }
 
     /// The registry's acceptance criterion: a new scheme is ONE
-    /// registration call, after which every downstream consumer (here:
-    /// the prepared-network dispatch the sweeps use) handles it with no
+    /// registration call — here a closure capturing its own config
+    /// payload — after which every downstream consumer (the
+    /// prepared-network dispatch the sweeps use) handles it with no
     /// further edits.
     #[test]
     fn registering_a_scheme_is_a_single_site_change() {
-        let scheme = Scheme::register("TEST-always-left", |ctx| {
-            Box::new(Slgf2Router::new(ctx.info).without_superseding())
+        let ttl_multiplier = 2.0; // captured payload, not a fn pointer
+        let scheme = Scheme::register("TEST-ttl-payload", move |ctx| {
+            Box::new(Slgf2Router::new(ctx.info).with_ttl_multiplier(ttl_multiplier))
         });
-        assert_eq!(scheme.name(), "TEST-always-left");
+        assert_eq!(scheme.name(), "TEST-ttl-payload");
         assert!(Scheme::all().contains(&scheme));
 
         let cfg = DeploymentConfig::paper_default(400);
@@ -351,5 +513,71 @@ mod tests {
     #[should_panic(expected = "registered twice")]
     fn duplicate_names_are_rejected() {
         let _ = Scheme::register("SLGF2", |ctx| Box::new(Slgf2Router::new(ctx.info)));
+    }
+
+    #[test]
+    fn try_register_reports_collisions_without_panicking() {
+        let err = Scheme::try_register("SLGF2", |ctx| Box::new(Slgf2Router::new(ctx.info)))
+            .expect_err("SLGF2 is a built-in");
+        assert!(err.contains("registered twice"), "{err}");
+        // A fresh name still registers through the same path.
+        let ok = Scheme::try_register("TEST-try-register", |ctx| {
+            Box::new(Slgf2Router::new(ctx.info))
+        });
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn family_registers_a_parameter_sweep_in_one_call() {
+        let schemes = SchemeFamily::new("TEST-fam")
+            .sweep(
+                [("ttl=1n", 1.0), ("ttl=2n", 2.0), ("ttl=4n", 4.0)],
+                |&m, ctx| Box::new(Slgf2Router::new(ctx.info).with_ttl_multiplier(m)),
+            )
+            .variant("hand=cw", |ctx| {
+                Box::new(Slgf2Router::new(ctx.info).without_superseding())
+            })
+            .register();
+        assert_eq!(schemes.len(), 4);
+        let names: Vec<String> = schemes.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "TEST-fam[ttl=1n]",
+                "TEST-fam[ttl=2n]",
+                "TEST-fam[ttl=4n]",
+                "TEST-fam[hand=cw]"
+            ]
+        );
+        // Every variant routes through the ordinary dispatch path.
+        let cfg = DeploymentConfig::paper_default(400);
+        let net = Network::from_positions(cfg.deploy_uniform(8), cfg.radius, cfg.area);
+        let comp = net.largest_component();
+        let prepared = PreparedNetwork::new(net);
+        for &s in &schemes {
+            let r = prepared.route(s, comp[0], comp[comp.len() - 1]);
+            assert_eq!(r.path.first(), Some(&comp[0]), "{s}");
+        }
+    }
+
+    #[test]
+    fn family_registration_is_atomic_on_collision() {
+        let before = SchemeRegistry::len();
+        let err = SchemeFamily::new("TEST-fam-atomic")
+            .variant("a", |ctx| Box::new(Slgf2Router::new(ctx.info)))
+            .variant("", |_| Box::new(LgfRouter::new())) // bare base name
+            .sweep([("dup", ()), ("dup", ())], |_, ctx| {
+                Box::new(Slgf2Router::new(ctx.info))
+            })
+            .try_register()
+            .expect_err("duplicate variant tags must be rejected");
+        assert!(err.contains("duplicate"), "{err}");
+        assert_eq!(
+            SchemeRegistry::len(),
+            before,
+            "a rejected family must not leave partial entries behind"
+        );
+        assert_eq!(Scheme::by_name("TEST-fam-atomic[a]"), None);
+        assert_eq!(Scheme::by_name("TEST-fam-atomic"), None);
     }
 }

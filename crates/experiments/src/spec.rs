@@ -1,0 +1,280 @@
+//! The spec-string front end: one line of text → a resolved sweep.
+//!
+//! A spec is a `;`-separated list of `key=value` clauses:
+//!
+//! ```text
+//! scenario=corridor;nodes=400..800:50;nets=100;schemes=PAPER+SLGF2-noBP
+//! ```
+//!
+//! | key        | value                                            | default |
+//! |------------|--------------------------------------------------|---------|
+//! | `scenario` | a registered scenario name (`IA`, `FA`, …)       | `IA`    |
+//! | `nodes`    | `lo..hi:step` (inclusive), a comma list, or one value | the paper's `400..800:50` |
+//! | `nets`     | networks per node count                          | `100`   |
+//! | `pairs`    | source/destination pairs per network             | `1`     |
+//! | `seed`     | base seed (decimal or `0x…`)                     | the paper sweeps' seed |
+//! | `schemes`  | `+`-separated scheme names; `PAPER`, `EXTENDED`, and `ALL` expand to the corresponding sets | `PAPER` |
+//!
+//! Scenario and scheme names resolve through the **open registries**,
+//! so a scenario or scheme family registered at runtime is immediately
+//! addressable from a spec with no parser changes.
+
+use crate::{run_sweep, Scenario, Scheme, SweepConfig, SweepResults};
+
+/// A parse or resolution failure, with the offending clause quoted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad sweep spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A fully resolved sweep: the configuration plus the scheme set, ready
+/// for [`run_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The sweep configuration (scenario resolved to a registry handle).
+    pub config: SweepConfig,
+    /// The schemes to route, in spec order.
+    pub schemes: Vec<Scheme>,
+}
+
+impl SweepSpec {
+    /// Parses a spec string, resolving scenario and scheme names
+    /// through their registries.
+    pub fn parse(spec: &str) -> Result<SweepSpec, SpecError> {
+        let mut config = SweepConfig::paper_ia();
+        let mut schemes: Vec<Scheme> = Scheme::PAPER_SET.to_vec();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| SpecError(format!("clause {clause:?} is not key=value")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "scenario" => {
+                    config.deployment = Scenario::by_name(value).ok_or_else(|| {
+                        SpecError(format!(
+                            "unknown scenario {value:?} (registered: {})",
+                            crate::ScenarioRegistry::names().join(", ")
+                        ))
+                    })?;
+                }
+                "nodes" => config.node_counts = parse_nodes(value)?,
+                "nets" => config.networks_per_point = parse_count(key, value)?,
+                "pairs" => config.pairs_per_network = parse_count(key, value)?,
+                "seed" => {
+                    config.base_seed = parse_u64(value)
+                        .ok_or_else(|| SpecError(format!("seed {value:?} is not a number")))?;
+                }
+                "schemes" => schemes = parse_schemes(value)?,
+                other => {
+                    return Err(SpecError(format!(
+                        "unknown key {other:?} (expected scenario/nodes/nets/pairs/seed/schemes)"
+                    )))
+                }
+            }
+        }
+        if config.node_counts.is_empty() {
+            return Err(SpecError("nodes resolved to an empty list".to_owned()));
+        }
+        Ok(SweepSpec { config, schemes })
+    }
+
+    /// Runs the resolved sweep.
+    pub fn run(&self) -> SweepResults {
+        run_sweep(&self.config, &self.schemes)
+    }
+}
+
+/// `lo..hi:step` (both ends inclusive), a comma list, or one value.
+fn parse_nodes(value: &str) -> Result<Vec<usize>, SpecError> {
+    if let Some((range, step)) = value.split_once(':') {
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| SpecError(format!("nodes {value:?}: expected lo..hi:step")))?;
+        let lo = parse_usize(lo)
+            .filter(|&n| n > 0)
+            .ok_or_else(|| SpecError(format!("nodes {value:?}: bad lower bound")))?;
+        let hi = parse_usize(hi)
+            .ok_or_else(|| SpecError(format!("nodes {value:?}: bad upper bound")))?;
+        let step = parse_usize(step)
+            .filter(|&s| s > 0)
+            .ok_or_else(|| SpecError(format!("nodes {value:?}: step must be a positive number")))?;
+        if lo > hi {
+            return Err(SpecError(format!("nodes {value:?}: empty range")));
+        }
+        return Ok((lo..=hi).step_by(step).collect());
+    }
+    if value.contains("..") {
+        return Err(SpecError(format!(
+            "nodes {value:?}: a range needs a step, e.g. 400..800:50"
+        )));
+    }
+    value
+        .split(',')
+        .map(|tok| {
+            parse_usize(tok)
+                .filter(|&n| n > 0)
+                .ok_or_else(|| SpecError(format!("nodes {value:?}: bad count {tok:?}")))
+        })
+        .collect()
+}
+
+/// `+`-separated scheme names with the `PAPER`/`EXTENDED`/`ALL` macros.
+fn parse_schemes(value: &str) -> Result<Vec<Scheme>, SpecError> {
+    let mut out = Vec::new();
+    for tok in value.split('+') {
+        let tok = tok.trim();
+        match tok {
+            "" => return Err(SpecError(format!("schemes {value:?}: empty name"))),
+            "PAPER" => out.extend(Scheme::PAPER_SET),
+            "EXTENDED" => out.extend(Scheme::EXTENDED_SET),
+            "ALL" => out.extend(Scheme::all()),
+            name => out.push(Scheme::by_name(name).ok_or_else(|| {
+                SpecError(format!(
+                    "unknown scheme {name:?} (registered: {})",
+                    crate::SchemeRegistry::names().join(", ")
+                ))
+            })?),
+        }
+    }
+    // Membership dedup (macros overlap, e.g. PAPER+SLGF2): a repeated
+    // scheme would be routed twice and plotted as two identical curves.
+    let mut seen = std::collections::BTreeSet::new();
+    out.retain(|s| seen.insert(*s));
+    Ok(out)
+}
+
+fn parse_count(key: &str, value: &str) -> Result<usize, SpecError> {
+    parse_usize(value)
+        .filter(|&n| n > 0)
+        .ok_or_else(|| SpecError(format!("{key} {value:?} is not a positive number")))
+}
+
+fn parse_usize(tok: &str) -> Option<usize> {
+    tok.trim().parse().ok()
+}
+
+fn parse_u64(tok: &str) -> Option<u64> {
+    let tok = tok.trim();
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_ia_sweep() {
+        let spec = SweepSpec::parse("").unwrap();
+        assert_eq!(spec.config, SweepConfig::paper_ia());
+        assert_eq!(spec.schemes, Scheme::PAPER_SET.to_vec());
+    }
+
+    #[test]
+    fn full_spec_resolves_every_clause() {
+        let spec = SweepSpec::parse(
+            "scenario=corridor;nodes=400..800:50;nets=12;pairs=2;seed=0xabc;schemes=PAPER+SLGF2-noBP",
+        )
+        .unwrap();
+        assert_eq!(spec.config.deployment, Scenario::Corridor);
+        assert_eq!(
+            spec.config.node_counts,
+            vec![400, 450, 500, 550, 600, 650, 700, 750, 800]
+        );
+        assert_eq!(spec.config.networks_per_point, 12);
+        assert_eq!(spec.config.pairs_per_network, 2);
+        assert_eq!(spec.config.base_seed, 0xabc);
+        let mut want = Scheme::PAPER_SET.to_vec();
+        want.push(Scheme::Slgf2NoBackup);
+        assert_eq!(spec.schemes, want);
+    }
+
+    #[test]
+    fn node_lists_and_single_values_parse() {
+        assert_eq!(
+            SweepSpec::parse("nodes=400,600")
+                .unwrap()
+                .config
+                .node_counts,
+            vec![400, 600]
+        );
+        assert_eq!(
+            SweepSpec::parse("nodes=500").unwrap().config.node_counts,
+            vec![500]
+        );
+        // The range end is inclusive, mirroring the paper's 400..=800.
+        assert_eq!(
+            SweepSpec::parse("nodes=400..500:50")
+                .unwrap()
+                .config
+                .node_counts,
+            vec![400, 450, 500]
+        );
+    }
+
+    #[test]
+    fn scheme_macros_expand() {
+        let all = SweepSpec::parse("schemes=ALL").unwrap().schemes;
+        assert_eq!(all, Scheme::all());
+        let ext = SweepSpec::parse("schemes=EXTENDED").unwrap().schemes;
+        assert_eq!(ext, Scheme::EXTENDED_SET.to_vec());
+        // Duplicates collapse even when non-adjacent (macro overlap):
+        // a repeat would be routed twice and plotted as twin curves.
+        let dedup = SweepSpec::parse("schemes=SLGF2+PAPER+GFG+GFG")
+            .unwrap()
+            .schemes;
+        assert_eq!(
+            dedup,
+            vec![
+                Scheme::Slgf2,
+                Scheme::Gf,
+                Scheme::Lgf,
+                Scheme::Slgf,
+                Scheme::Gfg
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_name_the_offending_clause() {
+        for (spec, needle) in [
+            ("scenario=nowhere", "unknown scenario"),
+            ("schemes=NOPE", "unknown scheme"),
+            ("nodes=", "bad count"),
+            ("nodes=0", "bad count"),
+            ("nodes=0..100:100", "bad lower bound"),
+            ("nodes=400..300:50", "empty range"),
+            ("nodes=400..800", "needs a step"),
+            ("nodes=400..800:0", "step must be"),
+            ("nets=0", "positive number"),
+            ("seed=zebra", "not a number"),
+            ("bogus=1", "unknown key"),
+            ("scenario", "not key=value"),
+        ] {
+            let err = SweepSpec::parse(spec).expect_err(spec);
+            assert!(err.to_string().contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn spec_runs_through_the_registries_end_to_end() {
+        let spec = SweepSpec::parse("scenario=clustered;nodes=400;nets=2;schemes=SLGF2").unwrap();
+        let results = spec.run();
+        assert_eq!(results.deployment_tag, "clustered");
+        assert_eq!(results.points.len(), 1);
+        assert_eq!(results.points[0].schemes[0].total, 2);
+    }
+}

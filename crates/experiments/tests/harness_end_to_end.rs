@@ -2,9 +2,9 @@
 //! extended scheme set, coherence between the figure families, and the
 //! paper's qualitative shape claims at miniature scale.
 
-use sp_experiments::{figures, run_sweep, DeploymentKind, Scheme, SweepConfig};
+use sp_experiments::{figures, run_sweep, Scenario, Scheme, SweepConfig};
 
-fn mini(kind: DeploymentKind, seed: u64) -> SweepConfig {
+fn mini(kind: Scenario, seed: u64) -> SweepConfig {
     SweepConfig {
         node_counts: vec![450, 650],
         networks_per_point: 5,
@@ -16,7 +16,7 @@ fn mini(kind: DeploymentKind, seed: u64) -> SweepConfig {
 
 #[test]
 fn extended_sweep_is_deterministic_including_new_metrics() {
-    let cfg = mini(DeploymentKind::fa_default(), 3);
+    let cfg = mini(Scenario::Fa, 3);
     let a = run_sweep(&cfg, &Scheme::EXTENDED_SET);
     let b = run_sweep(&cfg, &Scheme::EXTENDED_SET);
     for (pa, pb) in a.points.iter().zip(&b.points) {
@@ -34,7 +34,7 @@ fn energy_orders_like_path_length() {
     // With a fixed packet size and near-uniform hop lengths, energy is a
     // monotone proxy of hop count: scheme ordering must agree between
     // fig7 (length) and A7 (energy) at every point, up to near-ties.
-    let cfg = mini(DeploymentKind::Ia, 11);
+    let cfg = mini(Scenario::Ia, 11);
     let res = run_sweep(&cfg, &Scheme::PAPER_SET);
     let f7 = figures::fig7(&res);
     let fe = figures::energy_figure(&res);
@@ -64,7 +64,7 @@ fn energy_orders_like_path_length() {
 
 #[test]
 fn gfg_never_loses_a_route_in_the_sweep() {
-    let cfg = mini(DeploymentKind::fa_default(), 17);
+    let cfg = mini(Scenario::Fa, 17);
     let res = run_sweep(&cfg, &[Scheme::Gfg]);
     for p in &res.points {
         let sp = p.scheme(Scheme::Gfg).unwrap();
@@ -88,7 +88,7 @@ fn slgf2_beats_lgf_on_fa_deployments() {
         node_counts: vec![400, 500, 600],
         networks_per_point: 12,
         pairs_per_network: 2,
-        deployment: DeploymentKind::fa_default(),
+        deployment: Scenario::Fa,
         base_seed: 29,
     };
     let schemes = [Scheme::Lgf, Scheme::Slgf2];
@@ -134,7 +134,7 @@ fn stretch_is_at_least_one_on_delivered_routes() {
     // No routing beats BFS hops or Dijkstra length; GFG (always
     // delivering) must report stretch >= 1 everywhere, and the paper
     // set too wherever it delivered.
-    let cfg = mini(DeploymentKind::Ia, 41);
+    let cfg = mini(Scenario::Ia, 41);
     let res = run_sweep(&cfg, &Scheme::EXTENDED_SET);
     let fh = figures::hop_stretch_figure(&res);
     let fl = figures::length_stretch_figure(&res);
@@ -160,7 +160,7 @@ fn interference_grows_with_density() {
         node_counts: vec![400, 800],
         networks_per_point: 8,
         pairs_per_network: 2,
-        deployment: DeploymentKind::Ia,
+        deployment: Scenario::Ia,
         base_seed: 31,
     };
     let res = run_sweep(&cfg, &Scheme::PAPER_SET);

@@ -1,4 +1,7 @@
-//! Deployment models of §5: uniform (**IA**) and forbidden-area (**FA**).
+//! Deployment models: the paper's §5 pair — uniform (**IA**) and
+//! forbidden-area (**FA**) — plus the structured generators the
+//! experiment harness sweeps beyond the paper (clustered, corridor,
+//! city-block).
 //!
 //! > "nodes with a transmission radius of 20 meters are deployed to cover
 //! > an interest area of 200m × 200m … First, the nodes will be deployed
@@ -7,8 +10,15 @@
 //! > areas, which may be irregular, are constructed to study the impact of
 //! > larger holes \[FA\]."
 //!
+//! The structured generators model the deployments the obstacle-routing
+//! literature studies beyond uniform scatter: sensor *clusters* around
+//! drop points ([`ClusterModel`]), an L-shaped *corridor* such as a mine
+//! gallery or building wing ([`CorridorModel`]), and a Manhattan street
+//! grid ([`CityBlockModel`]).
+//!
 //! All generators are seeded ([`rand::rngs::StdRng`]) so every figure run
-//! is reproducible from `(node count, seed)` alone.
+//! is reproducible from `(node count, seed)` alone, and all emit exactly
+//! `node_count` points inside `area`.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -71,6 +81,162 @@ impl DeploymentConfig {
             }
         }
         out
+    }
+
+    /// Clustered deployment: nodes pile up around a few drop points
+    /// (aerial deployment, sensor pods). Every node picks one of the
+    /// `model.clusters` seeded centers and lands uniformly in a disk of
+    /// `model.spread_radii` radio ranges around it, clamped into the
+    /// interest area.
+    pub fn deploy_clustered(&self, model: &ClusterModel, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc1_0575_edc1_0575);
+        let spread = model.spread_radii * self.radius;
+        // Centers keep one spread clear of the border where possible so
+        // clusters are not half-cropped.
+        let core = self.area.inflate(-spread.min(self.area.width() / 4.0));
+        let centers: Vec<Point> = (0..model.clusters.max(1))
+            .map(|_| sample_point(&mut rng, core))
+            .collect();
+        (0..self.node_count)
+            .map(|_| {
+                let c = centers[rng.random_range(0..centers.len())];
+                // Uniform in the disk: r = R√u, θ uniform.
+                let r = spread * rng.random_range(0.0f64..=1.0).sqrt();
+                let theta = rng.random_range(0.0f64..std::f64::consts::TAU);
+                self.area
+                    .clamp_point(Point::new(c.x + r * theta.cos(), c.y + r * theta.sin()))
+            })
+            .collect()
+    }
+
+    /// Corridor deployment: nodes confined to an L-shaped corridor (a
+    /// horizontal gallery across the area joined by a vertical wing up
+    /// from its middle), uniform within the corridor, area-weighted
+    /// between the two legs.
+    pub fn deploy_corridor(&self, model: &CorridorModel, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_221d_02c0_221d);
+        let w = (model.width_radii * self.radius)
+            .min(self.area.height())
+            .min(self.area.width());
+        let mid_y = self.area.min().y + (self.area.height() - w) / 2.0;
+        // Horizontal leg: full width, centered vertically.
+        let horizontal =
+            Rect::from_origin_size(Point::new(self.area.min().x, mid_y), self.area.width(), w);
+        // Vertical leg: from the top of the horizontal leg to the area
+        // top, centered horizontally.
+        let mid_x = self.area.min().x + (self.area.width() - w) / 2.0;
+        let vertical = Rect::from_origin_size(
+            Point::new(mid_x, mid_y + w),
+            w,
+            (self.area.max().y - (mid_y + w)).max(0.0),
+        );
+        let total = horizontal.area() + vertical.area();
+        (0..self.node_count)
+            .map(|_| {
+                let leg = if total <= 0.0 || rng.random_range(0.0f64..total) < horizontal.area() {
+                    horizontal
+                } else {
+                    vertical
+                };
+                sample_point(&mut rng, leg)
+            })
+            .collect()
+    }
+
+    /// City-block deployment: nodes live on a Manhattan street grid —
+    /// within `model.street_radii` radio ranges of a grid line spaced
+    /// `model.block_radii` ranges apart — leaving the blocks in between
+    /// empty (rejection sampling, like the FA model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streets cover so little of the area that fewer
+    /// than one in a thousand samples lands on one (degenerate models
+    /// with near-zero street width).
+    pub fn deploy_city_block(&self, model: &CityBlockModel, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc17_b10c_0c17_b10c);
+        let period = (model.block_radii * self.radius).max(f64::EPSILON);
+        let street = model.street_radii * self.radius;
+        let on_street = |p: Point| {
+            let fx = (p.x - self.area.min().x) % period;
+            let fy = (p.y - self.area.min().y) % period;
+            fx <= street || fy <= street
+        };
+        let mut out = Vec::with_capacity(self.node_count);
+        let mut attempts: u64 = 0;
+        let limit = (self.node_count as u64).max(1) * 1000;
+        while out.len() < self.node_count {
+            attempts += 1;
+            assert!(
+                attempts <= limit,
+                "streets cover too little of the interest area \
+                 (no street spot found in {attempts} samples)"
+            );
+            let p = sample_point(&mut rng, self.area);
+            if on_street(p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// The clustered deployment model: how many drop points and how far
+/// nodes scatter around them, in multiples of the radio radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterModel {
+    /// Number of cluster centers.
+    pub clusters: usize,
+    /// Scatter disk radius around each center, in radio ranges.
+    pub spread_radii: f64,
+}
+
+impl ClusterModel {
+    /// A handful of tight pods: 6 clusters, 1.5 radio ranges across —
+    /// dense cores with sparse bridges, the regime where greedy routing
+    /// starves between clusters.
+    pub fn paper_default() -> ClusterModel {
+        ClusterModel {
+            clusters: 6,
+            spread_radii: 1.5,
+        }
+    }
+}
+
+/// The corridor deployment model: the L-corridor's width in multiples
+/// of the radio radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorridorModel {
+    /// Corridor width, in radio ranges.
+    pub width_radii: f64,
+}
+
+impl CorridorModel {
+    /// A two-radio-range gallery: wide enough for parallel paths,
+    /// narrow enough that every route is essentially one-dimensional.
+    pub fn paper_default() -> CorridorModel {
+        CorridorModel { width_radii: 2.0 }
+    }
+}
+
+/// The city-block deployment model: street spacing and width in
+/// multiples of the radio radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CityBlockModel {
+    /// Distance between parallel streets (block pitch), in radio ranges.
+    pub block_radii: f64,
+    /// Street width, in radio ranges.
+    pub street_radii: f64,
+}
+
+impl CityBlockModel {
+    /// 3-range blocks with 1-range streets: blocks are radio-opaque, so
+    /// routes must follow the street graph around every corner.
+    pub fn paper_default() -> CityBlockModel {
+        CityBlockModel {
+            block_radii: 3.0,
+            street_radii: 1.0,
+        }
     }
 }
 

@@ -6,8 +6,9 @@
 //! crate builds such graphs and everything the routing layers need from
 //! them:
 //!
-//! * [`deploy`] — the two deployment models of §5: uniform (**IA**) and
-//!   forbidden-area (**FA**), with seeded reproducible randomness;
+//! * [`deploy`] — the deployment models: §5's uniform (**IA**) and
+//!   forbidden-area (**FA**) plus the structured clustered / corridor /
+//!   city-block generators, all with seeded reproducible randomness;
 //! * [`spatial`] — the uniform-grid [`SpatialIndex`] making UDG
 //!   construction, planarization, and mobility re-snapshots
 //!   `O(n · density)` instead of `O(n²)`; every [`Network`] carries one
@@ -47,7 +48,9 @@ pub mod planar;
 pub mod radio;
 pub mod spatial;
 
-pub use deploy::{DeploymentConfig, FaModel, Obstacle};
+pub use deploy::{
+    CityBlockModel, ClusterModel, CorridorModel, DeploymentConfig, FaModel, Obstacle,
+};
 pub use edge_nodes::edge_node_ids;
 pub use graph::Network;
 pub use mobility::RandomWaypoint;

@@ -1,0 +1,117 @@
+//! Property tests for the structured deployment generators (clustered,
+//! corridor, city-block): every generator emits exactly `node_count`
+//! points inside the interest area, is deterministic per seed, and
+//! produces topologies that differ structurally from uniform scatter.
+
+use proptest::prelude::*;
+use sp_geom::Point;
+use sp_net::{deploy::DeploymentConfig, CityBlockModel, ClusterModel, CorridorModel, Network};
+
+fn paper_cfg(n: usize) -> DeploymentConfig {
+    DeploymentConfig::paper_default(n)
+}
+
+/// All structured generators behind one dispatch, for the shared
+/// containment/determinism properties.
+fn generate(cfg: &DeploymentConfig, which: usize, seed: u64) -> Vec<Point> {
+    match which {
+        0 => cfg.deploy_clustered(&ClusterModel::paper_default(), seed),
+        1 => cfg.deploy_corridor(&CorridorModel::paper_default(), seed),
+        _ => cfg.deploy_city_block(&CityBlockModel::paper_default(), seed),
+    }
+}
+
+/// Population variance of the degree sequence.
+fn degree_variance(net: &Network) -> f64 {
+    let degrees: Vec<f64> = net.node_ids().map(|u| net.degree(u) as f64).collect();
+    let mean = degrees.iter().sum::<f64>() / degrees.len() as f64;
+    degrees.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / degrees.len() as f64
+}
+
+fn mean_degree(net: &Network) -> f64 {
+    2.0 * net.edge_count() as f64 / net.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generators_emit_exactly_n_points_inside_the_area(
+        seed in 0u64..500,
+        n in 50usize..400,
+        which in 0usize..3,
+    ) {
+        let cfg = paper_cfg(n);
+        let pts = generate(&cfg, which, seed);
+        prop_assert_eq!(pts.len(), n);
+        for p in &pts {
+            prop_assert!(cfg.area.contains(*p), "{p} escapes the area");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed(seed in 0u64..500, which in 0usize..3) {
+        let cfg = paper_cfg(200);
+        let a = generate(&cfg, which, seed);
+        let b = generate(&cfg, which, seed);
+        prop_assert_eq!(&a, &b, "same seed must replay identically");
+        let c = generate(&cfg, which, seed ^ 0x5eed);
+        prop_assert_ne!(&a, &c, "different seeds must differ");
+    }
+
+    #[test]
+    fn clustered_has_higher_degree_variance_than_uniform(seed in 0u64..64) {
+        // Cluster cores are dense and inter-cluster gaps are empty, so
+        // the degree spread must beat uniform scatter's.
+        let cfg = paper_cfg(400);
+        let uniform = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+        let clustered = Network::from_positions(
+            cfg.deploy_clustered(&ClusterModel::paper_default(), seed),
+            cfg.radius,
+            cfg.area,
+        );
+        prop_assert!(
+            degree_variance(&clustered) > degree_variance(&uniform),
+            "clustered {:.1} <= uniform {:.1}",
+            degree_variance(&clustered),
+            degree_variance(&uniform)
+        );
+    }
+
+    #[test]
+    fn corridor_is_denser_than_uniform(seed in 0u64..64) {
+        // Same node count squeezed into the corridor's fraction of the
+        // area: mean degree must rise well above uniform's.
+        let cfg = paper_cfg(400);
+        let uniform = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
+        let corridor = Network::from_positions(
+            cfg.deploy_corridor(&CorridorModel::paper_default(), seed),
+            cfg.radius,
+            cfg.area,
+        );
+        prop_assert!(
+            mean_degree(&corridor) > 1.5 * mean_degree(&uniform),
+            "corridor {:.1} not denser than uniform {:.1}",
+            mean_degree(&corridor),
+            mean_degree(&uniform)
+        );
+    }
+
+    #[test]
+    fn city_blocks_are_empty(seed in 0u64..64) {
+        // No node may land strictly inside a block: every point sits
+        // within a street width of some grid line.
+        let cfg = paper_cfg(300);
+        let model = CityBlockModel::paper_default();
+        let period = model.block_radii * cfg.radius;
+        let street = model.street_radii * cfg.radius;
+        for p in cfg.deploy_city_block(&model, seed) {
+            let fx = (p.x - cfg.area.min().x) % period;
+            let fy = (p.y - cfg.area.min().y) % period;
+            prop_assert!(
+                fx <= street || fy <= street,
+                "{p} is inside a block (fx={fx:.1}, fy={fy:.1})"
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! cargo run --example visualize_routes
 //! ```
 
-use sp_experiments::{figures, run_sweep, DeploymentKind, Scheme, SweepConfig};
+use sp_experiments::{figures, run_sweep, Scenario, Scheme, SweepConfig};
 use sp_viz::ascii::{render_chart, ChartOptions};
 use sp_viz::svg::{Scene, SceneOptions};
 use straightpath::prelude::*;
@@ -106,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         node_counts: vec![400, 500, 600, 700, 800],
         networks_per_point: 4,
         pairs_per_network: 3,
-        deployment: DeploymentKind::Fa(FaModel::paper_default()),
+        deployment: Scenario::Fa,
         base_seed: 7,
     };
     let results = run_sweep(&sweep_cfg, &Scheme::PAPER_SET);

@@ -84,8 +84,8 @@ fn mobile_snapshot_pipeline_end_to_end() {
 
 #[test]
 fn figures_render_in_both_chart_backends() {
-    use sp_experiments::{figures, run_sweep, DeploymentKind, Scheme, SweepConfig};
-    let mut cfg = SweepConfig::quick(DeploymentKind::Ia);
+    use sp_experiments::{figures, run_sweep, Scenario, Scheme, SweepConfig};
+    let mut cfg = SweepConfig::quick(Scenario::Ia);
     cfg.node_counts = vec![400, 500];
     cfg.networks_per_point = 2;
     let results = run_sweep(&cfg, &Scheme::PAPER_SET);

@@ -3,10 +3,10 @@
 //! paper reports (who wins, in which regime) and that the renderers
 //! produce usable artifacts.
 
-use straightpath::experiments::{figures, run_sweep, DeploymentKind, Scheme, SweepConfig};
+use straightpath::experiments::{figures, run_sweep, Scenario, Scheme, SweepConfig};
 use straightpath::metrics::{render_csv, render_markdown, render_text};
 
-fn quick(kind: DeploymentKind, seed: u64) -> SweepConfig {
+fn quick(kind: Scenario, seed: u64) -> SweepConfig {
     // 24 networks x 2 pairs per point: the smallest sample at which the
     // paper's mean-hop ordering is stable against the heavy-tailed
     // recovery-walk outliers (a single ~90-hop escort in a 24-route
@@ -22,7 +22,7 @@ fn quick(kind: DeploymentKind, seed: u64) -> SweepConfig {
 
 #[test]
 fn ia_panel_shape_holds() {
-    let results = run_sweep(&quick(DeploymentKind::Ia, 1), &Scheme::PAPER_SET);
+    let results = run_sweep(&quick(Scenario::Ia, 1), &Scheme::PAPER_SET);
     // Delivery: the safety-aware schemes deliver nearly always on IA.
     for p in &results.points {
         let slgf2 = p.scheme(Scheme::Slgf2).unwrap();
@@ -37,7 +37,7 @@ fn ia_panel_shape_holds() {
     // headline ordering), with a small noise margin.
     let mean_of = |s: Scheme| -> f64 {
         let fig = figures::fig6(&results);
-        fig.series_by_label(s.name()).unwrap().mean_y()
+        fig.series_by_label(&s.name()).unwrap().mean_y()
     };
     assert!(
         mean_of(Scheme::Slgf2) <= mean_of(Scheme::Lgf) + 0.5,
@@ -55,7 +55,7 @@ fn ia_panel_shape_holds() {
 
 #[test]
 fn fa_panel_shape_holds() {
-    let results = run_sweep(&quick(DeploymentKind::fa_default(), 2), &Scheme::PAPER_SET);
+    let results = run_sweep(&quick(Scenario::Fa, 2), &Scheme::PAPER_SET);
     let fig6 = figures::fig6(&results);
     let fig7 = figures::fig7(&results);
     let mean6 = |name: &str| fig6.series_by_label(name).unwrap().mean_y();
@@ -83,7 +83,7 @@ fn figure_renderers_produce_complete_artifacts() {
             node_counts: vec![400],
             networks_per_point: 4,
             pairs_per_network: 1,
-            deployment: DeploymentKind::Ia,
+            deployment: Scenario::Ia,
             base_seed: 3,
         },
         &Scheme::PAPER_SET,
@@ -98,9 +98,9 @@ fn figure_renderers_produce_complete_artifacts() {
         let md = render_markdown(&fig);
         let csv = render_csv(&fig);
         for scheme in Scheme::PAPER_SET {
-            assert!(text.contains(scheme.name()), "text missing {scheme}");
-            assert!(md.contains(scheme.name()), "md missing {scheme}");
-            assert!(csv.contains(scheme.name()), "csv missing {scheme}");
+            assert!(text.contains(&scheme.name()), "text missing {scheme}");
+            assert!(md.contains(&scheme.name()), "md missing {scheme}");
+            assert!(csv.contains(&scheme.name()), "csv missing {scheme}");
         }
         assert!(csv.lines().count() >= 2);
     }
@@ -108,12 +108,12 @@ fn figure_renderers_produce_complete_artifacts() {
 
 #[test]
 fn max_hops_dominate_mean_hops() {
-    let results = run_sweep(&quick(DeploymentKind::Ia, 4), &Scheme::PAPER_SET);
+    let results = run_sweep(&quick(Scenario::Ia, 4), &Scheme::PAPER_SET);
     let f5 = figures::fig5(&results);
     let f6 = figures::fig6(&results);
     for scheme in Scheme::PAPER_SET {
-        let s5 = f5.series_by_label(scheme.name()).unwrap();
-        let s6 = f6.series_by_label(scheme.name()).unwrap();
+        let s5 = f5.series_by_label(&scheme.name()).unwrap();
+        let s6 = f6.series_by_label(&scheme.name()).unwrap();
         for (&(x, max), &(_, mean)) in s5.points.iter().zip(&s6.points) {
             assert!(max >= mean, "{scheme} at n={x}: max {max} < mean {mean}");
         }
@@ -126,7 +126,7 @@ fn ablation_schemes_flow_through_sweep() {
         node_counts: vec![500],
         networks_per_point: 8,
         pairs_per_network: 1,
-        deployment: DeploymentKind::fa_default(),
+        deployment: Scenario::Fa,
         base_seed: 9,
     };
     let schemes = [
@@ -154,7 +154,7 @@ fn construction_cost_scales_with_density() {
         node_counts: vec![400, 700],
         networks_per_point: 1,
         pairs_per_network: 1,
-        deployment: DeploymentKind::Ia,
+        deployment: Scenario::Ia,
         base_seed: 11,
     };
     let fig = figures::construction_cost_figure(&cfg, 2);
