@@ -1,0 +1,539 @@
+//! The CI perf-regression gate over the workspace's `BENCH_*.json`
+//! artifacts.
+//!
+//! Usage:
+//!
+//! ```sh
+//! bench_gate [--tolerance 0.25] [--slack 0.002] \
+//!     <baseline.json> <current.json> [<baseline2.json> <current2.json> ...]
+//! ```
+//!
+//! For every file pair, result rows are matched by position; a row's
+//! string-valued fields (scenario / case names) must agree, and every
+//! `*_seconds` median in the baseline is compared against the fresh
+//! measurement. A metric **regresses** when
+//!
+//! ```text
+//! current > baseline * (1 + tolerance) + slack
+//! ```
+//!
+//! `tolerance` (default 0.25, i.e. 25%) absorbs machine-relative drift;
+//! `slack` (default 2 ms, absolute seconds) keeps microsecond-scale
+//! metrics — whose stddev rivals their median — from tripping the gate
+//! on scheduler noise. Informational fields (`*_samples`, `*_stddev`,
+//! `speedup*`, thread counts) are never gated. Exit code is non-zero
+//! when any metric regresses, so the CI job fails loudly.
+//!
+//! The parser is a tiny recursive-descent JSON reader for the schema
+//! our bench writers emit — the workspace deliberately has no serde.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The JSON subset the bench artifacts use.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or("unterminated string")?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        c => c as char, // \" \\ \/ and friends
+                    });
+                    self.pos += 1;
+                }
+                c => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("bad object at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("bad array at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// One gate verdict line.
+#[derive(Debug, Clone, PartialEq)]
+struct Finding {
+    row: String,
+    metric: String,
+    baseline: f64,
+    current: f64,
+    regressed: bool,
+}
+
+/// Compares one parsed baseline/current artifact pair.
+fn compare(
+    baseline: &Value,
+    current: &Value,
+    tol: f64,
+    slack: f64,
+) -> Result<Vec<Finding>, String> {
+    let (b, c) = (
+        baseline.as_object().ok_or("baseline is not an object")?,
+        current.as_object().ok_or("current is not an object")?,
+    );
+    let name = |o: &BTreeMap<String, Value>| {
+        o.get("benchmark")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned()
+    };
+    let (bn, cn) = (name(b), name(c));
+    if bn != cn {
+        return Err(format!(
+            "benchmark mismatch: baseline '{bn}' vs current '{cn}'"
+        ));
+    }
+    let rows = |o: &BTreeMap<String, Value>| -> Result<Vec<Value>, String> {
+        Ok(o.get("results")
+            .and_then(Value::as_array)
+            .ok_or("missing results array")?
+            .to_vec())
+    };
+    let (brows, crows) = (rows(b)?, rows(c)?);
+    if brows.len() != crows.len() {
+        return Err(format!(
+            "{bn}: baseline has {} result rows, current has {}",
+            brows.len(),
+            crows.len()
+        ));
+    }
+    let mut findings = Vec::new();
+    for (i, (br, cr)) in brows.iter().zip(&crows).enumerate() {
+        let (br, cr) = (
+            br.as_object().ok_or("baseline row is not an object")?,
+            cr.as_object().ok_or("current row is not an object")?,
+        );
+        // Identity: every string field (scenario / case tag) must agree,
+        // so a reordered or renamed row can never be compared silently.
+        let label = br
+            .iter()
+            .filter_map(|(k, v)| v.as_str().map(|s| format!("{k}={s}")))
+            .collect::<Vec<_>>()
+            .join(",");
+        for (k, v) in br {
+            if let Some(want) = v.as_str() {
+                let got = cr.get(k).and_then(Value::as_str);
+                if got != Some(want) {
+                    return Err(format!(
+                        "{bn} row {i}: field '{k}' is '{want}' in baseline but {:?} in current",
+                        got
+                    ));
+                }
+            }
+        }
+        let row_tag = if label.is_empty() {
+            format!("{bn}[{i}]")
+        } else {
+            format!("{bn}[{label}]")
+        };
+        for (k, v) in br {
+            if !k.ends_with("_seconds") {
+                continue;
+            }
+            let base = v
+                .as_number()
+                .ok_or_else(|| format!("{row_tag}: baseline '{k}' is not a number"))?;
+            let cur = cr
+                .get(k)
+                .and_then(Value::as_number)
+                .ok_or_else(|| format!("{row_tag}: current is missing metric '{k}'"))?;
+            findings.push(Finding {
+                row: row_tag.clone(),
+                metric: k.clone(),
+                baseline: base,
+                current: cur,
+                regressed: cur > base * (1.0 + tol) + slack,
+            });
+        }
+    }
+    Ok(findings)
+}
+
+fn run(args: &[String]) -> Result<Vec<Finding>, String> {
+    let mut tol = 0.25;
+    let mut slack = 0.002;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tol = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--tolerance needs a number")?
+            }
+            "--slack" => {
+                slack = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--slack needs a number (seconds)")?
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() || !paths.len().is_multiple_of(2) {
+        return Err(
+            "usage: bench_gate [--tolerance T] [--slack S] <baseline.json> <current.json> ..."
+                .to_owned(),
+        );
+    }
+    let mut findings = Vec::new();
+    for pair in paths.chunks(2) {
+        let read =
+            |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        let base = Parser::parse(&read(pair[0])?).map_err(|e| format!("{}: {e}", pair[0]))?;
+        let cur = Parser::parse(&read(pair[1])?).map_err(|e| format!("{}: {e}", pair[1]))?;
+        findings.extend(compare(&base, &cur, tol, slack)?);
+    }
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+        Ok(findings) => {
+            let mut failed = 0usize;
+            for f in &findings {
+                let ratio = if f.baseline > 0.0 {
+                    f.current / f.baseline
+                } else {
+                    f64::INFINITY
+                };
+                let verdict = if f.regressed { "REGRESSED" } else { "ok" };
+                println!(
+                    "{verdict:>9}  {} {}: {:.6}s -> {:.6}s ({ratio:.2}x)",
+                    f.row, f.metric, f.baseline, f.current
+                );
+                failed += usize::from(f.regressed);
+            }
+            if failed > 0 {
+                eprintln!("bench_gate: {failed}/{} metrics regressed", findings.len());
+                ExitCode::FAILURE
+            } else {
+                println!(
+                    "bench_gate: all {} metrics within tolerance",
+                    findings.len()
+                );
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "benchmark": "demo",
+  "unit": "seconds (median over samples)",
+  "results": [
+    {"case": "fast", "n": 100, "samples": 5, "time_seconds": 0.100000, "time_stddev": 0.001000},
+    {"case": "slow", "n": 100, "samples": 5, "time_seconds": 0.500000, "time_stddev": 0.002000}
+  ]
+}"#;
+
+    fn with_time(case_times: &[(&str, f64)]) -> Value {
+        let rows: Vec<String> = case_times
+            .iter()
+            .map(|(c, t)| {
+                format!(
+                    "{{\"case\": \"{c}\", \"n\": 100, \"samples\": 5, \"time_seconds\": {t:.6}, \"time_stddev\": 0.001}}"
+                )
+            })
+            .collect();
+        Parser::parse(&format!(
+            "{{\"benchmark\": \"demo\", \"results\": [{}]}}",
+            rows.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_real_artifact_shape() {
+        let v = Parser::parse(BASE).unwrap();
+        let rows = v.as_object().unwrap()["results"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].as_object().unwrap()["time_seconds"].as_number(),
+            Some(0.1)
+        );
+        assert_eq!(rows[1].as_object().unwrap()["case"].as_str(), Some("slow"));
+    }
+
+    #[test]
+    fn unchanged_medians_pass() {
+        let base = Parser::parse(BASE).unwrap();
+        let cur = with_time(&[("fast", 0.1), ("slow", 0.5)]);
+        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| !x.regressed));
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_fails() {
+        let base = Parser::parse(BASE).unwrap();
+        let cur = with_time(&[("fast", 0.2), ("slow", 1.0)]);
+        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        assert!(
+            f.iter().all(|x| x.regressed),
+            "2x slowdown must trip the gate"
+        );
+    }
+
+    #[test]
+    fn slack_absorbs_noise_floor_micro_metrics() {
+        // 1 µs baseline jumping to 1 ms stays inside the 2 ms slack;
+        // with 25% tolerance alone it would regress.
+        let base = with_time(&[("fast", 0.000001)]);
+        let cur = with_time(&[("fast", 0.001)]);
+        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        assert!(!f[0].regressed);
+        let f = compare(&base, &cur, 0.25, 0.0).unwrap();
+        assert!(f[0].regressed);
+    }
+
+    #[test]
+    fn just_inside_tolerance_passes_and_just_outside_fails() {
+        let base = with_time(&[("slow", 0.5)]);
+        let ok = with_time(&[("slow", 0.624)]); // 0.5 * 1.25 + slack > this
+        let bad = with_time(&[("slow", 0.628)]);
+        assert!(!compare(&base, &ok, 0.25, 0.002).unwrap()[0].regressed);
+        assert!(compare(&base, &bad, 0.25, 0.002).unwrap()[0].regressed);
+    }
+
+    #[test]
+    fn renamed_row_is_an_error_not_a_pass() {
+        let base = with_time(&[("fast", 0.1)]);
+        let cur = with_time(&[("other", 0.1)]);
+        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+    }
+
+    #[test]
+    fn row_count_mismatch_is_an_error() {
+        let base = with_time(&[("fast", 0.1)]);
+        let cur = with_time(&[("fast", 0.1), ("extra", 0.1)]);
+        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+    }
+
+    #[test]
+    fn missing_metric_in_current_is_an_error() {
+        let base = with_time(&[("fast", 0.1)]);
+        let cur = Parser::parse(
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"n\": 100}]}",
+        )
+        .unwrap();
+        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+    }
+
+    #[test]
+    fn benchmark_name_mismatch_is_an_error() {
+        let base = Parser::parse("{\"benchmark\": \"a\", \"results\": []}").unwrap();
+        let cur = Parser::parse("{\"benchmark\": \"b\", \"results\": []}").unwrap();
+        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+    }
+
+    #[test]
+    fn numeric_non_second_fields_are_not_gated() {
+        // Thread counts and speedups may differ across machines.
+        let base = Parser::parse(
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"p\", \"threads\": 1, \"time_seconds\": 0.1, \"speedup\": 1.0}]}",
+        )
+        .unwrap();
+        let cur = Parser::parse(
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"p\", \"threads\": 8, \"time_seconds\": 0.05, \"speedup\": 4.0}]}",
+        )
+        .unwrap();
+        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        assert_eq!(f.len(), 1);
+        assert!(!f[0].regressed);
+    }
+}

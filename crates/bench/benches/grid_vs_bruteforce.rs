@@ -4,18 +4,18 @@
 //! Deployments keep the paper's density (radius 20 m, ~500 nodes per
 //! 200 m × 200 m) while the area grows with `n`, so the comparison
 //! reflects scaling the *network*, not packing one arena ever denser.
-//! Besides the criterion output, the measured medians land in
-//! `BENCH_construction.json` at the workspace root, including the
+//! Besides the criterion output, the measured repeat-sample statistics
+//! (samples / median / stddev, ROADMAP "criterion stub fidelity") land
+//! in `BENCH_construction.json` at the workspace root, including the
 //! speedup the tentpole acceptance criterion reads (≥ 5× at
-//! n = 10000).
+//! n = 10000). The committed copy is the CI `bench-gate` baseline.
 //!
 //! Run with: `cargo bench -p sp-bench --bench grid_vs_bruteforce`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::sample_stats;
 use sp_geom::{Point, Rect};
 use sp_net::{DeploymentConfig, Network};
-use std::hint::black_box;
-use std::time::Instant;
 
 const SIZES: [usize; 3] = [500, 2000, 10_000];
 
@@ -28,19 +28,6 @@ fn deployment(n: usize) -> DeploymentConfig {
         node_count: n,
         radius: 20.0,
     }
-}
-
-/// Median wall-clock seconds of `runs` executions of `f`.
-fn median_secs<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            black_box(f());
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
 }
 
 fn construction_benches(c: &mut Criterion) {
@@ -59,28 +46,25 @@ fn construction_benches(c: &mut Criterion) {
             "paths diverge at n={n}"
         );
 
-        let runs = if n >= 10_000 { 3 } else { 5 };
-        let grid_s = median_secs(runs, || {
+        let runs = if n >= 10_000 { 5 } else { 7 };
+        let grid_s = sample_stats(runs, || {
             Network::from_positions(positions.clone(), cfg.radius, cfg.area)
         });
-        let brute_s = median_secs(runs, || {
+        let brute_s = sample_stats(runs, || {
             Network::from_positions_brute_force(positions.clone(), cfg.radius, cfg.area)
         });
-        let speedup = brute_s / grid_s;
+        let speedup = brute_s.median / grid_s.median;
         eprintln!(
             "n={n}: grid {:.3} ms | brute {:.3} ms | speedup {speedup:.1}x",
-            grid_s * 1e3,
-            brute_s * 1e3
+            grid_s.median * 1e3,
+            brute_s.median * 1e3
         );
         rows.push(format!(
-            concat!(
-                "    {{\"n\": {}, \"edges\": {}, \"grid_seconds\": {:.6}, ",
-                "\"bruteforce_seconds\": {:.6}, \"speedup\": {:.2}}}"
-            ),
+            "    {{\"n\": {}, \"edges\": {}, {}, {}, \"speedup\": {:.2}}}",
             n,
             grid.edge_count(),
-            grid_s,
-            brute_s,
+            grid_s.json_fields("grid"),
+            brute_s.json_fields("bruteforce"),
             speedup
         ));
 
@@ -99,7 +83,7 @@ fn construction_benches(c: &mut Criterion) {
     group.finish();
 
     let json = format!(
-        "{{\n  \"benchmark\": \"grid_vs_bruteforce\",\n  \"unit\": \"seconds (median)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"grid_vs_bruteforce\",\n  \"unit\": \"seconds (median over samples)\",\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_construction.json");

@@ -2,16 +2,16 @@
 //! registries plus the parallel `run_sweep` over each deployment
 //! scenario, at smoke scale.
 //!
-//! Besides the criterion output, the measured medians (of repeated
-//! whole-sweep runs, ROADMAP "criterion stub fidelity") land in
-//! `BENCH_sweep.json` at the workspace root, one row per scenario.
+//! Besides the criterion output, the measured repeat-sample statistics
+//! (samples / median / stddev, ROADMAP "criterion stub fidelity") land
+//! in `BENCH_sweep.json` at the workspace root, one row per scenario;
+//! the committed copy is the CI `bench-gate` baseline.
 //!
 //! Run with: `cargo bench -p sp-bench --bench sweep_runner`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::sample_stats;
 use sp_experiments::SweepSpec;
-use std::hint::black_box;
-use std::time::Instant;
 
 /// One smoke sweep per scenario: 2 node counts × 4 networks, the
 /// paper's four schemes (the CI spec run uses the corridor row).
@@ -27,19 +27,6 @@ const SPECS: [(&str, &str); 3] = [
     ),
 ];
 
-/// Median wall-clock seconds of `runs` executions of `f`.
-fn median_secs<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            black_box(f());
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
 fn sweep_benches(c: &mut Criterion) {
     let mut rows = Vec::new();
     let mut group = c.benchmark_group("sweep_runner");
@@ -54,20 +41,20 @@ fn sweep_benches(c: &mut Criterion) {
             .sum();
         assert!(routes > 0, "{tag}: sweep produced no routes");
 
-        let sweep_s = median_secs(5, || spec.run());
+        let sweep_s = sample_stats(5, || spec.run());
         // The front end itself must stay out of the noise floor.
-        let parse_s = median_secs(64, || SweepSpec::parse(spec_str).unwrap());
+        let parse_s = sample_stats(64, || SweepSpec::parse(spec_str).unwrap());
         eprintln!(
             "{tag}: sweep {:.1} ms ({routes} routes) | parse {:.3} ms",
-            sweep_s * 1e3,
-            parse_s * 1e3
+            sweep_s.median * 1e3,
+            parse_s.median * 1e3
         );
         rows.push(format!(
-            concat!(
-                "    {{\"scenario\": \"{}\", \"routes\": {}, ",
-                "\"sweep_seconds\": {:.6}, \"parse_seconds\": {:.6}}}"
-            ),
-            tag, routes, sweep_s, parse_s
+            "    {{\"scenario\": \"{}\", \"routes\": {}, {}, {}}}",
+            tag,
+            routes,
+            sweep_s.json_fields("sweep"),
+            parse_s.json_fields("parse")
         ));
 
         group.bench_function(BenchmarkId::new("run", tag), |b| {
@@ -77,7 +64,7 @@ fn sweep_benches(c: &mut Criterion) {
     group.finish();
 
     let json = format!(
-        "{{\n  \"benchmark\": \"sweep_runner\",\n  \"unit\": \"seconds (median)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"sweep_runner\",\n  \"unit\": \"seconds (median over samples)\",\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");

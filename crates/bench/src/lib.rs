@@ -2,3 +2,105 @@
 //! regenerates one of the paper's figures at reduced scale and times
 //! the pipeline that produces it; `repro-figures` (in
 //! `sp-experiments`) produces the full-scale tables.
+//!
+//! The library part holds the shared wall-clock sampling helper every
+//! `BENCH_*.json` writer uses, so all baselines carry the same
+//! `samples` / median / stddev statistics the CI `bench-gate` binary
+//! compares.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Repeat-sample wall-clock statistics of one measured routine, in
+/// seconds. This is what every `BENCH_*.json` row records: the gate
+/// compares `median`, while `stddev` documents the noise floor the
+/// tolerance has to absorb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of timed runs.
+    pub samples: usize,
+    /// Median seconds across runs.
+    pub median: f64,
+    /// Mean seconds across runs.
+    pub mean: f64,
+    /// Sample standard deviation across runs (0 for fewer than 2).
+    pub stddev: f64,
+}
+
+impl SampleStats {
+    /// Summarizes raw per-run seconds. Delegates to the vendored
+    /// criterion stub's [`criterion::Estimate`] so the workspace has
+    /// exactly one median/stddev implementation behind every
+    /// `BENCH_*.json` artifact the gate compares.
+    pub fn of(samples: &[f64]) -> SampleStats {
+        let e = criterion::Estimate::from_samples(String::new(), samples);
+        SampleStats {
+            samples: e.samples,
+            median: e.median_ns,
+            mean: e.mean_ns,
+            stddev: e.stddev_ns,
+        }
+    }
+
+    /// The `"<prefix>_samples": n, "<prefix>_seconds": median,
+    /// "<prefix>_stddev": stddev` JSON fragment every bench row embeds
+    /// for one timed quantity — sample counts are per metric, so a row
+    /// mixing differently-sampled measurements stays self-describing.
+    pub fn json_fields(&self, prefix: &str) -> String {
+        format!(
+            "\"{prefix}_samples\": {}, \"{prefix}_seconds\": {:.6}, \"{prefix}_stddev\": {:.6}",
+            self.samples, self.median, self.stddev
+        )
+    }
+}
+
+/// Times `runs` executions of `f` and summarizes them.
+pub fn sample_stats<R>(runs: usize, mut f: impl FnMut() -> R) -> SampleStats {
+    let samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    SampleStats::of(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = SampleStats::of(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sample_counts() {
+        assert_eq!(SampleStats::of(&[]).median, 0.0);
+        let one = SampleStats::of(&[7.0]);
+        assert_eq!((one.samples, one.median, one.stddev), (1, 7.0, 0.0));
+    }
+
+    #[test]
+    fn json_fields_render_count_median_and_spread() {
+        let s = SampleStats::of(&[0.5, 0.5]);
+        assert_eq!(
+            s.json_fields("sweep"),
+            "\"sweep_samples\": 2, \"sweep_seconds\": 0.500000, \"sweep_stddev\": 0.000000"
+        );
+    }
+
+    #[test]
+    fn sample_stats_times_the_routine() {
+        let s = sample_stats(5, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert_eq!(s.samples, 5);
+        assert!(s.median >= 0.001);
+    }
+}

@@ -204,7 +204,9 @@ pub fn length_stretch_figure(results: &SweepResults) -> Figure {
 /// (speeds in meters per time unit) and SLGF2 routes on topology
 /// snapshots with the **stale** information, against rebuilding it at
 /// every snapshot, with always-fresh GFG as the information-free
-/// reference. The x-axis is elapsed time.
+/// reference. The x-axis is elapsed time (`sample_times` must be
+/// ascending: each instance advances one walker through them and takes
+/// incremental topology snapshots).
 pub fn mobility_staleness_figure(
     node_count: usize,
     instances: usize,
@@ -231,44 +233,57 @@ pub fn mobility_staleness_figure(
     let mut delivery: Vec<Series> = labels.iter().map(|&l| Series::new(l)).collect();
     let mut hops: Vec<Series> = labels.iter().map(|&l| Series::new(l)).collect();
     let dc = sp_net::deploy::DeploymentConfig::paper_default(node_count);
-    for &t in sample_times {
-        let mut ok = [0usize; 3];
-        let mut hop_sum = [0usize; 3];
-        let mut total = 0usize;
-        for k in 0..instances {
-            let seed = 0xa13_000 + k as u64;
-            let start = dc.deploy_uniform(seed);
-            let net0 = Network::from_positions(start.clone(), dc.radius, dc.area);
-            let info0 = SafetyInfo::build(&net0);
-            let mut rw = sp_net::RandomWaypoint::new(start, dc.area, speed.0, speed.1, 0.0, seed);
-            rw.step(t);
-            let snapshot = rw.snapshot(dc.radius);
-            let fresh_info = SafetyInfo::build(&snapshot);
-            let gfg = GfgRouter::new(&snapshot);
+    // Each instance walks *one* trajectory through the ascending sample
+    // times, taking incremental snapshots along the way — only the nodes
+    // that moved since the previous sample are re-bucketed and re-wired
+    // (RandomWaypoint::snapshot_incremental), not the whole topology.
+    let mut ok = vec![[0usize; 3]; sample_times.len()];
+    let mut hop_sum = vec![[0usize; 3]; sample_times.len()];
+    let mut total = vec![0usize; sample_times.len()];
+    for k in 0..instances {
+        let seed = 0xa13_000 + k as u64;
+        let start = dc.deploy_uniform(seed);
+        let net0 = Network::from_positions(start.clone(), dc.radius, dc.area);
+        let info0 = SafetyInfo::build(&net0);
+        let mut rw =
+            sp_net::RandomWaypoint::new(start, dc.area, dc.radius, speed.0, speed.1, 0.0, seed);
+        let mut prev_t = 0.0;
+        for (ti, &t) in sample_times.iter().enumerate() {
+            assert!(
+                t >= prev_t,
+                "sample times must be ascending (got {t} after {prev_t})"
+            );
+            rw.step(t - prev_t);
+            prev_t = t;
+            let snapshot = rw.snapshot_incremental();
+            let fresh_info = SafetyInfo::build(snapshot);
+            let gfg = GfgRouter::new(snapshot);
             let mut rng = StdRng::seed_from_u64(seed ^ 0x517e);
             for _ in 0..pairs_per_snapshot {
-                let Some((s, d)) = crate::random_connected_pair(&snapshot, &mut rng) else {
+                let Some((s, d)) = crate::random_connected_pair(snapshot, &mut rng) else {
                     continue;
                 };
-                total += 1;
+                total[ti] += 1;
                 let runs = [
-                    Slgf2Router::new(&info0).route(&snapshot, s, d),
-                    Slgf2Router::new(&fresh_info).route(&snapshot, s, d),
-                    gfg.route(&snapshot, s, d),
+                    Slgf2Router::new(&info0).route(snapshot, s, d),
+                    Slgf2Router::new(&fresh_info).route(snapshot, s, d),
+                    gfg.route(snapshot, s, d),
                 ];
                 for (j, r) in runs.iter().enumerate() {
                     if r.delivered() {
-                        ok[j] += 1;
-                        hop_sum[j] += r.hops();
+                        ok[ti][j] += 1;
+                        hop_sum[ti][j] += r.hops();
                     }
                 }
             }
         }
-        if total > 0 {
+    }
+    for (ti, &t) in sample_times.iter().enumerate() {
+        if total[ti] > 0 {
             for j in 0..3 {
-                delivery[j].push(t, ok[j] as f64 / total as f64);
-                if ok[j] > 0 {
-                    hops[j].push(t, hop_sum[j] as f64 / ok[j] as f64);
+                delivery[j].push(t, ok[ti][j] as f64 / total[ti] as f64);
+                if ok[ti][j] > 0 {
+                    hops[j].push(t, hop_sum[ti][j] as f64 / ok[ti][j] as f64);
                 }
             }
         }

@@ -36,9 +36,9 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Network {
-    // One shared allocation with the index (Arc), so snapshots and
-    // degraded copies never duplicate the position table.
-    positions: Arc<[Point]>,
+    // The position table lives in (and is shared with) the index; all
+    // position accessors delegate, so incremental moves applied through
+    // the index are never observed half-synced.
     adjacency: Vec<Vec<NodeId>>,
     index: SpatialIndex,
     radius: f64,
@@ -53,18 +53,32 @@ impl Network {
     /// `radius`, so construction is `O(n · k)` in the mean cell
     /// occupancy `k` rather than `O(n²)` pairwise checks (the
     /// brute-force reference survives as
-    /// [`Network::from_positions_brute_force`]).
+    /// [`Network::from_positions_brute_force`]). Above
+    /// [`sp_net::spatial::PARALLEL_NODE_THRESHOLD`](crate::spatial::PARALLEL_NODE_THRESHOLD)
+    /// nodes the cell-pair scan is sharded across threads
+    /// ([`SpatialIndex::auto_threads`]; pin with `SP_NET_THREADS`) with
+    /// output identical to the serial scan.
     ///
     /// # Panics
     ///
     /// Panics if `radius` is not strictly positive.
     pub fn from_positions(positions: Vec<Point>, radius: f64, area: Rect) -> Network {
+        Network::from_shared_positions(positions.into(), radius, area)
+    }
+
+    /// [`Network::from_positions`] over an already-shared position
+    /// slice, so callers holding an `Arc` (mobility snapshot scratch,
+    /// repeated re-index of one deployment) skip the extra copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive.
+    pub fn from_shared_positions(positions: Arc<[Point]>, radius: f64, area: Rect) -> Network {
         assert!(radius > 0.0, "communication radius must be positive");
-        let positions: Arc<[Point]> = positions.into();
-        let index = SpatialIndex::build_shared(Arc::clone(&positions), area, radius);
-        let adjacency = index.adjacency_within(radius);
+        let index = SpatialIndex::build_shared(positions, area, radius);
+        let threads = SpatialIndex::auto_threads(index.len());
+        let adjacency = index.adjacency_within_threaded(radius, threads);
         Network {
-            positions,
             adjacency,
             index,
             radius,
@@ -93,10 +107,8 @@ impl Network {
         for list in &mut adjacency {
             list.sort_unstable();
         }
-        let positions: Arc<[Point]> = positions.into();
-        let index = SpatialIndex::build_shared(Arc::clone(&positions), area, radius);
+        let index = SpatialIndex::build_shared(positions.into(), area, radius);
         Network {
-            positions,
             adjacency,
             index,
             radius,
@@ -124,12 +136,12 @@ impl Network {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.index.len()
     }
 
     /// True when the network has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.index.is_empty()
     }
 
     /// The communication radius shared by all nodes.
@@ -148,12 +160,12 @@ impl Network {
     ///
     /// Panics if `u` is out of range.
     pub fn position(&self, u: NodeId) -> Point {
-        self.positions[u.index()]
+        self.index.position(u)
     }
 
     /// All node positions, indexed by [`NodeId`].
     pub fn positions(&self) -> &[Point] {
-        &self.positions
+        self.index.points()
     }
 
     /// Neighbor set `N(u)`, sorted by id.
@@ -166,7 +178,7 @@ impl Network {
     pub fn neighbor_points(&self, u: NodeId) -> impl Iterator<Item = (usize, Point)> + '_ {
         self.adjacency[u.index()]
             .iter()
-            .map(|&v| (v.index(), self.positions[v.index()]))
+            .map(|&v| (v.index(), self.index.position(v)))
     }
 
     /// Degree `|N(u)|`.
@@ -378,11 +390,91 @@ impl Network {
             })
             .collect();
         Network {
-            positions: Arc::clone(&self.positions),
             adjacency,
             index: self.index.clone(),
             radius: self.radius,
             area: self.area,
+        }
+    }
+
+    /// Moves the given nodes to new positions and repairs adjacency
+    /// incrementally: each point relocates between grid cells in `O(1)`
+    /// ([`SpatialIndex::move_point`]) and only the touched neighborhoods
+    /// are recomputed ([`Network::update_adjacency_for`]), so a mobility
+    /// tick where `m` of `n` nodes moved costs `O(n + m · k)` instead of
+    /// the full `O(n · k)` rebuild. The result is identical to
+    /// rebuilding from scratch at the new positions.
+    ///
+    /// Intended for *live* snapshots; applying moves to a
+    /// [`Network::without_nodes`]-degraded copy resurrects the dead
+    /// nodes' edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn apply_moves(&mut self, moves: &[(NodeId, Point)]) {
+        for &(id, p) in moves {
+            self.index.move_point(id, p);
+        }
+        let moved: Vec<NodeId> = moves.iter().map(|&(id, _)| id).collect();
+        self.update_adjacency_for(&moved);
+    }
+
+    /// Recomputes adjacency for `moved` nodes (whose positions in the
+    /// attached [`SpatialIndex`] already changed) and their old and new
+    /// neighbors, leaving every other list untouched. Duplicate ids are
+    /// tolerated. See [`Network::apply_moves`] for the usual entry
+    /// point.
+    pub fn update_adjacency_for(&mut self, moved: &[NodeId]) {
+        let mut is_moved = vec![false; self.len()];
+        let mut uniq: Vec<NodeId> = Vec::with_capacity(moved.len());
+        for &u in moved {
+            if !is_moved[u.index()] {
+                is_moved[u.index()] = true;
+                uniq.push(u);
+            }
+        }
+        // Detach every moved node: clear its list and delete it from
+        // each unmoved old neighbor (moved neighbors are rebuilt anyway).
+        for &u in &uniq {
+            let old = std::mem::take(&mut self.adjacency[u.index()]);
+            for v in old {
+                if is_moved[v.index()] {
+                    continue;
+                }
+                let list = &mut self.adjacency[v.index()];
+                if let Ok(at) = list.binary_search(&u) {
+                    list.remove(at);
+                }
+            }
+        }
+        // Reattach from fresh range queries at the new positions. A pair
+        // of moved endpoints shows up in both queries; the smaller id
+        // owns it so each edge is inserted exactly once.
+        let r_sq = self.radius * self.radius;
+        let mut candidates: Vec<NodeId> = Vec::new();
+        for &u in &uniq {
+            let pu = self.index.position(u);
+            candidates.clear();
+            candidates.extend(self.index.within_radius(pu, self.radius));
+            for &v in &candidates {
+                if v == u || (is_moved[v.index()] && v < u) {
+                    continue;
+                }
+                debug_assert!(self.index.position(v).distance_sq(pu) <= r_sq);
+                self.adjacency[u.index()].push(v);
+                if is_moved[v.index()] {
+                    self.adjacency[v.index()].push(u);
+                } else {
+                    let list = &mut self.adjacency[v.index()];
+                    if let Err(at) = list.binary_search(&u) {
+                        list.insert(at, u);
+                    }
+                }
+            }
+        }
+        for &u in &uniq {
+            self.adjacency[u.index()].sort_unstable();
         }
     }
 }
@@ -529,6 +621,36 @@ mod tests {
         for (idx, p) in net.neighbor_points(NodeId(1)) {
             assert_eq!(net.position(NodeId(idx)), p);
         }
+    }
+
+    #[test]
+    fn apply_moves_matches_full_rebuild() {
+        let mut net = line_net();
+        // The far node joins the line's tail; the head leaves for the
+        // far corner — degrees, edges, and positions must all match a
+        // from-scratch rebuild at the new layout.
+        net.apply_moves(&[
+            (NodeId(4), Point::new(40.0, 0.0)),
+            (NodeId(0), Point::new(90.0, 90.0)),
+        ]);
+        let rebuilt = Network::from_positions(net.positions().to_vec(), net.radius(), net.area());
+        for u in net.node_ids() {
+            assert_eq!(net.neighbors(u), rebuilt.neighbors(u), "node {u}");
+        }
+        assert!(net.has_edge(NodeId(3), NodeId(4)));
+        assert_eq!(net.degree(NodeId(0)), 0);
+        assert_eq!(net.position(NodeId(0)), Point::new(90.0, 90.0));
+        assert_eq!(net.index().position(NodeId(4)), Point::new(40.0, 0.0));
+    }
+
+    #[test]
+    fn apply_moves_tolerates_duplicates_and_noops() {
+        let mut net = line_net();
+        let before: Vec<_> = net.edges().collect();
+        // Moving a node onto its own position twice changes nothing.
+        let p1 = net.position(NodeId(1));
+        net.apply_moves(&[(NodeId(1), p1), (NodeId(1), p1)]);
+        assert_eq!(net.edges().collect::<Vec<_>>(), before);
     }
 
     #[test]

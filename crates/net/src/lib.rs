@@ -12,7 +12,9 @@
 //! * [`spatial`] — the uniform-grid [`SpatialIndex`] making UDG
 //!   construction, planarization, and mobility re-snapshots
 //!   `O(n · density)` instead of `O(n²)`; every [`Network`] carries one
-//!   ([`Network::index`]);
+//!   ([`Network::index`]). Bulk adjacency shards cell rows across
+//!   threads above [`PARALLEL_NODE_THRESHOLD`] nodes (`SP_NET_THREADS`
+//!   to pin) and supports `O(1)` incremental point moves;
 //! * [`graph`] — the [`Network`] type: adjacency, BFS hop counts,
 //!   Dijkstra reference paths, connectivity;
 //! * [`planar`] — Gabriel / RNG planarization plus the CCW/CW pivots that
@@ -57,4 +59,4 @@ pub use mobility::RandomWaypoint;
 pub use node::NodeId;
 pub use planar::{PlanarGraph, Planarization};
 pub use radio::{interference_count, interference_set, EnergyLedger, RadioModel};
-pub use spatial::SpatialIndex;
+pub use spatial::{SpatialIndex, PARALLEL_NODE_THRESHOLD, THREADS_ENV};

@@ -14,10 +14,28 @@
 //! [`Network::index`](crate::Network::index), so routing layers and
 //! deployment tooling share one structure instead of re-deriving ad hoc
 //! scans.
+//!
+//! Two scale features keep topology refresh off the hot path of large
+//! mobile sweeps: bulk adjacency construction shards cell rows across
+//! threads ([`SpatialIndex::adjacency_within_threaded`], automatic above
+//! [`PARALLEL_NODE_THRESHOLD`] nodes, `SP_NET_THREADS` to pin), and
+//! points relocate incrementally in `O(1)`
+//! ([`SpatialIndex::move_point`]) so a mobility tick re-buckets only the
+//! nodes that moved instead of rebuilding the grid.
 
 use crate::NodeId;
 use sp_geom::{Point, Rect};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Node count at which [`SpatialIndex::auto_threads`] starts asking for
+/// more than one thread. Below this the whole adjacency fits in cache
+/// and thread spawn/merge overhead dominates any sharding win.
+pub const PARALLEL_NODE_THRESHOLD: usize = 8_192;
+
+/// The thread-count environment knob read by
+/// [`SpatialIndex::auto_threads`].
+pub const THREADS_ENV: &str = "SP_NET_THREADS";
 
 /// A uniform grid over a bounding rectangle with square cells.
 ///
@@ -128,6 +146,53 @@ impl SpatialIndex {
         self.points[u.index()]
     }
 
+    /// All indexed positions, by node id.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The shared position slice (one allocation no matter how many
+    /// snapshots or index clones reference it).
+    pub fn shared_points(&self) -> Arc<[Point]> {
+        Arc::clone(&self.points)
+    }
+
+    /// Relocates one point to `new_pos` in `O(1)`: the position table is
+    /// updated in place and the point moves between grid cells (cells
+    /// keep ascending id order, so range queries stay deterministic).
+    ///
+    /// When the position slice is still shared with other index or
+    /// network clones, the first move copies it once (copy-on-write);
+    /// every subsequent move on this index is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn move_point(&mut self, id: NodeId, new_pos: Point) {
+        let old_cell = self.cell_of(self.points[id.index()]);
+        let new_cell = self.cell_of(new_pos);
+        let pts = match Arc::get_mut(&mut self.points) {
+            Some(p) => p,
+            None => {
+                self.points = self.points.iter().copied().collect();
+                Arc::get_mut(&mut self.points).expect("freshly copied slice is unshared")
+            }
+        };
+        pts[id.index()] = new_pos;
+        if old_cell != new_cell {
+            let cell = &mut self.cells[old_cell];
+            let at = cell
+                .binary_search(&id)
+                .expect("moved point is bucketed in its old cell");
+            cell.remove(at);
+            let cell = &mut self.cells[new_cell];
+            let at = cell
+                .binary_search(&id)
+                .expect_err("moved point cannot already be in its new cell");
+            cell.insert(at, id);
+        }
+    }
+
     fn cell_coords(&self, p: Point) -> (usize, usize) {
         let cx = ((p.x - self.origin.x) / self.cell_size).floor();
         let cy = ((p.y - self.origin.y) / self.cell_size).floor();
@@ -170,13 +235,98 @@ impl SpatialIndex {
     /// up front), so every candidate pair costs one distance test and
     /// no per-point iterator setup. Self-loops are never produced.
     pub fn adjacency_within(&self, radius: f64) -> Vec<Vec<NodeId>> {
+        self.adjacency_within_threaded(radius, 1)
+    }
+
+    /// [`adjacency_within`](Self::adjacency_within) sharded across
+    /// `threads` worker threads by grid *row*.
+    ///
+    /// Workers pull rows from a shared atomic cursor (the same std-only
+    /// work-queue pattern as the sweep runner), each emitting the edge
+    /// pairs whose lower row is theirs into a per-row buffer; buffers
+    /// are merged in row order and every adjacency list is sorted, so
+    /// the output is bit-identical to the serial path at any thread
+    /// count. `threads` is clamped to `[1, rows]`; `threads <= 1` runs
+    /// inline without spawning.
+    pub fn adjacency_within_threaded(&self, radius: f64, threads: usize) -> Vec<Vec<NodeId>> {
         let r_sq = radius * radius;
-        let cols = self.cols as isize;
-        let rows = self.rows as isize;
-        let reach = (radius / self.cell_size).ceil() as isize;
+        let offsets = self.forward_offsets(radius);
+        let threads = threads.clamp(1, self.rows);
+        let mut row_bufs: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(self.rows);
+        if threads <= 1 {
+            for cy in 0..self.rows {
+                let mut buf = Vec::new();
+                self.row_edges(cy as isize, &offsets, r_sq, &mut buf);
+                row_bufs.push(buf);
+            }
+        } else {
+            row_bufs.resize_with(self.rows, Vec::new);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine: Vec<(usize, Vec<(NodeId, NodeId)>)> = Vec::new();
+                            loop {
+                                let cy = next.fetch_add(1, Ordering::Relaxed);
+                                if cy >= self.rows {
+                                    break;
+                                }
+                                let mut buf = Vec::new();
+                                self.row_edges(cy as isize, &offsets, r_sq, &mut buf);
+                                mine.push((cy, buf));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (cy, buf) in h.join().expect("adjacency shard panicked") {
+                        row_bufs[cy] = buf;
+                    }
+                }
+            });
+        }
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.points.len()];
-        // Forward cell offsets covering each unordered cell pair once;
-        // (0, 0) is handled by the in-cell `i < j` loop.
+        for buf in &row_bufs {
+            for &(u, v) in buf {
+                adj[u.index()].push(v);
+                adj[v.index()].push(u);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        adj
+    }
+
+    /// The thread count [`Network::from_positions`](crate::Network)
+    /// hands to [`adjacency_within_threaded`](Self::adjacency_within_threaded):
+    /// 1 below [`PARALLEL_NODE_THRESHOLD`] nodes, otherwise the
+    /// [`THREADS_ENV`] (`SP_NET_THREADS`) environment knob when set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    pub fn auto_threads(node_count: usize) -> usize {
+        if node_count < PARALLEL_NODE_THRESHOLD {
+            return 1;
+        }
+        if let Ok(raw) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Forward cell offsets covering each unordered pair of nearby cells
+    /// exactly once; `(0, 0)` is handled by the in-cell `i < j` loop.
+    /// Cell pairs whose minimum separation exceeds `radius` are pruned.
+    fn forward_offsets(&self, radius: f64) -> Vec<(isize, isize)> {
+        let r_sq = radius * radius;
+        let reach = (radius / self.cell_size).ceil() as isize;
         let mut offsets: Vec<(isize, isize)> = Vec::new();
         for dy in 0..=reach {
             let dxs = if dy == 0 { 1..=reach } else { -reach..=reach };
@@ -189,40 +339,48 @@ impl SpatialIndex {
                 }
             }
         }
-        for cy in 0..rows {
-            for cx in 0..cols {
-                let cell = &self.cells[(cy * cols + cx) as usize];
-                for (i, &u) in cell.iter().enumerate() {
-                    let pu = self.points[u.index()];
-                    for &v in &cell[i + 1..] {
-                        if pu.distance_sq(self.points[v.index()]) <= r_sq {
-                            adj[u.index()].push(v);
-                            adj[v.index()].push(u);
-                        }
+        offsets
+    }
+
+    /// Emits every radius-edge whose *lower-numbered row* is `cy` as an
+    /// unordered pair: in-cell `i < j` pairs plus each forward-offset
+    /// cell pair, so the union over all rows is the full edge set with
+    /// each edge produced exactly once.
+    fn row_edges(
+        &self,
+        cy: isize,
+        offsets: &[(isize, isize)],
+        r_sq: f64,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        for cx in 0..cols {
+            let cell = &self.cells[(cy * cols + cx) as usize];
+            for (i, &u) in cell.iter().enumerate() {
+                let pu = self.points[u.index()];
+                for &v in &cell[i + 1..] {
+                    if pu.distance_sq(self.points[v.index()]) <= r_sq {
+                        out.push((u, v));
                     }
                 }
-                for &(dx, dy) in &offsets {
-                    let (nx, ny) = (cx + dx, cy + dy);
-                    if nx < 0 || nx >= cols || ny < 0 || ny >= rows {
-                        continue;
-                    }
-                    let other = &self.cells[(ny * cols + nx) as usize];
-                    for &u in cell {
-                        let pu = self.points[u.index()];
-                        for &v in other {
-                            if pu.distance_sq(self.points[v.index()]) <= r_sq {
-                                adj[u.index()].push(v);
-                                adj[v.index()].push(u);
-                            }
+            }
+            for &(dx, dy) in offsets {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || nx >= cols || ny < 0 || ny >= rows {
+                    continue;
+                }
+                let other = &self.cells[(ny * cols + nx) as usize];
+                for &u in cell {
+                    let pu = self.points[u.index()];
+                    for &v in other {
+                        if pu.distance_sq(self.points[v.index()]) <= r_sq {
+                            out.push((u, v));
                         }
                     }
                 }
             }
         }
-        for list in &mut adj {
-            list.sort_unstable();
-        }
-        adj
     }
 
     /// The indexed point closest to `center` (ties broken by lowest id),
@@ -420,6 +578,72 @@ mod tests {
                 assert_eq!(got, want, "k={k} at {q}");
             }
         }
+    }
+
+    #[test]
+    fn threaded_adjacency_equals_serial() {
+        let pts = scatter(400, 777);
+        let index = SpatialIndex::build(&pts, demo_area(), 20.0);
+        let serial = index.adjacency_within(20.0);
+        for threads in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(
+                index.adjacency_within_threaded(20.0, threads),
+                serial,
+                "{threads}-thread shard diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn move_point_relocates_between_cells() {
+        let pts = vec![Point::new(5.0, 5.0), Point::new(95.0, 95.0)];
+        let mut index = SpatialIndex::build(&pts, demo_area(), 10.0);
+        index.move_point(NodeId(0), Point::new(93.0, 93.0));
+        assert_eq!(index.position(NodeId(0)), Point::new(93.0, 93.0));
+        let mut near: Vec<NodeId> = index.within_radius(Point::new(94.0, 94.0), 5.0).collect();
+        near.sort_unstable();
+        assert_eq!(near, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(index.within_radius(Point::new(5.0, 5.0), 5.0).count(), 0);
+    }
+
+    #[test]
+    fn move_point_copies_shared_points_once() {
+        let pts = scatter(50, 31);
+        let index = SpatialIndex::build(&pts, demo_area(), 20.0);
+        let mut moved = index.clone(); // shares the position slice
+        moved.move_point(NodeId(7), Point::new(1.0, 2.0));
+        assert_eq!(moved.position(NodeId(7)), Point::new(1.0, 2.0));
+        // The original never observes the move.
+        assert_eq!(index.position(NodeId(7)), pts[7]);
+        // Cells stay sorted so queries remain deterministic.
+        let mut ids: Vec<NodeId> = moved.within_radius(Point::new(1.0, 2.0), 1.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn moved_index_adjacency_matches_fresh_build() {
+        let mut pts = scatter(200, 55);
+        let mut index = SpatialIndex::build(&pts, demo_area(), 20.0);
+        let mut state = 9000u64;
+        for step in 0..60 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let id = (state >> 33) as usize % pts.len();
+            let target = scatter(1, state ^ step)[0];
+            pts[id] = target;
+            index.move_point(NodeId(id), target);
+        }
+        let fresh = SpatialIndex::build(&pts, demo_area(), 20.0);
+        assert_eq!(index.adjacency_within(20.0), fresh.adjacency_within(20.0));
+    }
+
+    #[test]
+    fn auto_threads_serial_below_threshold() {
+        assert_eq!(SpatialIndex::auto_threads(100), 1);
+        assert_eq!(SpatialIndex::auto_threads(PARALLEL_NODE_THRESHOLD - 1), 1);
+        assert!(SpatialIndex::auto_threads(PARALLEL_NODE_THRESHOLD) >= 1);
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn main() {
     );
 
     // Nodes move at 1-3 m per time unit inside the interest area.
-    let mut rw = RandomWaypoint::new(start, cfg.area, 1.0, 3.0, 2.0, 2026);
+    let mut rw = RandomWaypoint::new(start, cfg.area, cfg.radius, 1.0, 3.0, 2.0, 2026);
 
     println!(
         "\n{:>6} {:>10} {:>13} {:>13}",
@@ -31,7 +31,8 @@ fn main() {
     let baseline_edges: std::collections::BTreeSet<_> = net0.edges().collect();
     for _ in 0..6 {
         rw.step(15.0);
-        let snapshot = rw.snapshot(cfg.radius);
+        // Only the nodes that moved since the last tick are re-indexed.
+        let snapshot = rw.snapshot_incremental().clone();
         let edges_now: std::collections::BTreeSet<_> = snapshot.edges().collect();
         let churn = baseline_edges.symmetric_difference(&edges_now).count();
 

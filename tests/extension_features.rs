@@ -57,9 +57,15 @@ fn mobile_snapshot_pipeline_end_to_end() {
     // -> hybrid routing with guaranteed recovery.
     let cfg = DeploymentConfig::paper_default(400);
     let start = cfg.deploy_uniform(5);
-    let mut rw = RandomWaypoint::new(start, cfg.area, 1.0, 2.5, 1.0, 5);
+    let mut rw = RandomWaypoint::new(start, cfg.area, cfg.radius, 1.0, 2.5, 1.0, 5);
     rw.step(25.0);
-    let snapshot = rw.snapshot(cfg.radius);
+    // The incrementally-maintained snapshot must be the same topology
+    // the from-scratch rebuild sees; route on the incremental one.
+    let full = rw.snapshot();
+    let snapshot = rw.snapshot_incremental().clone();
+    for u in full.node_ids() {
+        assert_eq!(snapshot.neighbors(u), full.neighbors(u), "node {u}");
+    }
 
     let run = construct_async(&snapshot, 9).expect("async labeling quiesces");
     assert!(run.stats.quiesced);

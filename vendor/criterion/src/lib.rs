@@ -7,12 +7,16 @@
 //! [`criterion_group!`] / [`criterion_main!`] macros (both the simple
 //! and the `name/config/targets` forms).
 //!
-//! Each benchmark is warmed up once, then timed over enough iterations
-//! to fill a short measurement window; the mean time per iteration is
-//! printed as `bench: <name> ... <time>`. There are no statistical
-//! comparisons, plots, or saved baselines. [`Criterion::last_estimate`]
-//! exposes the most recent measurement so callers can post-process
-//! results (e.g. emit JSON).
+//! Each benchmark is warmed up once, then timed as `sample_size`
+//! repeated samples (each a batch of iterations filling its share of a
+//! short measurement window); the per-iteration **median across
+//! samples ± sample standard deviation** is printed as
+//! `bench: <name> ... <time>`. There are no plots or saved baselines —
+//! regression gating lives in the workspace's `bench-gate` binary over
+//! the emitted `BENCH_*.json` files. [`Criterion::last_estimate`]
+//! exposes the most recent median and [`Criterion::last_stats`] the
+//! full [`Estimate`] (samples / median / mean / stddev) so callers can
+//! post-process results (e.g. emit JSON).
 
 #![forbid(unsafe_code)]
 
@@ -69,26 +73,86 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// The statistics of one benchmark run: per-iteration nanoseconds
+/// summarized over repeated samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Full `group/function/parameter` label.
+    pub label: String,
+    /// Number of timed samples the statistics summarize.
+    pub samples: usize,
+    /// Median per-iteration nanoseconds across samples.
+    pub median_ns: f64,
+    /// Mean per-iteration nanoseconds across samples.
+    pub mean_ns: f64,
+    /// Sample standard deviation of per-iteration nanoseconds
+    /// (0 for fewer than two samples).
+    pub stddev_ns: f64,
+}
+
+impl Estimate {
+    /// Summarizes raw samples (any unit — the fields are only
+    /// nanoseconds when the harness itself filled them). This is the
+    /// single median/stddev implementation the workspace's bench
+    /// writers share (`sp_bench::SampleStats` delegates here), so the
+    /// gate never compares artifacts from divergent statistics.
+    pub fn from_samples(label: String, samples: &[f64]) -> Estimate {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median_ns = match n {
+            0 => 0.0,
+            _ if !n.is_multiple_of(2) => sorted[n / 2],
+            _ => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+        };
+        let mean_ns = if n == 0 {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / n as f64
+        };
+        let stddev_ns = if n < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|s| (s - mean_ns).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Estimate {
+            label,
+            samples: n,
+            median_ns,
+            mean_ns,
+            stddev_ns,
+        }
+    }
+}
+
 /// The timing context handed to benchmark closures.
 pub struct Bencher {
-    mean_ns: f64,
+    sample_size: usize,
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `routine` and records the mean wall-clock nanoseconds.
+    /// Times `routine` as repeated samples and records the
+    /// per-iteration wall-clock nanoseconds of each.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warmup and single-shot estimate.
         let start = Instant::now();
         let _ = routine();
         let once = start.elapsed().max(Duration::from_nanos(1));
-        // Enough iterations to fill the window, at least one.
-        let iters =
-            (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(routine());
+        // Each sample gets an equal share of the measurement window,
+        // with enough iterations to fill it (at least one).
+        let share = MEASURE_WINDOW.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (share / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
-        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
     }
 
     /// Times `routine` over fresh inputs from `setup`; setup time is
@@ -102,16 +166,19 @@ impl Bencher {
         let start = Instant::now();
         let _ = routine(input);
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters =
-            (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
-        let mut total = Duration::ZERO;
-        for _ in 0..iters {
-            let input = setup();
-            let start = Instant::now();
-            std::hint::black_box(routine(input));
-            total += start.elapsed();
+        let share = MEASURE_WINDOW.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (share / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples.push(total.as_nanos() as f64 / iters as f64);
         }
-        self.mean_ns = total.as_nanos() as f64 / iters as f64;
     }
 }
 
@@ -130,7 +197,7 @@ fn human(ns: f64) -> String {
 /// The benchmark driver.
 pub struct Criterion {
     sample_size: usize,
-    last_estimate: Option<(String, f64)>,
+    last_estimate: Option<Estimate>,
 }
 
 impl Default for Criterion {
@@ -143,10 +210,11 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Sets the nominal sample size (accepted for API compatibility;
-    /// the harness sizes its own measurement window).
+    /// Sets the number of timed samples per benchmark (clamped to at
+    /// least 1); the median and stddev reported by
+    /// [`Criterion::last_stats`] summarize this many repeats.
     pub fn sample_size(mut self, n: usize) -> Criterion {
-        self.sample_size = n;
+        self.sample_size = n.max(1);
         self
     }
 
@@ -168,10 +236,18 @@ impl Criterion {
         }
     }
 
-    /// Mean nanoseconds of the most recently run benchmark, with its
+    /// Median nanoseconds of the most recently run benchmark, with its
     /// full `group/function/parameter` label.
     pub fn last_estimate(&self) -> Option<(&str, f64)> {
-        self.last_estimate.as_ref().map(|(s, v)| (s.as_str(), *v))
+        self.last_estimate
+            .as_ref()
+            .map(|e| (e.label.as_str(), e.median_ns))
+    }
+
+    /// Full statistics (samples / median / mean / stddev) of the most
+    /// recently run benchmark.
+    pub fn last_stats(&self) -> Option<&Estimate> {
+        self.last_estimate.as_ref()
     }
 
     fn run<F: FnMut(&mut Bencher)>(&mut self, group: Option<&str>, id: BenchmarkId, mut f: F) {
@@ -179,10 +255,20 @@ impl Criterion {
             Some(g) => format!("{g}/{id}"),
             None => id.to_string(),
         };
-        let mut bencher = Bencher { mean_ns: 0.0 };
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
         f(&mut bencher);
-        eprintln!("bench: {label:<50} {:>12}/iter", human(bencher.mean_ns));
-        self.last_estimate = Some((label, bencher.mean_ns));
+        let est = Estimate::from_samples(label, &bencher.samples);
+        eprintln!(
+            "bench: {:<50} {:>12}/iter (median of {}, ± {})",
+            est.label,
+            human(est.median_ns),
+            est.samples,
+            human(est.stddev_ns)
+        );
+        self.last_estimate = Some(est);
     }
 }
 
@@ -193,8 +279,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the nominal sample size (accepted for API compatibility).
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Sets the number of timed samples for benchmarks run in this
+    /// group (and any later ones on the same driver).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
         self
     }
 
@@ -254,6 +342,44 @@ mod tests {
         let (label, ns) = c.last_estimate().expect("estimate recorded");
         assert_eq!(label, "spin");
         assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn stats_report_configured_sample_count() {
+        let mut c = Criterion::default().sample_size(7);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..500u64).sum::<u64>());
+        });
+        let stats = c.last_stats().expect("stats recorded").clone();
+        assert_eq!(stats.samples, 7);
+        assert!(stats.median_ns > 0.0);
+        assert!(stats.mean_ns > 0.0);
+        assert!(stats.stddev_ns >= 0.0);
+        // The median is the middle repeat, so it can never exceed the
+        // spread around the mean by more than the full range.
+        assert_eq!(c.last_estimate().unwrap().1, stats.median_ns);
+    }
+
+    #[test]
+    fn estimate_median_and_stddev_are_exact_on_known_samples() {
+        let e = Estimate::from_samples("k".into(), &[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(e.samples, 4);
+        assert_eq!(e.median_ns, 2.5);
+        assert_eq!(e.mean_ns, 2.5);
+        // Sample stddev of 1..=4 is sqrt(5/3).
+        assert!((e.stddev_ns - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let single = Estimate::from_samples("one".into(), &[9.0]);
+        assert_eq!((single.median_ns, single.stddev_ns), (9.0, 0.0));
+    }
+
+    #[test]
+    fn group_sample_size_is_honored() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.last_stats().unwrap().samples, 3);
     }
 
     #[test]
