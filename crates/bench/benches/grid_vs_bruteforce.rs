@@ -14,20 +14,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::sample_stats;
-use sp_geom::{Point, Rect};
 use sp_net::{DeploymentConfig, Network};
 
 const SIZES: [usize; 3] = [500, 2000, 10_000];
 
-/// A paper-density deployment of `n` nodes: the area scales so that
-/// every instance keeps ~500 nodes per 200 m × 200 m.
+/// The paper's density at scale `n` (area grows with the node count).
 fn deployment(n: usize) -> DeploymentConfig {
-    let side = 200.0 * (n as f64 / 500.0).sqrt();
-    DeploymentConfig {
-        area: Rect::from_corners(Point::new(0.0, 0.0), Point::new(side, side)),
-        node_count: n,
-        radius: 20.0,
-    }
+    DeploymentConfig::paper_density(n)
 }
 
 fn construction_benches(c: &mut Criterion) {

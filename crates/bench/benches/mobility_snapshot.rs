@@ -17,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::{sample_stats, SampleStats};
-use sp_geom::{Point, Rect};
+use sp_geom::Point;
 use sp_net::{DeploymentConfig, Network, NodeId, SpatialIndex};
 use std::time::Instant;
 
@@ -28,15 +28,9 @@ const MOVER_FRACTION: f64 = 0.01;
 /// Node count for the serial-vs-parallel adjacency comparison.
 const ADJACENCY_N: usize = 100_000;
 
-/// A paper-density deployment of `n` nodes: the area scales so that
-/// every instance keeps ~500 nodes per 200 m × 200 m.
+/// The paper's density at scale `n` (area grows with the node count).
 fn deployment(n: usize) -> DeploymentConfig {
-    let side = 200.0 * (n as f64 / 500.0).sqrt();
-    DeploymentConfig {
-        area: Rect::from_corners(Point::new(0.0, 0.0), Point::new(side, side)),
-        node_count: n,
-        radius: 20.0,
-    }
+    DeploymentConfig::paper_density(n)
 }
 
 /// Every `1/MOVER_FRACTION`-th node displaced by one radio radius —

@@ -17,39 +17,45 @@ use std::time::Instant;
 /// tolerance has to absorb.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleStats {
-    /// Number of timed runs.
+    /// Number of timed runs collected (including rejected outliers).
     pub samples: usize,
-    /// Median seconds across runs.
+    /// Runs discarded by the stub's Tukey IQR fence before the median,
+    /// mean, and stddev were computed.
+    pub outliers_rejected: usize,
+    /// Median seconds across retained runs.
     pub median: f64,
-    /// Mean seconds across runs.
+    /// Mean seconds across retained runs.
     pub mean: f64,
-    /// Sample standard deviation across runs (0 for fewer than 2).
+    /// Sample standard deviation across retained runs (0 for fewer
+    /// than 2).
     pub stddev: f64,
 }
 
 impl SampleStats {
     /// Summarizes raw per-run seconds. Delegates to the vendored
     /// criterion stub's [`criterion::Estimate`] so the workspace has
-    /// exactly one median/stddev implementation behind every
-    /// `BENCH_*.json` artifact the gate compares.
+    /// exactly one median/stddev/outlier-rejection implementation
+    /// behind every `BENCH_*.json` artifact the gate compares.
     pub fn of(samples: &[f64]) -> SampleStats {
         let e = criterion::Estimate::from_samples(String::new(), samples);
         SampleStats {
             samples: e.samples,
+            outliers_rejected: e.outliers_rejected,
             median: e.median_ns,
             mean: e.mean_ns,
             stddev: e.stddev_ns,
         }
     }
 
-    /// The `"<prefix>_samples": n, "<prefix>_seconds": median,
-    /// "<prefix>_stddev": stddev` JSON fragment every bench row embeds
-    /// for one timed quantity — sample counts are per metric, so a row
-    /// mixing differently-sampled measurements stays self-describing.
+    /// The `"<prefix>_samples": n, "<prefix>_outliers_rejected": k,
+    /// "<prefix>_seconds": median, "<prefix>_stddev": stddev` JSON
+    /// fragment every bench row embeds for one timed quantity — sample
+    /// counts are per metric, so a row mixing differently-sampled
+    /// measurements stays self-describing.
     pub fn json_fields(&self, prefix: &str) -> String {
         format!(
-            "\"{prefix}_samples\": {}, \"{prefix}_seconds\": {:.6}, \"{prefix}_stddev\": {:.6}",
-            self.samples, self.median, self.stddev
+            "\"{prefix}_samples\": {}, \"{prefix}_outliers_rejected\": {}, \"{prefix}_seconds\": {:.6}, \"{prefix}_stddev\": {:.6}",
+            self.samples, self.outliers_rejected, self.median, self.stddev
         )
     }
 }
@@ -87,12 +93,20 @@ mod tests {
     }
 
     #[test]
-    fn json_fields_render_count_median_and_spread() {
+    fn json_fields_render_count_outliers_median_and_spread() {
         let s = SampleStats::of(&[0.5, 0.5]);
         assert_eq!(
             s.json_fields("sweep"),
-            "\"sweep_samples\": 2, \"sweep_seconds\": 0.500000, \"sweep_stddev\": 0.000000"
+            "\"sweep_samples\": 2, \"sweep_outliers_rejected\": 0, \"sweep_seconds\": 0.500000, \"sweep_stddev\": 0.000000"
         );
+    }
+
+    #[test]
+    fn outlier_rejection_passes_through_from_the_stub() {
+        let s = SampleStats::of(&[0.1, 0.11, 0.09, 0.105, 0.095, 9.0]);
+        assert_eq!(s.samples, 6);
+        assert_eq!(s.outliers_rejected, 1);
+        assert!((s.median - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -204,16 +204,18 @@ impl NodeProcess for LabelingProcess {
         self.recompute_and_announce(ctx);
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Announce>, inbox: &[(NodeId, Announce)]) {
-        for (from, msg) in inbox {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Announce>, inbox: &[(NodeId, &Announce)]) {
+        for &(from, msg) in inbox {
             // Reject announcements older than the freshest seen from this
             // sender (asynchronous delivery reorders messages per link).
+            // The engine delivers broadcasts by shared reference; only
+            // announcements actually cached are cloned.
             let stale = self
                 .neighbor_view
-                .get(from)
+                .get(&from)
                 .is_some_and(|seen| seen.seq >= msg.seq);
             if !stale {
-                self.neighbor_view.insert(*from, msg.clone());
+                self.neighbor_view.insert(from, msg.clone());
             }
         }
         self.recompute_and_announce(ctx);
@@ -257,8 +259,41 @@ pub fn construct_with(
     pinned: Vec<bool>,
     failures: FailurePlan,
 ) -> Result<ConstructionRun, SimError> {
+    construct_with_threads(net, pinned, failures, sp_sim::auto_threads(net.len()))
+}
+
+/// [`construct_with`] with a pinned engine thread count. Every count
+/// produces bit-identical [`SimStats`] and [`SafetyInfo`] (the
+/// engine-parity property tests enforce this); the knob only trades
+/// wall-clock on multi-core hosts.
+pub fn construct_with_threads(
+    net: &Network,
+    pinned: Vec<bool>,
+    failures: FailurePlan,
+    threads: usize,
+) -> Result<ConstructionRun, SimError> {
     assert_eq!(pinned.len(), net.len(), "pinned mask must cover all nodes");
     let mut engine = Engine::new(net, |id| LabelingProcess::new(pinned[id.index()]));
+    engine.set_failure_plan(failures);
+    engine.set_threads(threads);
+    let stats = engine.run_until_quiescent(4 * net.len() + 16)?;
+    Ok(ConstructionRun {
+        info: assemble(net, engine.nodes(), pinned, stats.rounds),
+        stats,
+    })
+}
+
+/// [`construct_with`] on the frozen pre-optimization
+/// [`sp_sim::LegacyEngine`] — the comparison baseline for the
+/// `distributed_construction` benchmark and the engine-parity tests.
+/// Production call sites must use [`construct_with`].
+pub fn construct_legacy(
+    net: &Network,
+    pinned: Vec<bool>,
+    failures: FailurePlan,
+) -> Result<ConstructionRun, SimError> {
+    assert_eq!(pinned.len(), net.len(), "pinned mask must cover all nodes");
+    let mut engine = sp_sim::LegacyEngine::new(net, |id| LabelingProcess::new(pinned[id.index()]));
     engine.set_failure_plan(failures);
     let stats = engine.run_until_quiescent(4 * net.len() + 16)?;
     Ok(ConstructionRun {

@@ -53,8 +53,8 @@ pub mod slgf2;
 pub mod status;
 
 pub use distributed::{
-    construct_async, construct_async_with, construct_distributed, construct_with,
-    AsyncConstructionRun, ChainInfo, ConstructionRun, LabelingProcess,
+    construct_async, construct_async_with, construct_distributed, construct_legacy, construct_with,
+    construct_with_threads, AsyncConstructionRun, ChainInfo, ConstructionRun, LabelingProcess,
 };
 pub use explain::explain_route;
 pub use info::SafetyInfo;

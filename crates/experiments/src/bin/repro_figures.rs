@@ -22,9 +22,9 @@ use std::collections::BTreeSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const ALL_FIGURES: [&str; 21] = [
+const ALL_FIGURES: [&str; 22] = [
     "5a", "5b", "6a", "6b", "7a", "7b", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
-    "a10", "a11", "a12", "a13", "a14", "a15",
+    "a10", "a11", "a12", "a13", "a14", "a15", "a16",
 ];
 
 fn main() {
@@ -236,6 +236,15 @@ fn main() {
                     cfg.node_counts = vec![400, 600, 800];
                 }
                 vec![figures::async_cost_figure(&cfg, instances)]
+            }
+            "a16" => {
+                let counts: &[usize] = if quick {
+                    &[1_000, 2_000]
+                } else {
+                    &[2_000, 5_000, 10_000]
+                };
+                let instances = if quick { 1 } else { 2 };
+                vec![figures::construction_scale_figure(counts, instances)]
             }
             _ => unreachable!("validated above"),
         };

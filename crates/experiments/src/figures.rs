@@ -472,6 +472,45 @@ pub fn maintenance_cost_figure(
     fig
 }
 
+/// A16: distributed construction at scale — rounds to quiesce,
+/// transmissions per node, and wall milliseconds per 1000 nodes as the
+/// deployment grows at the paper's density (the area scales with `n`,
+/// so every instance keeps ~500 nodes per 200 m × 200 m). This is the
+/// regime the zero-copy frontier engine opens; engine-level numbers
+/// live in `BENCH_distributed.json`.
+pub fn construction_scale_figure(node_counts: &[usize], instances: usize) -> Figure {
+    let mut fig = Figure::new(
+        "A16 distributed construction at scale (fixed density)".to_string(),
+        "nodes",
+        "rounds / tx-per-node / ms-per-1000-nodes",
+    );
+    let mut rounds_series = Series::new("rounds to quiesce");
+    let mut tx_series = Series::new("transmissions/node");
+    let mut wall_series = Series::new("wall ms per 1000 nodes");
+    for (i, &n) in node_counts.iter().enumerate() {
+        let dc = sp_net::deploy::DeploymentConfig::paper_density(n);
+        let mut rounds = Vec::new();
+        let mut tx = Vec::new();
+        let mut wall = Vec::new();
+        for k in 0..instances {
+            let seed = 0xa16_0000 ^ ((i as u64) << 20) ^ k as u64;
+            let net = Network::from_positions(dc.deploy_uniform(seed), dc.radius, dc.area);
+            let start = std::time::Instant::now();
+            let run = construct_distributed(&net).expect("labeling quiesces");
+            wall.push(start.elapsed().as_secs_f64() * 1e3 / (n as f64 / 1000.0));
+            rounds.push(run.stats.rounds as f64);
+            tx.push(run.stats.transmissions() as f64 / net.len() as f64);
+        }
+        rounds_series.push(n as f64, sp_metrics::Summary::of(&rounds).mean);
+        tx_series.push(n as f64, sp_metrics::Summary::of(&tx).mean);
+        wall_series.push(n as f64, sp_metrics::Summary::of(&wall).mean);
+    }
+    fig.push_series(rounds_series);
+    fig.push_series(tx_series);
+    fig.push_series(wall_series);
+    fig
+}
+
 /// A1: distributed information-construction cost (rounds to quiesce and
 /// broadcasts per node), sampled over a few instances per node count.
 pub fn construction_cost_figure(cfg: &SweepConfig, instances: usize) -> Figure {

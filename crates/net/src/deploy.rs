@@ -47,6 +47,20 @@ impl DeploymentConfig {
         }
     }
 
+    /// The paper's **density** at any scale: the square interest area
+    /// grows with `node_count` so every instance keeps ~500 nodes per
+    /// 200 m × 200 m at the 20 m radius — the deployment the scale
+    /// benches and figures (grid-vs-bruteforce, mobility snapshots,
+    /// distributed construction, `repro-figures a16`) share.
+    pub fn paper_density(node_count: usize) -> DeploymentConfig {
+        let side = 200.0 * (node_count as f64 / 500.0).sqrt();
+        DeploymentConfig {
+            area: Rect::from_corners(Point::new(0.0, 0.0), Point::new(side, side)),
+            node_count,
+            radius: 20.0,
+        }
+    }
+
     /// IA model: uniform deployment over the whole interest area.
     pub fn deploy_uniform(&self, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -9,7 +9,15 @@
 use crate::{NodeId, SpatialIndex};
 use sp_geom::{Point, Rect};
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Mover-batch size at which [`Network::update_adjacency_for`] shards
+/// its reattachment range queries across threads (the
+/// [`SpatialIndex::configured_threads`] policy; `SP_NET_THREADS` to
+/// pin). Below this, a mover batch repairs faster inline than any
+/// thread spawn can amortize.
+pub const PARALLEL_REPAIR_THRESHOLD: usize = 512;
 
 /// An immutable wireless ad hoc sensor network snapshot.
 ///
@@ -413,11 +421,30 @@ impl Network {
     ///
     /// Panics if any id is out of range.
     pub fn apply_moves(&mut self, moves: &[(NodeId, Point)]) {
+        self.apply_moves_threaded(moves, Network::repair_threads(moves.len()));
+    }
+
+    /// [`Network::apply_moves`] with a pinned repair thread count.
+    /// Every count produces identical adjacency (property-tested); the
+    /// knob only trades wall-clock on large mover batches.
+    pub fn apply_moves_threaded(&mut self, moves: &[(NodeId, Point)], threads: usize) {
         for &(id, p) in moves {
             self.index.move_point(id, p);
         }
         let moved: Vec<NodeId> = moves.iter().map(|&(id, _)| id).collect();
-        self.update_adjacency_for(&moved);
+        self.update_adjacency_for_threaded(&moved, threads);
+    }
+
+    /// The repair thread count [`Network::apply_moves`] and
+    /// [`Network::update_adjacency_for`] auto-select: 1 below
+    /// [`PARALLEL_REPAIR_THRESHOLD`] movers, otherwise
+    /// [`SpatialIndex::configured_threads`].
+    pub fn repair_threads(mover_count: usize) -> usize {
+        if mover_count < PARALLEL_REPAIR_THRESHOLD {
+            1
+        } else {
+            SpatialIndex::configured_threads()
+        }
     }
 
     /// Recomputes adjacency for `moved` nodes (whose positions in the
@@ -425,7 +452,26 @@ impl Network {
     /// neighbors, leaving every other list untouched. Duplicate ids are
     /// tolerated. See [`Network::apply_moves`] for the usual entry
     /// point.
+    ///
+    /// Above [`PARALLEL_REPAIR_THRESHOLD`] movers, the reattachment
+    /// range queries are sharded across threads (see
+    /// [`Network::update_adjacency_for_threaded`]).
     pub fn update_adjacency_for(&mut self, moved: &[NodeId]) {
+        self.update_adjacency_for_threaded(moved, Network::repair_threads(moved.len()));
+    }
+
+    /// [`Network::update_adjacency_for`] with a pinned thread count.
+    ///
+    /// The repair has three phases: *detach* and *reattach* mutate
+    /// adjacency lists and stay serial, while the per-mover range
+    /// queries between them — the dominant cost of a large batch — are
+    /// sharded across `threads` workers pulling movers from an atomic
+    /// cursor (the same std-only work-queue pattern as
+    /// [`SpatialIndex::adjacency_within_threaded`]). Each mover's
+    /// candidate list is identical to the serial query, and candidates
+    /// are applied in mover order, so the result is bit-identical to
+    /// the serial path at any thread count.
+    pub fn update_adjacency_for_threaded(&mut self, moved: &[NodeId], threads: usize) {
         let mut is_moved = vec![false; self.len()];
         let mut uniq: Vec<NodeId> = Vec::with_capacity(moved.len());
         for &u in moved {
@@ -448,34 +494,89 @@ impl Network {
                 }
             }
         }
-        // Reattach from fresh range queries at the new positions. A pair
-        // of moved endpoints shows up in both queries; the smaller id
-        // owns it so each edge is inserted exactly once.
-        let r_sq = self.radius * self.radius;
-        let mut candidates: Vec<NodeId> = Vec::new();
-        for &u in &uniq {
-            let pu = self.index.position(u);
-            candidates.clear();
-            candidates.extend(self.index.within_radius(pu, self.radius));
-            for &v in &candidates {
-                if v == u || (is_moved[v.index()] && v < u) {
-                    continue;
-                }
-                debug_assert!(self.index.position(v).distance_sq(pu) <= r_sq);
-                self.adjacency[u.index()].push(v);
-                if is_moved[v.index()] {
-                    self.adjacency[v.index()].push(u);
-                } else {
-                    let list = &mut self.adjacency[v.index()];
-                    if let Err(at) = list.binary_search(&u) {
-                        list.insert(at, u);
-                    }
-                }
+        // Reattach from range queries at the new positions. The serial
+        // path interleaves query and apply through one reused candidate
+        // buffer (the small-batch hot path of mobility snapshots pays
+        // one allocation per *batch*, not per mover); the threaded path
+        // precomputes all candidate lists in parallel first. Either
+        // way, candidates per mover are identical, and application
+        // order is mover order, so results match at any thread count.
+        let threads = threads.clamp(1, uniq.len().max(1));
+        if threads <= 1 {
+            let mut candidates: Vec<NodeId> = Vec::new();
+            for &u in &uniq {
+                candidates.clear();
+                candidates.extend(
+                    self.index
+                        .within_radius(self.index.position(u), self.radius),
+                );
+                self.reattach_one(u, &candidates, &is_moved);
+            }
+        } else {
+            let all = self.repair_candidates_threaded(&uniq, threads);
+            for (k, &u) in uniq.iter().enumerate() {
+                self.reattach_one(u, &all[k], &is_moved);
             }
         }
         for &u in &uniq {
             self.adjacency[u.index()].sort_unstable();
         }
+    }
+
+    /// Inserts the edges of one repaired mover given its radius-query
+    /// `candidates`. A pair of moved endpoints shows up in both movers'
+    /// queries; the smaller id owns it so each edge lands exactly once.
+    fn reattach_one(&mut self, u: NodeId, candidates: &[NodeId], is_moved: &[bool]) {
+        let pu = self.index.position(u);
+        let r_sq = self.radius * self.radius;
+        for &v in candidates {
+            if v == u || (is_moved[v.index()] && v < u) {
+                continue;
+            }
+            debug_assert!(self.index.position(v).distance_sq(pu) <= r_sq);
+            self.adjacency[u.index()].push(v);
+            if is_moved[v.index()] {
+                self.adjacency[v.index()].push(u);
+            } else {
+                let list = &mut self.adjacency[v.index()];
+                if let Err(at) = list.binary_search(&u) {
+                    list.insert(at, u);
+                }
+            }
+        }
+    }
+
+    /// The per-mover radius-query results behind the threaded
+    /// reattachment, sharded across `threads` workers pulling movers
+    /// from an atomic cursor. Content and order per mover are identical
+    /// to the serial queries.
+    fn repair_candidates_threaded(&self, uniq: &[NodeId], threads: usize) -> Vec<Vec<NodeId>> {
+        let mut candidates: Vec<Vec<NodeId>> = vec![Vec::new(); uniq.len()];
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine: Vec<(usize, Vec<NodeId>)> = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= uniq.len() {
+                                break;
+                            }
+                            let pu = self.index.position(uniq[k]);
+                            mine.push((k, self.index.within_radius(pu, self.radius).collect()));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (k, list) in h.join().expect("repair shard panicked") {
+                    candidates[k] = list;
+                }
+            }
+        });
+        candidates
     }
 }
 

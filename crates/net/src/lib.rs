@@ -54,7 +54,7 @@ pub use deploy::{
     CityBlockModel, ClusterModel, CorridorModel, DeploymentConfig, FaModel, Obstacle,
 };
 pub use edge_nodes::edge_node_ids;
-pub use graph::Network;
+pub use graph::{Network, PARALLEL_REPAIR_THRESHOLD};
 pub use mobility::RandomWaypoint;
 pub use node::NodeId;
 pub use planar::{PlanarGraph, Planarization};

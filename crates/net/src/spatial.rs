@@ -309,7 +309,25 @@ impl SpatialIndex {
         if node_count < PARALLEL_NODE_THRESHOLD {
             return 1;
         }
-        if let Ok(raw) = std::env::var(THREADS_ENV) {
+        SpatialIndex::configured_threads()
+    }
+
+    /// The raw thread-count policy behind [`auto_threads`], without the
+    /// node-count gate: the [`THREADS_ENV`] (`SP_NET_THREADS`)
+    /// environment knob when set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`]. Used by callers whose
+    /// parallelism trigger is not total node count (e.g. incremental
+    /// repair keyed on mover-batch size).
+    pub fn configured_threads() -> usize {
+        SpatialIndex::configured_threads_for(THREADS_ENV)
+    }
+
+    /// [`configured_threads`](Self::configured_threads) parameterized
+    /// by the environment knob, so every `*_THREADS` variable in the
+    /// workspace (e.g. `sp-sim`'s `SP_SIM_THREADS`) shares one parsing
+    /// and fallback policy.
+    pub fn configured_threads_for(env: &str) -> usize {
+        if let Ok(raw) = std::env::var(env) {
             if let Ok(n) = raw.trim().parse::<usize>() {
                 if n >= 1 {
                     return n;

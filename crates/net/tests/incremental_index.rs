@@ -75,6 +75,47 @@ proptest! {
         }
     }
 
+    /// The threaded incremental-repair path is bit-identical to the
+    /// serial repair (and to a brute-force rebuild) at every thread
+    /// count, including counts above the mover count (clamped).
+    #[test]
+    fn threaded_repair_matches_serial_repair(
+        seed in 0u64..3_000,
+        movers in 6usize..48,
+    ) {
+        let cfg = paper_cfg(260);
+        let mut pos = cfg.deploy_uniform(seed);
+        let base = Network::from_positions(pos.clone(), cfg.radius, cfg.area);
+        let mut state = seed ^ 0x7e97_ab1e;
+        let mut moves = Vec::with_capacity(movers);
+        for _ in 0..movers {
+            state = lcg(state);
+            let id = (state >> 33) as usize % pos.len();
+            let p = draw_point(&mut state, &cfg);
+            pos[id] = p;
+            moves.push((NodeId(id), p));
+        }
+        let mut serial = base.clone();
+        serial.apply_moves_threaded(&moves, 1);
+        let brute = Network::from_positions_brute_force(pos.clone(), cfg.radius, cfg.area);
+        for u in serial.node_ids() {
+            prop_assert_eq!(serial.neighbors(u), brute.neighbors(u), "serial repair at {}", u);
+        }
+        for threads in [2usize, 3, 8, 64] {
+            let mut threaded = base.clone();
+            threaded.apply_moves_threaded(&moves, threads);
+            for u in threaded.node_ids() {
+                prop_assert_eq!(
+                    threaded.neighbors(u),
+                    serial.neighbors(u),
+                    "{}-thread repair diverged at node {}",
+                    threads,
+                    u
+                );
+            }
+        }
+    }
+
     /// Row-sharded parallel adjacency is bit-identical to the serial
     /// scan for every thread count, including counts far above the row
     /// count (clamped) and above the machine's core count.
@@ -106,6 +147,33 @@ proptest! {
             index.adjacency_within_threaded(radius, 4),
             index.adjacency_within(radius)
         );
+    }
+}
+
+/// A mover batch above `PARALLEL_REPAIR_THRESHOLD` routes through the
+/// auto-threaded repair path (`apply_moves` picks the thread count
+/// itself) and still matches a from-scratch rebuild exactly.
+#[test]
+fn auto_threaded_repair_above_threshold_matches_rebuild() {
+    let cfg = paper_cfg(2_000);
+    let mut pos = cfg.deploy_uniform(7);
+    let mut net = Network::from_positions(pos.clone(), cfg.radius, cfg.area);
+    let movers = sp_net::PARALLEL_REPAIR_THRESHOLD + 100;
+    let mut state = 0xbead_feedu64;
+    let mut moves = Vec::with_capacity(movers);
+    for _ in 0..movers {
+        state = lcg(state);
+        let id = (state >> 33) as usize % pos.len();
+        let p = draw_point(&mut state, &cfg);
+        pos[id] = p;
+        moves.push((NodeId(id), p));
+    }
+    assert!(moves.len() >= sp_net::PARALLEL_REPAIR_THRESHOLD);
+    net.apply_moves(&moves);
+    let rebuilt = Network::from_positions(pos, cfg.radius, cfg.area);
+    assert_eq!(net.edge_count(), rebuilt.edge_count());
+    for u in net.node_ids() {
+        assert_eq!(net.neighbors(u), rebuilt.neighbors(u), "node {u}");
     }
 }
 

@@ -8,6 +8,14 @@
 //! each copy of a broadcast takes its own independently-sampled delay, so
 //! no two nodes ever observe a synchronized "round".
 //!
+//! Two scale features keep large runs cheap: broadcast payloads are
+//! stored once behind an [`Arc`] and every queued copy shares the
+//! handle (one allocation per transmission, not per edge), and the
+//! event loop drains all heap entries sharing the minimal timestamp in
+//! one batch — equal-time events are delivered in enqueue (`seq`)
+//! order, exactly as repeated single pops would, so trajectories are
+//! unchanged.
+//!
 //! The equivalence tests in `sp-core::distributed` run the Algorithm-2
 //! labeling protocol on this engine and verify the stabilized information
 //! is **identical** to the synchronous and centralized constructions for
@@ -21,6 +29,7 @@ use rand::{RngExt, SeedableRng};
 use sp_net::{Network, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Delivery-delay configuration of the asynchronous engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,12 +89,30 @@ impl AsyncStats {
     }
 }
 
+/// An event's message payload: unicasts move the message inline (no
+/// extra allocation over the pre-sharing engine), broadcast copies
+/// share one `Arc` so the payload is allocated once per transmission
+/// regardless of degree.
+enum Payload<M> {
+    Owned(M),
+    Shared(Arc<M>),
+}
+
+impl<M> Payload<M> {
+    fn get(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(m) => m,
+        }
+    }
+}
+
 struct Event<M> {
     time: f64,
     seq: u64,
     to: NodeId,
     from: NodeId,
-    msg: M,
+    msg: Payload<M>,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -129,7 +156,7 @@ impl<M> Ord for Event<M> {
 ///             ctx.broadcast(());
 ///         }
 ///     }
-///     fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {
+///     fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, &())]) {
 ///         if !self.seen {
 ///             self.seen = true;
 ///             ctx.broadcast(());
@@ -153,6 +180,15 @@ pub struct AsyncEngine<'n, P: NodeProcess> {
     nodes: Vec<P>,
     alive: Vec<bool>,
     queue: BinaryHeap<Event<P::Msg>>,
+    /// Scratch for the equal-timestamp batch drained per step.
+    batch: Vec<Event<P::Msg>>,
+    neighbor_scratch: Vec<NodeId>,
+    /// `kill_node`'s own neighbor scratch — it dispatches outboxes
+    /// mid-iteration, which clobbers `neighbor_scratch`.
+    kill_scratch: Vec<NodeId>,
+    /// Recycled outbox buffers handed to `Ctx` (one delivery at a time,
+    /// so the pool stays tiny).
+    outbox_pool: Vec<Vec<(Option<NodeId>, P::Msg)>>,
     rng: StdRng,
     cfg: AsyncConfig,
     stats: AsyncStats,
@@ -175,6 +211,10 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
             nodes: (0..n).map(|i| make(NodeId(i))).collect(),
             alive: vec![true; n],
             queue: BinaryHeap::new(),
+            batch: Vec::new(),
+            neighbor_scratch: Vec::new(),
+            kill_scratch: Vec::new(),
+            outbox_pool: Vec::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             stats: AsyncStats::default(),
@@ -223,7 +263,7 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
         }
     }
 
-    fn enqueue(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+    fn enqueue(&mut self, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
         let delay = self.sample_delay();
         self.seq += 1;
         self.queue.push(Event {
@@ -235,28 +275,34 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
         });
     }
 
-    fn dispatch_outbox(&mut self, from: NodeId, outbox: Vec<(Option<NodeId>, P::Msg)>) {
-        for (to, msg) in outbox {
+    /// Drains `outbox` into the event queue; the caller returns the
+    /// emptied buffer to `outbox_pool`.
+    fn dispatch_outbox(&mut self, from: NodeId, outbox: &mut Vec<(Option<NodeId>, P::Msg)>) {
+        for (to, msg) in outbox.drain(..) {
             match to {
                 None => {
                     self.stats.broadcasts += 1;
-                    // Every copy of a broadcast takes its own delay: the
-                    // defining difference from the synchronous engine.
-                    let neigh: Vec<NodeId> = self
-                        .net
-                        .neighbors(from)
-                        .iter()
-                        .copied()
-                        .filter(|v| self.alive[v.index()])
-                        .collect();
-                    for v in neigh {
-                        self.enqueue(from, v, msg.clone());
+                    // One shared payload allocation per broadcast; every
+                    // copy still takes its own delay — the defining
+                    // difference from the synchronous engine.
+                    let msg = Arc::new(msg);
+                    self.neighbor_scratch.clear();
+                    self.neighbor_scratch.extend(
+                        self.net
+                            .neighbors(from)
+                            .iter()
+                            .copied()
+                            .filter(|v| self.alive[v.index()]),
+                    );
+                    for k in 0..self.neighbor_scratch.len() {
+                        let v = self.neighbor_scratch[k];
+                        self.enqueue(from, v, Payload::Shared(Arc::clone(&msg)));
                     }
                 }
                 Some(v) => {
                     self.stats.unicasts += 1;
                     if self.alive[v.index()] && self.net.has_edge(from, v) {
-                        self.enqueue(from, v, msg);
+                        self.enqueue(from, v, Payload::Owned(msg));
                     }
                 }
             }
@@ -276,8 +322,11 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
             .filter(|e| e.to != victim && e.from != victim)
             .collect();
         self.queue = keep.into_iter().collect();
-        let neighbors: Vec<NodeId> = self.net.neighbors(victim).to_vec();
-        for v in neighbors {
+        self.kill_scratch.clear();
+        self.kill_scratch
+            .extend_from_slice(self.net.neighbors(victim));
+        for k in 0..self.kill_scratch.len() {
+            let v = self.kill_scratch[k];
             if !self.alive[v.index()] {
                 continue;
             }
@@ -285,11 +334,12 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
                 id: v,
                 net: self.net,
                 alive: &self.alive,
-                outbox: Vec::new(),
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[v.index()].on_neighbor_failed(&mut ctx, victim);
-            let outbox = ctx.outbox;
-            self.dispatch_outbox(v, outbox);
+            let mut outbox = ctx.outbox;
+            self.dispatch_outbox(v, &mut outbox);
+            self.outbox_pool.push(outbox);
         }
     }
 
@@ -307,37 +357,67 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
                 id: NodeId(i),
                 net: self.net,
                 alive: &self.alive,
-                outbox: Vec::new(),
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[i].on_init(&mut ctx);
-            let outbox = ctx.outbox;
-            self.dispatch_outbox(NodeId(i), outbox);
+            let mut outbox = ctx.outbox;
+            self.dispatch_outbox(NodeId(i), &mut outbox);
+            self.outbox_pool.push(outbox);
         }
     }
 
-    /// Delivers the next event. Returns `false` when the queue is empty.
+    /// Delivers every event at the next pending timestamp (usually one;
+    /// several under fixed-delay configs). Returns `false` when the
+    /// queue is empty.
     pub fn step(&mut self) -> bool {
+        self.step_batch(usize::MAX) > 0
+    }
+
+    /// Drains up to `budget` heap entries sharing the minimal timestamp
+    /// and delivers them in `seq` order — the exact order repeated
+    /// single pops would produce, minus the per-event heap rebalances.
+    /// Events beyond the budget stay queued (they resume at the same
+    /// timestamp on the next call), so delivery budgets are honored to
+    /// the event, not to the batch. Returns the number of events
+    /// popped.
+    fn step_batch(&mut self, budget: usize) -> usize {
+        if budget == 0 {
+            return 0;
+        }
         self.init();
         let Some(ev) = self.queue.pop() else {
-            return false;
+            return 0;
         };
-        self.now = ev.time;
-        self.stats.virtual_time = self.now;
-        if !self.alive[ev.to.index()] {
-            return true; // message into the void
+        let time = ev.time;
+        self.batch.clear();
+        self.batch.push(ev);
+        while self.batch.len() < budget && self.queue.peek().is_some_and(|next| next.time == time) {
+            let next = self.queue.pop().expect("peeked event exists");
+            self.batch.push(next);
         }
-        self.stats.deliveries += 1;
-        let inbox = [(ev.from, ev.msg)];
-        let mut ctx = Ctx {
-            id: ev.to,
-            net: self.net,
-            alive: &self.alive,
-            outbox: Vec::new(),
-        };
-        self.nodes[ev.to.index()].on_round(&mut ctx, &inbox);
-        let outbox = ctx.outbox;
-        self.dispatch_outbox(ev.to, outbox);
-        true
+        self.now = time;
+        self.stats.virtual_time = time;
+        let popped = self.batch.len();
+        let mut batch = std::mem::take(&mut self.batch);
+        for ev in batch.drain(..) {
+            if !self.alive[ev.to.index()] {
+                continue; // message into the void
+            }
+            self.stats.deliveries += 1;
+            let inbox = [(ev.from, ev.msg.get())];
+            let mut ctx = Ctx {
+                id: ev.to,
+                net: self.net,
+                alive: &self.alive,
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
+            };
+            self.nodes[ev.to.index()].on_round(&mut ctx, &inbox);
+            let mut outbox = ctx.outbox;
+            self.dispatch_outbox(ev.to, &mut outbox);
+            self.outbox_pool.push(outbox);
+        }
+        self.batch = batch;
+        popped
     }
 
     /// Runs until the event queue drains or `max_events` deliveries.
@@ -353,8 +433,7 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
             if delivered >= max_events {
                 return Err(SimError::EventLimitExceeded { limit: max_events });
             }
-            self.step();
-            delivered += 1;
+            delivered += self.step_batch(max_events - delivered);
         }
         self.stats.quiesced = true;
         Ok(self.stats)
@@ -384,8 +463,8 @@ mod tests {
         fn on_init(&mut self, ctx: &mut Ctx<'_, u64>) {
             ctx.broadcast(self.value);
         }
-        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
-            let best = inbox.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, &u64)]) {
+            let best = inbox.iter().map(|&(_, &v)| v).max().unwrap_or(0);
             if best > self.value {
                 self.value = best;
                 ctx.broadcast(best);
@@ -437,7 +516,7 @@ mod tests {
             fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
                 ctx.broadcast(());
             }
-            fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {
+            fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, &())]) {
                 ctx.broadcast(());
             }
         }
@@ -456,7 +535,7 @@ mod tests {
         impl NodeProcess for Watcher {
             type Msg = ();
             fn on_init(&mut self, _ctx: &mut Ctx<'_, ()>) {}
-            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {}
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, &())]) {}
             fn on_neighbor_failed(&mut self, _ctx: &mut Ctx<'_, ()>, failed: NodeId) {
                 self.lost.push(failed);
             }
@@ -477,7 +556,9 @@ mod tests {
     fn fixed_delay_behaves_like_fifo_per_link() {
         // With equal delays, per-sender order is preserved (seq ties
         // break by enqueue order): gossip converges with the same final
-        // state and the engine stays deterministic.
+        // state and the engine stays deterministic. This is also the
+        // config where per-timestamp batching actually batches: every
+        // wave of messages shares one delivery instant.
         let net = line_net(5);
         let cfg = AsyncConfig {
             seed: 9,
@@ -492,6 +573,62 @@ mod tests {
         for n in engine.nodes() {
             assert_eq!(n.value, 4);
         }
+    }
+
+    #[test]
+    fn batched_step_counts_every_equal_time_event() {
+        // Fixed delays: the init wave of 3 broadcasts lands as one
+        // batch of 4 same-time deliveries (2 + 2 line endpoints share
+        // middles...), and one `step` call consumes the whole instant.
+        let net = line_net(3);
+        let cfg = AsyncConfig {
+            seed: 1,
+            min_delay: 2.0,
+            max_delay: 2.0,
+        };
+        let mut engine = AsyncEngine::new(&net, cfg, |id| Gossip {
+            value: id.index() as u64,
+        });
+        engine.init();
+        assert!(engine.step(), "first instant delivers");
+        // All init-wave copies share time 2.0: 0->1, 1->0, 1->2, 2->1.
+        assert_eq!(engine.stats().deliveries, 4);
+        assert_eq!(engine.now(), 2.0);
+    }
+
+    #[test]
+    fn event_budget_is_exact_even_under_fixed_delay_batches() {
+        // Fixed delays make whole waves share a timestamp; the budget
+        // must still be honored to the event, exactly like the
+        // pre-batching engine: one event short of the true total errs,
+        // the true total succeeds.
+        let net = line_net(4);
+        let cfg = AsyncConfig {
+            seed: 5,
+            min_delay: 1.0,
+            max_delay: 1.0,
+        };
+        let total = {
+            let mut engine = AsyncEngine::new(&net, cfg, |id| Gossip {
+                value: id.index() as u64,
+            });
+            let stats = engine.run_until_quiescent(100_000).unwrap();
+            // `deliveries` excludes messages into the void; with no
+            // failures every popped event is delivered, so the count
+            // equals the events the run needs.
+            stats.deliveries
+        };
+        let run = |budget| {
+            let mut engine = AsyncEngine::new(&net, cfg, |id| Gossip {
+                value: id.index() as u64,
+            });
+            engine.run_until_quiescent(budget)
+        };
+        assert_eq!(
+            run(total - 1).unwrap_err(),
+            SimError::EventLimitExceeded { limit: total - 1 }
+        );
+        assert!(run(total).unwrap().quiesced);
     }
 
     #[test]

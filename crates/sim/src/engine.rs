@@ -1,7 +1,52 @@
 //! The lock-step round scheduler.
+//!
+//! This is the scale-optimized engine: broadcasts are delivered by
+//! shared handle out of a per-round message arena (one buffered message
+//! per transmission, never per edge), rounds only visit the *frontier*
+//! of nodes that actually received mail, steady-state rounds reuse all
+//! scratch buffers, and large frontiers can be sharded across threads
+//! with output bit-identical to the serial path. The pre-optimization
+//! engine survives as [`crate::LegacyEngine`] so benchmarks and
+//! equivalence tests can always compare against it.
 
 use crate::{Ctx, FailurePlan, NodeProcess, RoundLog, SimStats};
 use sp_net::{Network, NodeId};
+
+/// Node count at which [`auto_threads`] starts asking for more than one
+/// thread. Below this, rounds are small enough that thread spawn and
+/// merge overhead dominates any sharding win.
+pub const PARALLEL_NODE_THRESHOLD: usize = 8_192;
+
+/// Frontier size below which a round is processed inline even when the
+/// engine is configured with multiple threads — quiescing-tail rounds
+/// with a handful of active nodes never pay a thread spawn.
+const MIN_PARALLEL_FRONTIER: usize = 32;
+
+/// The thread-count environment knob read by [`auto_threads`]
+/// (mirroring `SP_NET_THREADS` for the spatial index).
+pub const THREADS_ENV: &str = "SP_SIM_THREADS";
+
+/// Most recycled outbox buffers the engine retains. The serial path
+/// cycles one buffer per callback, but the threaded merge returns a
+/// whole frontier's worth per round; the cap keeps that from
+/// accumulating unboundedly across rounds.
+const OUTBOX_POOL_CAP: usize = 64;
+
+/// The thread count [`Engine::new`] configures by default: 1 below
+/// [`PARALLEL_NODE_THRESHOLD`] nodes, otherwise the [`THREADS_ENV`]
+/// (`SP_SIM_THREADS`) environment knob when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`]. Any count yields
+/// bit-identical results; the knob only trades wall-clock.
+pub fn auto_threads(node_count: usize) -> usize {
+    if node_count < PARALLEL_NODE_THRESHOLD {
+        return 1;
+    }
+    sp_net::SpatialIndex::configured_threads_for(THREADS_ENV)
+}
+
+/// An outbox drained by a worker shard, tagged with the node that
+/// emitted it (merged back in ascending node order).
+type TaggedOutbox<M> = (u32, Vec<(Option<NodeId>, M)>);
 
 /// Errors the engine can report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,12 +91,63 @@ impl std::error::Error for SimError {}
 ///
 /// The run quiesces when no messages are in flight and no failures
 /// remain scheduled.
+///
+/// # Delivery layer
+///
+/// Buffered messages live in a per-round arena (`one` entry per
+/// broadcast or unicast); inboxes record `(sender, arena index)`
+/// handles, so delivering a broadcast to `d` neighbors costs `d` small
+/// handle pushes instead of `d` message clones. Only nodes that
+/// received mail (the *frontier*) are visited in the processing phase,
+/// and all per-round buffers (inboxes, outboxes, the arena) are
+/// recycled, so steady-state rounds allocate nothing per message or
+/// per node — a single pre-sized inbox-ref scratch per round aside
+/// (it borrows the round's arena, so it cannot outlive the round).
+///
+/// # Threaded rounds
+///
+/// With [`Engine::set_threads`] (or the [`THREADS_ENV`] knob picked up
+/// by [`auto_threads`]) above 1, the processing phase shards the
+/// frontier across scoped worker threads over disjoint
+/// `split_at_mut` node ranges and merges outboxes in ascending node
+/// order — the buffered-message order, [`SimStats`], [`RoundLog`], and
+/// every process state are bit-identical to the serial path at any
+/// thread count (property-tested against [`crate::LegacyEngine`]).
+///
+/// Because stepping *may* shard, [`Engine::step`] and
+/// [`Engine::run_until_quiescent`] require `P: Send` and
+/// `P::Msg: Send + Sync` even at one thread (the bounds live on those
+/// methods only — construction, accessors, and failure injection have
+/// none). A process built on `Rc`/`RefCell` state cannot step this
+/// engine; make its state thread-safe (every process in this
+/// workspace already is).
 pub struct Engine<'n, P: NodeProcess> {
     net: &'n Network,
     nodes: Vec<P>,
     alive: Vec<bool>,
-    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Messages buffered during the current round, delivered at the
+    /// start of the next one. One entry per transmission.
     pending: Vec<(NodeId, Option<NodeId>, P::Msg)>,
+    /// The arena of messages being delivered this round (last round's
+    /// `pending`); the two buffers swap each round so neither is ever
+    /// reallocated in steady state.
+    delivering: Vec<(NodeId, Option<NodeId>, P::Msg)>,
+    /// Per-node `(sender, arena index)` handles into `delivering`.
+    inboxes: Vec<Vec<(NodeId, u32)>>,
+    /// Nodes with a non-empty inbox this round, sorted ascending before
+    /// processing.
+    frontier: Vec<u32>,
+    in_frontier: Vec<bool>,
+    /// Recycled outbox buffers handed to `Ctx`.
+    outbox_pool: Vec<Vec<(Option<NodeId>, P::Msg)>>,
+    neighbor_scratch: Vec<NodeId>,
+    due_scratch: Vec<NodeId>,
+    /// Capacity carried between rounds for the per-round inbox-ref
+    /// scratch (the vector itself borrows the round's arena, so it
+    /// cannot be stored; re-allocating at the remembered capacity
+    /// avoids growth reallocations).
+    refs_capacity: usize,
+    threads: usize,
     stats: SimStats,
     log: RoundLog,
     failures: FailurePlan,
@@ -60,15 +156,25 @@ pub struct Engine<'n, P: NodeProcess> {
 }
 
 impl<'n, P: NodeProcess> Engine<'n, P> {
-    /// Creates one process per node with the given factory.
+    /// Creates one process per node with the given factory. The thread
+    /// count defaults to [`auto_threads`]; pin it with
+    /// [`Engine::set_threads`].
     pub fn new(net: &'n Network, mut make: impl FnMut(NodeId) -> P) -> Engine<'n, P> {
         let n = net.len();
         Engine {
             net,
             nodes: (0..n).map(|i| make(NodeId(i))).collect(),
             alive: vec![true; n],
-            inboxes: vec![Vec::new(); n],
             pending: Vec::new(),
+            delivering: Vec::new(),
+            inboxes: vec![Vec::new(); n],
+            frontier: Vec::new(),
+            in_frontier: vec![false; n],
+            outbox_pool: Vec::new(),
+            neighbor_scratch: Vec::new(),
+            due_scratch: Vec::new(),
+            refs_capacity: 0,
+            threads: auto_threads(n),
             stats: SimStats::default(),
             log: RoundLog::new(),
             failures: FailurePlan::new(),
@@ -81,6 +187,17 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
     /// counted from the first [`Engine::step`] after initialization.
     pub fn set_failure_plan(&mut self, plan: FailurePlan) {
         self.failures = plan;
+    }
+
+    /// Pins the number of worker threads the processing phase may use
+    /// (clamped to at least 1). Results are identical at every count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Immutable access to the per-node processes.
@@ -123,8 +240,11 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
         // Drop in-flight messages from/to the victim.
         self.pending
             .retain(|(from, to, _)| *from != victim && *to != Some(victim));
-        let neighbors: Vec<NodeId> = self.net.neighbors(victim).to_vec();
-        for v in neighbors {
+        self.neighbor_scratch.clear();
+        self.neighbor_scratch
+            .extend_from_slice(self.net.neighbors(victim));
+        for k in 0..self.neighbor_scratch.len() {
+            let v = self.neighbor_scratch[k];
             if !self.alive[v.index()] {
                 continue;
             }
@@ -132,21 +252,12 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
                 id: v,
                 net: self.net,
                 alive: &self.alive,
-                outbox: Vec::new(),
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[v.index()].on_neighbor_failed(&mut ctx, victim);
-            let outbox = ctx.outbox;
-            self.queue_outbox(v, outbox);
-        }
-    }
-
-    fn queue_outbox(&mut self, from: NodeId, outbox: Vec<(Option<NodeId>, P::Msg)>) {
-        for (to, msg) in outbox {
-            match to {
-                None => self.stats.broadcasts += 1,
-                Some(_) => self.stats.unicasts += 1,
-            }
-            self.pending.push((from, to, msg));
+            let mut outbox = ctx.outbox;
+            queue_outbox(&mut self.pending, &mut self.stats, v, &mut outbox);
+            self.outbox_pool.push(outbox);
         }
     }
 
@@ -165,21 +276,42 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
                 id: NodeId(i),
                 net: self.net,
                 alive: &self.alive,
-                outbox: Vec::new(),
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[i].on_init(&mut ctx);
-            let outbox = ctx.outbox;
-            self.queue_outbox(NodeId(i), outbox);
+            let mut outbox = ctx.outbox;
+            queue_outbox(&mut self.pending, &mut self.stats, NodeId(i), &mut outbox);
+            self.outbox_pool.push(outbox);
         }
     }
 
+    fn pending_activity(&self) -> bool {
+        !self.pending.is_empty()
+            || self
+                .failures
+                .last_round()
+                .is_some_and(|last| last >= self.round)
+    }
+}
+
+/// The stepping methods. Only these carry `Send`/`Sync` bounds — they
+/// are where rounds may shard across threads; construction, accessors,
+/// and failure injection stay available to any process type.
+impl<'n, P> Engine<'n, P>
+where
+    P: NodeProcess + Send,
+    P::Msg: Send + Sync,
+{
     /// Executes one round. Returns `true` while the system is still
     /// active (messages delivered or failures applied this round).
     pub fn step(&mut self) -> bool {
         self.init();
-        let due: Vec<NodeId> = self.failures.due_at(self.round).to_vec();
-        let had_failures = !due.is_empty();
-        for v in due {
+        self.due_scratch.clear();
+        self.due_scratch
+            .extend_from_slice(self.failures.due_at(self.round));
+        let had_failures = !self.due_scratch.is_empty();
+        for k in 0..self.due_scratch.len() {
+            let v = self.due_scratch[k];
             self.kill_node(v);
         }
 
@@ -202,46 +334,167 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
         self.round += 1;
         self.stats.rounds = self.round;
 
-        // Deliver.
-        let pending = std::mem::take(&mut self.pending);
-        let tx_this_round = pending.len();
-        for (from, to, msg) in pending {
-            match to {
+        // Deliver: this round's transmissions become the message arena;
+        // receivers get (sender, arena index) handles, so a broadcast
+        // costs one buffered message no matter the degree. Nodes that
+        // receive mail enter the frontier exactly once.
+        std::mem::swap(&mut self.pending, &mut self.delivering);
+        debug_assert!(self.pending.is_empty());
+        assert!(
+            self.delivering.len() <= u32::MAX as usize,
+            "more than u32::MAX transmissions in one round"
+        );
+        let tx_this_round = self.delivering.len();
+        for (idx, (from, to, _)) in self.delivering.iter().enumerate() {
+            match *to {
                 None => {
-                    for &v in self.net.neighbors(from) {
+                    for &v in self.net.neighbors(*from) {
                         if self.alive[v.index()] {
-                            self.inboxes[v.index()].push((from, msg.clone()));
+                            self.inboxes[v.index()].push((*from, idx as u32));
                             self.stats.receptions += 1;
+                            if !self.in_frontier[v.index()] {
+                                self.in_frontier[v.index()] = true;
+                                self.frontier.push(v.index() as u32);
+                            }
                         }
                     }
                 }
                 Some(v) => {
-                    if self.alive[v.index()] && self.net.has_edge(from, v) {
-                        self.inboxes[v.index()].push((from, msg));
+                    if self.alive[v.index()] && self.net.has_edge(*from, v) {
+                        self.inboxes[v.index()].push((*from, idx as u32));
                         self.stats.receptions += 1;
+                        if !self.in_frontier[v.index()] {
+                            self.in_frontier[v.index()] = true;
+                            self.frontier.push(v.index() as u32);
+                        }
                     }
                 }
             }
         }
         self.log.record(tx_this_round);
 
-        // Process.
-        for i in 0..self.nodes.len() {
+        // Process only the frontier, in ascending node order (the same
+        // order the full scan used to visit).
+        self.frontier.sort_unstable();
+        if self.threads > 1 && self.frontier.len() >= MIN_PARALLEL_FRONTIER {
+            self.process_frontier_threaded();
+        } else {
+            self.process_frontier_serial();
+        }
+
+        // Reset per-round state, retaining every allocation.
+        for k in 0..self.frontier.len() {
+            let i = self.frontier[k] as usize;
+            self.inboxes[i].clear();
+            self.in_frontier[i] = false;
+        }
+        self.frontier.clear();
+        self.delivering.clear();
+        true
+    }
+
+    fn process_frontier_serial(&mut self) {
+        let mut refs: Vec<(NodeId, &P::Msg)> = Vec::with_capacity(self.refs_capacity);
+        for k in 0..self.frontier.len() {
+            let i = self.frontier[k] as usize;
             if !self.alive[i] || self.inboxes[i].is_empty() {
                 continue;
             }
-            let inbox = std::mem::take(&mut self.inboxes[i]);
+            refs.clear();
+            refs.extend(
+                self.inboxes[i]
+                    .iter()
+                    .map(|&(from, m)| (from, &self.delivering[m as usize].2)),
+            );
             let mut ctx = Ctx {
                 id: NodeId(i),
                 net: self.net,
                 alive: &self.alive,
-                outbox: Vec::new(),
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
-            self.nodes[i].on_round(&mut ctx, &inbox);
-            let outbox = ctx.outbox;
-            self.queue_outbox(NodeId(i), outbox);
+            self.nodes[i].on_round(&mut ctx, &refs);
+            let mut outbox = ctx.outbox;
+            queue_outbox(&mut self.pending, &mut self.stats, NodeId(i), &mut outbox);
+            self.outbox_pool.push(outbox);
         }
-        true
+        self.refs_capacity = refs.capacity();
+    }
+
+    /// The processing phase sharded across worker threads. The sorted
+    /// frontier is cut into contiguous chunks; each worker receives the
+    /// `split_at_mut` node range covering its chunk (ranges are disjoint
+    /// because the frontier is sorted and deduplicated), so no two
+    /// threads ever touch the same process. Outboxes are merged in
+    /// chunk order — ascending node order — which reproduces the serial
+    /// buffered-message order exactly.
+    fn process_frontier_threaded(&mut self) {
+        let threads = self.threads.min(self.frontier.len());
+        let chunk_len = self.frontier.len().div_ceil(threads);
+        let frontier = &self.frontier;
+        let inboxes = &self.inboxes;
+        let delivering = &self.delivering;
+        let alive = &self.alive;
+        let net = self.net;
+        let mut merged: Vec<Vec<TaggedOutbox<P::Msg>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut rest: &mut [P] = &mut self.nodes;
+            let mut offset = 0usize;
+            for ids in frontier.chunks(chunk_len) {
+                let lo = ids[0] as usize;
+                let hi = *ids.last().expect("chunks are non-empty") as usize;
+                let tail = rest.split_at_mut(lo - offset).1;
+                let (mine, tail) = tail.split_at_mut(hi - lo + 1);
+                rest = tail;
+                offset = hi + 1;
+                handles.push(scope.spawn(move || {
+                    let mut out: Vec<TaggedOutbox<P::Msg>> = Vec::with_capacity(ids.len());
+                    let mut refs: Vec<(NodeId, &P::Msg)> = Vec::new();
+                    for &id in ids {
+                        let i = id as usize;
+                        if !alive[i] || inboxes[i].is_empty() {
+                            continue;
+                        }
+                        refs.clear();
+                        refs.extend(
+                            inboxes[i]
+                                .iter()
+                                .map(|&(from, m)| (from, &delivering[m as usize].2)),
+                        );
+                        let mut ctx = Ctx {
+                            id: NodeId(i),
+                            net,
+                            alive,
+                            outbox: Vec::new(),
+                        };
+                        mine[i - lo].on_round(&mut ctx, &refs);
+                        if !ctx.outbox.is_empty() {
+                            out.push((id, ctx.outbox));
+                        }
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                merged.push(h.join().expect("round shard panicked"));
+            }
+        });
+        for shard in &mut merged {
+            for (id, outbox) in shard.iter_mut() {
+                queue_outbox(
+                    &mut self.pending,
+                    &mut self.stats,
+                    NodeId(*id as usize),
+                    outbox,
+                );
+                // Workers allocate their own buffers; recycle a bounded
+                // number into the pool for the serial paths and drop
+                // the rest.
+                if self.outbox_pool.len() < OUTBOX_POOL_CAP {
+                    self.outbox_pool.push(std::mem::take(outbox));
+                }
+            }
+        }
     }
 
     /// Runs until quiescence (no in-flight messages, no pending
@@ -262,19 +515,30 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
         self.stats.quiesced = true;
         Ok(self.stats)
     }
+}
 
-    fn pending_activity(&self) -> bool {
-        !self.pending.is_empty()
-            || self
-                .failures
-                .last_round()
-                .is_some_and(|last| last >= self.round)
+/// Drains `outbox` into the engine's buffered-message queue, counting
+/// transmissions. A free function so callers can hold disjoint borrows
+/// of other engine fields (e.g. the message arena) while queueing.
+pub(crate) fn queue_outbox<M>(
+    pending: &mut Vec<(NodeId, Option<NodeId>, M)>,
+    stats: &mut SimStats,
+    from: NodeId,
+    outbox: &mut Vec<(Option<NodeId>, M)>,
+) {
+    for (to, msg) in outbox.drain(..) {
+        match to {
+            None => stats.broadcasts += 1,
+            Some(_) => stats.unicasts += 1,
+        }
+        pending.push((from, to, msg));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LegacyEngine;
     use sp_geom::{Point, Rect};
 
     fn line_net(n: usize) -> Network {
@@ -300,11 +564,11 @@ mod tests {
                 ctx.send(NodeId(1), 1);
             }
         }
-        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, &u64)]) {
             if self.has_token {
                 return;
             }
-            if let Some(&(_, hops)) = inbox.first() {
+            if let Some(&(_, &hops)) = inbox.first() {
                 self.has_token = true;
                 let next = NodeId(ctx.id().index() + 1);
                 if next.index() < ctx.net_len() {
@@ -342,8 +606,8 @@ mod tests {
         fn on_init(&mut self, ctx: &mut Ctx<'_, u64>) {
             ctx.broadcast(self.value);
         }
-        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
-            let best = inbox.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, &u64)]) {
+            let best = inbox.iter().map(|&(_, &v)| v).max().unwrap_or(0);
             if best > self.value {
                 self.value = best;
                 ctx.broadcast(best);
@@ -384,7 +648,7 @@ mod tests {
         fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
             ctx.broadcast(());
         }
-        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {
+        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, &())]) {
             ctx.broadcast(()); // never stops
         }
     }
@@ -408,7 +672,7 @@ mod tests {
                     ctx.send(NodeId(2), ()); // two hops away: out of range
                 }
             }
-            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {}
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, &())]) {}
         }
         let net = line_net(3);
         let mut engine = Engine::new(&net, |_| Shouter);
@@ -423,12 +687,51 @@ mod tests {
         impl NodeProcess for Mute {
             type Msg = ();
             fn on_init(&mut self, _ctx: &mut Ctx<'_, ()>) {}
-            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, ())]) {}
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, &())]) {}
         }
         let net = line_net(4);
         let mut engine = Engine::new(&net, |_| Mute);
         let stats = engine.run_until_quiescent(10).unwrap();
         assert_eq!(stats.rounds, 0);
         assert!(stats.quiesced);
+    }
+
+    /// The tentpole invariant at unit-test scale: every thread count
+    /// (including ones far above the frontier size) reproduces the
+    /// legacy engine's stats, round log, and final states, with and
+    /// without failures.
+    #[test]
+    fn threaded_engine_matches_legacy_bit_for_bit() {
+        let net = line_net(40);
+        let run_legacy = |plan: &FailurePlan| {
+            let mut engine = LegacyEngine::new(&net, |id| Gossip {
+                value: (id.index() as u64) * 3,
+            });
+            engine.set_failure_plan(plan.clone());
+            let stats = engine.run_until_quiescent(1000).unwrap();
+            let values: Vec<u64> = engine.nodes().iter().map(|g| g.value).collect();
+            (stats, engine.round_log().per_round().to_vec(), values)
+        };
+        let run_new = |plan: &FailurePlan, threads: usize| {
+            let mut engine = Engine::new(&net, |id| Gossip {
+                value: (id.index() as u64) * 3,
+            });
+            engine.set_failure_plan(plan.clone());
+            engine.set_threads(threads);
+            let stats = engine.run_until_quiescent(1000).unwrap();
+            let values: Vec<u64> = engine.nodes().iter().map(|g| g.value).collect();
+            (stats, engine.round_log().per_round().to_vec(), values)
+        };
+        let mut plans = vec![FailurePlan::new()];
+        let mut failing = FailurePlan::new();
+        failing.kill_at(2, NodeId(7));
+        failing.kill_at(5, NodeId(20));
+        plans.push(failing);
+        for plan in &plans {
+            let want = run_legacy(plan);
+            for threads in [1usize, 2, 3, 8, 64] {
+                assert_eq!(run_new(plan, threads), want, "threads={threads}");
+            }
+        }
     }
 }

@@ -31,7 +31,7 @@
 //!             ctx.broadcast(());
 //!         }
 //!     }
-//!     fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, inbox: &[(NodeId, ())]) {
+//!     fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, inbox: &[(NodeId, &())]) {
 //!         if !inbox.is_empty() && !self.seen {
 //!             self.seen = true;
 //!             ctx.broadcast(());
@@ -59,11 +59,13 @@
 pub mod async_engine;
 pub mod engine;
 pub mod fault;
+pub mod legacy;
 pub mod process;
 pub mod stats;
 
 pub use async_engine::{AsyncConfig, AsyncEngine, AsyncStats};
-pub use engine::{Engine, SimError};
+pub use engine::{auto_threads, Engine, SimError, PARALLEL_NODE_THRESHOLD, THREADS_ENV};
 pub use fault::FailurePlan;
+pub use legacy::LegacyEngine;
 pub use process::{Ctx, NodeProcess};
 pub use stats::{RoundLog, SimStats};

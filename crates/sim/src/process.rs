@@ -8,6 +8,11 @@ use sp_net::{Network, NodeId};
 /// Implementations see only local information: their own id/position,
 /// their neighbor list, and the messages delivered this round — the
 /// "fully-distributed manner" the paper's §1 requires of all schemes.
+///
+/// Inboxes hand out messages **by reference**: a broadcast is stored
+/// once in the engine's per-round arena and every receiver observes the
+/// same `&Msg`, so delivery never clones per edge. Processes that need
+/// to retain a message clone it explicitly.
 pub trait NodeProcess {
     /// The message type exchanged between neighbors.
     type Msg: Clone;
@@ -19,7 +24,7 @@ pub trait NodeProcess {
 
     /// Called every round with the messages delivered this round
     /// (sent by neighbors in the previous round), tagged by sender.
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(NodeId, Self::Msg)]);
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(NodeId, &Self::Msg)]);
 
     /// Called when a neighbor is killed by failure injection. The default
     /// does nothing; re-labeling protocols react by re-evaluating local
@@ -73,6 +78,10 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Queues a broadcast to all live neighbors (one transmission).
+    ///
+    /// The engine stores the message once and delivers it to every
+    /// neighbor by shared handle, so a broadcast costs one buffered
+    /// message regardless of degree.
     pub fn broadcast(&mut self, msg: M) {
         self.outbox.push((None, msg));
     }

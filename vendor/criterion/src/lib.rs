@@ -9,9 +9,10 @@
 //!
 //! Each benchmark is warmed up once, then timed as `sample_size`
 //! repeated samples (each a batch of iterations filling its share of a
-//! short measurement window); the per-iteration **median across
-//! samples ± sample standard deviation** is printed as
-//! `bench: <name> ... <time>`. There are no plots or saved baselines —
+//! short measurement window); after Tukey IQR outlier rejection the
+//! per-iteration **median across samples ± sample standard deviation**
+//! is printed as `bench: <name> ... <time>`. There are no plots or
+//! saved baselines —
 //! regression gating lives in the workspace's `bench-gate` binary over
 //! the emitted `BENCH_*.json` files. [`Criterion::last_estimate`]
 //! exposes the most recent median and [`Criterion::last_stats`] the
@@ -74,19 +75,22 @@ pub enum BatchSize {
 }
 
 /// The statistics of one benchmark run: per-iteration nanoseconds
-/// summarized over repeated samples.
+/// summarized over repeated samples, after Tukey IQR outlier
+/// rejection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Estimate {
     /// Full `group/function/parameter` label.
     pub label: String,
-    /// Number of timed samples the statistics summarize.
+    /// Number of timed samples collected (including rejected ones).
     pub samples: usize,
-    /// Median per-iteration nanoseconds across samples.
+    /// Samples discarded by the IQR fence before summarizing.
+    pub outliers_rejected: usize,
+    /// Median per-iteration nanoseconds across retained samples.
     pub median_ns: f64,
-    /// Mean per-iteration nanoseconds across samples.
+    /// Mean per-iteration nanoseconds across retained samples.
     pub mean_ns: f64,
-    /// Sample standard deviation of per-iteration nanoseconds
-    /// (0 for fewer than two samples).
+    /// Sample standard deviation of per-iteration nanoseconds across
+    /// retained samples (0 for fewer than two).
     pub stddev_ns: f64,
 }
 
@@ -96,9 +100,40 @@ impl Estimate {
     /// single median/stddev implementation the workspace's bench
     /// writers share (`sp_bench::SampleStats` delegates here), so the
     /// gate never compares artifacts from divergent statistics.
+    ///
+    /// With four or more samples, Tukey's rule rejects samples outside
+    /// `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]` (quartiles by linear
+    /// interpolation over the sorted samples) before the median, mean,
+    /// and stddev are computed — a single scheduler hiccup no longer
+    /// drags the reported spread. The rejection is strictly
+    /// spike-scale: when the fence would discard more than
+    /// `max(1, n/10)` samples (a wide or timer-quantized distribution,
+    /// not a hiccup), nothing is rejected, so the reported spread
+    /// stays honest. `outliers_rejected` records how many were
+    /// discarded; `samples` stays the collected count so artifacts
+    /// remain comparable across runs.
     pub fn from_samples(label: String, samples: &[f64]) -> Estimate {
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
+        let collected = sorted.len();
+        if collected >= 4 {
+            let q1 = interpolated_quantile(&sorted, 0.25);
+            let q3 = interpolated_quantile(&sorted, 0.75);
+            let fence = 1.5 * (q3 - q1);
+            // A zero IQR (timer-quantized or constant samples) would
+            // reject everything that differs by even 1 ns — keep the
+            // fence only when there is an actual interquartile spread,
+            // and only when what it cuts is spike-sized.
+            if fence > 0.0 {
+                let kept = sorted
+                    .iter()
+                    .filter(|&&s| s >= q1 - fence && s <= q3 + fence)
+                    .count();
+                if collected - kept <= (collected / 10).max(1) {
+                    sorted.retain(|&s| s >= q1 - fence && s <= q3 + fence);
+                }
+            }
+        }
         let n = sorted.len();
         let median_ns = match n {
             0 => 0.0,
@@ -118,12 +153,22 @@ impl Estimate {
         };
         Estimate {
             label,
-            samples: n,
+            samples: collected,
+            outliers_rejected: collected - n,
             median_ns,
             mean_ns,
             stddev_ns,
         }
     }
+}
+
+/// The `q`-quantile of an ascending-sorted non-empty slice, by linear
+/// interpolation between the two nearest order statistics.
+fn interpolated_quantile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
 }
 
 /// The timing context handed to benchmark closures.
@@ -261,8 +306,13 @@ impl Criterion {
         };
         f(&mut bencher);
         let est = Estimate::from_samples(label, &bencher.samples);
+        let rejected = if est.outliers_rejected > 0 {
+            format!(", {} outlier(s) rejected", est.outliers_rejected)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "bench: {:<50} {:>12}/iter (median of {}, ± {})",
+            "bench: {:<50} {:>12}/iter (median of {}, ± {}{rejected})",
             est.label,
             human(est.median_ns),
             est.samples,
@@ -366,10 +416,73 @@ mod tests {
         assert_eq!(e.samples, 4);
         assert_eq!(e.median_ns, 2.5);
         assert_eq!(e.mean_ns, 2.5);
-        // Sample stddev of 1..=4 is sqrt(5/3).
+        // Sample stddev of 1..=4 is sqrt(5/3); nothing is far enough
+        // out for the IQR fence to reject.
         assert!((e.stddev_ns - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(e.outliers_rejected, 0);
         let single = Estimate::from_samples("one".into(), &[9.0]);
         assert_eq!((single.median_ns, single.stddev_ns), (9.0, 0.0));
+        assert_eq!(single.outliers_rejected, 0);
+    }
+
+    #[test]
+    fn iqr_fence_rejects_a_scheduler_spike() {
+        // Five tight samples and one 50x spike: the spike is rejected,
+        // the median and stddev describe the tight cluster, and the
+        // collected count is still reported.
+        let e = Estimate::from_samples("k".into(), &[1.0, 1.1, 0.9, 1.05, 0.95, 50.0]);
+        assert_eq!(e.samples, 6);
+        assert_eq!(e.outliers_rejected, 1);
+        assert!((e.median_ns - 1.0).abs() < 1e-12);
+        assert!(
+            e.stddev_ns < 0.1,
+            "spread without the spike, got {}",
+            e.stddev_ns
+        );
+        // Low outliers are fenced symmetrically.
+        let low = Estimate::from_samples("k".into(), &[10.0, 10.1, 9.9, 10.05, 9.95, 0.001]);
+        assert_eq!(low.outliers_rejected, 1);
+        assert!((low.median_ns - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_than_four_samples_are_never_rejected() {
+        let e = Estimate::from_samples("k".into(), &[1.0, 1000.0, 1.0]);
+        assert_eq!(e.samples, 3);
+        assert_eq!(e.outliers_rejected, 0);
+        assert_eq!(e.median_ns, 1.0);
+    }
+
+    #[test]
+    fn structural_spread_is_not_trimmed_as_outliers() {
+        // A quantized distribution where ~20% of samples sit on a
+        // higher timer step: far beyond spike scale (cap is n/10 = 2),
+        // so nothing may be rejected even though the Tukey fence
+        // (IQR = 1 here) would cut all four.
+        let mut samples = vec![10.0; 12];
+        samples.extend([11.0; 4]);
+        samples.extend([30.0, 30.0, 30.0, 30.0]);
+        let e = Estimate::from_samples("k".into(), &samples);
+        assert_eq!(e.samples, 20);
+        assert_eq!(e.outliers_rejected, 0, "structural tail kept");
+        assert!(e.stddev_ns > 0.0);
+        // One spike in the same base distribution still goes.
+        let mut spiked = vec![10.0, 10.2, 9.8, 10.1, 9.9, 10.3];
+        spiked.push(500.0);
+        let e = Estimate::from_samples("k".into(), &spiked);
+        assert_eq!(e.outliers_rejected, 1);
+    }
+
+    #[test]
+    fn zero_iqr_does_not_reject_quantized_samples() {
+        // Timer-quantized metrics: the quartiles coincide, so the
+        // fence is zero — nothing may be rejected, and the reported
+        // spread must reflect the real (small) noise.
+        let e = Estimate::from_samples("k".into(), &[1.0, 1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.outliers_rejected, 0);
+        assert_eq!(e.samples, 5);
+        assert_eq!(e.median_ns, 1.0);
+        assert!(e.stddev_ns > 0.0, "spread must not collapse to zero");
     }
 
     #[test]
