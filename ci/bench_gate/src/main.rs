@@ -5,6 +5,7 @@
 //!
 //! ```sh
 //! bench_gate [--tolerance 0.25] [--slack 0.002] \
+//!     [--history <dir> --branch <name>] \
 //!     <baseline.json> <current.json> [<baseline2.json> <current2.json> ...]
 //! ```
 //!
@@ -24,10 +25,28 @@
 //! `speedup*`, thread counts) are never gated. Exit code is non-zero
 //! when any metric regresses, so the CI job fails loudly.
 //!
+//! ## Per-branch baseline history
+//!
+//! With `--history <dir> --branch <name>`, the gate keeps a rolling
+//! baseline **per branch** instead of relying solely on the committed
+//! files: each pair is gated against
+//! `<dir>/<branch-slug>/<basename(current)>` when that file exists
+//! (a branch with no history of its own inherits `main`'s; with
+//! neither, the committed baseline gates alone), and after a fully
+//! green gate the fresh measurements are stored as the branch's next
+//! baselines, with one summary line appended to its `history.jsonl`.
+//! A regressing run leaves the stored baselines untouched, so a slow
+//! branch cannot ratchet its own bar down — and a metric only fails
+//! the gate when it regresses against the rolling baseline **and**
+//! the committed one, so refreshing `BENCH_*.json` in a PR (the
+//! documented escape hatch for legitimate perf changes) still
+//! unblocks a branch with stale-fast history.
+//!
 //! The parser is a tiny recursive-descent JSON reader for the schema
 //! our bench writers emit — the workspace deliberately has no serde.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The JSON subset the bench artifacts use.
@@ -333,9 +352,76 @@ fn compare(
     Ok(findings)
 }
 
+/// The branch whose history seeds a branch that has none of its own.
+const DEFAULT_BRANCH: &str = "main";
+
+/// A branch name as a path-safe directory slug (`/` and anything
+/// exotic become `-`, so `feat/route-buffer` and `feat-route-buffer`
+/// share history — close enough for a cache key).
+fn branch_slug(branch: &str) -> String {
+    let slug: String = branch
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if slug.is_empty() {
+        "unnamed".to_owned()
+    } else {
+        slug
+    }
+}
+
+/// Where `current`'s rolling baseline lives for this branch.
+fn history_path(dir: &Path, branch: &str, current: &str) -> PathBuf {
+    let name = Path::new(current)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| current.to_owned());
+    dir.join(branch_slug(branch)).join(name)
+}
+
+/// After a green gate: store each fresh artifact as the branch's next
+/// baseline and append a summary line to its `history.jsonl`.
+fn update_history(dir: &Path, branch: &str, currents: &[&String]) -> Result<(), String> {
+    let branch_dir = dir.join(branch_slug(branch));
+    std::fs::create_dir_all(&branch_dir)
+        .map_err(|e| format!("cannot create {}: {e}", branch_dir.display()))?;
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut log_entries = Vec::new();
+    for cur in currents {
+        let dest = history_path(dir, branch, cur);
+        std::fs::copy(cur, &dest)
+            .map_err(|e| format!("cannot store {} as {}: {e}", cur, dest.display()))?;
+        log_entries.push(format!(
+            "{{\"unix_seconds\": {stamp}, \"artifact\": \"{}\"}}",
+            dest.file_name().unwrap_or_default().to_string_lossy()
+        ));
+    }
+    let log = branch_dir.join("history.jsonl");
+    let mut body = log_entries.join("\n");
+    body.push('\n');
+    use std::io::Write;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&log)
+        .and_then(|mut f| f.write_all(body.as_bytes()))
+        .map_err(|e| format!("cannot append {}: {e}", log.display()))
+}
+
 fn run(args: &[String]) -> Result<Vec<Finding>, String> {
     let mut tol = 0.25;
     let mut slack = 0.002;
+    let mut history: Option<PathBuf> = None;
+    let mut branch: Option<String> = None;
     let mut paths: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -352,22 +438,92 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--slack needs a number (seconds)")?
             }
+            "--history" => {
+                history = Some(PathBuf::from(
+                    it.next().ok_or("--history needs a directory")?,
+                ))
+            }
+            "--branch" => branch = Some(it.next().ok_or("--branch needs a name")?.clone()),
             _ => paths.push(a),
         }
     }
     if paths.is_empty() || !paths.len().is_multiple_of(2) {
         return Err(
-            "usage: bench_gate [--tolerance T] [--slack S] <baseline.json> <current.json> ..."
+            "usage: bench_gate [--tolerance T] [--slack S] [--history DIR --branch NAME] <baseline.json> <current.json> ..."
                 .to_owned(),
         );
     }
+    let history = match (history, branch) {
+        (Some(dir), Some(branch)) => Some((dir, branch)),
+        (None, None) => None,
+        _ => return Err("--history and --branch must be given together".to_owned()),
+    };
     let mut findings = Vec::new();
     for pair in paths.chunks(2) {
         let read =
-            |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
-        let base = Parser::parse(&read(pair[0])?).map_err(|e| format!("{}: {e}", pair[0]))?;
+            |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        let committed = Parser::parse(&read(pair[0])?).map_err(|e| format!("{}: {e}", pair[0]))?;
         let cur = Parser::parse(&read(pair[1])?).map_err(|e| format!("{}: {e}", pair[1]))?;
-        findings.extend(compare(&base, &cur, tol, slack)?);
+        let committed_findings = compare(&committed, &cur, tol, slack)?;
+        // The rolling baseline: this branch's, else the default
+        // branch's (a fresh branch inherits main's bar).
+        let rolling_path = history.as_ref().and_then(|(dir, branch)| {
+            [branch.as_str(), DEFAULT_BRANCH]
+                .iter()
+                .map(|b| history_path(dir, b, pair[1]))
+                .find(|p| p.is_file())
+        });
+        let Some(rolling_path) = rolling_path else {
+            findings.extend(committed_findings);
+            continue;
+        };
+        // Gate against the rolling baseline, but a metric only REALLY
+        // regresses when it is worse than the committed baseline too:
+        // refreshing BENCH_*.json in a PR (the documented escape hatch
+        // for legitimate perf changes) must override stale-fast branch
+        // history, and a branch with a deliberately different perf
+        // profile can run on its own history without touching the
+        // committed files.
+        let rp = rolling_path.to_string_lossy().into_owned();
+        println!(
+            "using rolling baseline {rp} (committed {} as the floor)",
+            pair[0]
+        );
+        let rolling = Parser::parse(&read(&rp)?).map_err(|e| format!("{rp}: {e}"))?;
+        let mut rolling_findings = compare(&rolling, &cur, tol, slack)?;
+        if rolling_findings.len() != committed_findings.len() {
+            return Err(format!(
+                "{rp}: rolling baseline has {} gated metrics but committed {} has {} — \
+                 delete the stale history file",
+                rolling_findings.len(),
+                pair[0],
+                committed_findings.len()
+            ));
+        }
+        for (r, c) in rolling_findings.iter_mut().zip(&committed_findings) {
+            if r.metric != c.metric || r.row != c.row {
+                return Err(format!(
+                    "{rp}: rolling metric {}/{} does not match committed {}/{} — \
+                     delete the stale history file",
+                    r.row, r.metric, c.row, c.metric
+                ));
+            }
+            r.regressed = r.regressed && c.regressed;
+        }
+        findings.extend(rolling_findings);
+    }
+    if let Some((dir, branch)) = &history {
+        if findings.iter().all(|f| !f.regressed) {
+            let currents: Vec<&String> = paths.chunks(2).map(|p| p[1]).collect();
+            update_history(dir, branch, &currents)?;
+            println!(
+                "stored {} fresh baseline(s) under {}",
+                currents.len(),
+                dir.join(branch_slug(branch)).display()
+            );
+        } else {
+            println!("regression found: branch baselines left untouched");
+        }
     }
     Ok(findings)
 }
@@ -519,6 +675,128 @@ mod tests {
         let base = Parser::parse("{\"benchmark\": \"a\", \"results\": []}").unwrap();
         let cur = Parser::parse("{\"benchmark\": \"b\", \"results\": []}").unwrap();
         assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bench_gate_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_artifact(dir: &std::path::Path, name: &str, time: f64) -> String {
+        let path = dir.join(name);
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"benchmark\": \"demo\", \"results\": [{{\"case\": \"fast\", \"time_seconds\": {time:.6}}}]}}"
+            ),
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn branch_slug_is_path_safe() {
+        assert_eq!(branch_slug("feat/route-buffer"), "feat-route-buffer");
+        assert_eq!(branch_slug("main"), "main");
+        assert_eq!(branch_slug(""), "unnamed");
+        assert_eq!(branch_slug("a b:c"), "a-b-c");
+    }
+
+    #[test]
+    fn history_mode_rolls_per_branch_baselines() {
+        let work = temp_dir("roll");
+        let hist = work.join("history");
+        let committed = write_artifact(&work, "BENCH_demo_base.json", 0.100);
+        let current = write_artifact(&work, "BENCH_demo.json", 0.080);
+        let args = |base: &str, cur: &str| -> Vec<String> {
+            vec![
+                "--history".into(),
+                hist.to_string_lossy().into_owned(),
+                "--branch".into(),
+                "feat/fast".into(),
+                base.into(),
+                cur.into(),
+            ]
+        };
+
+        // First run: no branch history yet -> gates against the
+        // committed baseline, then stores the 0.080 measurement.
+        let f = run(&args(&committed, &current)).unwrap();
+        assert!(f.iter().all(|x| !x.regressed));
+        let stored = hist.join("feat-fast").join("BENCH_demo.json");
+        assert!(stored.is_file(), "first green run must store a baseline");
+        assert!(hist.join("feat-fast").join("history.jsonl").is_file());
+
+        // Second run at 0.095: within 25% of the committed 0.100 but a
+        // >25% regression against the branch's own rolling 0.080 + the
+        // 2 ms slack... (0.080 * 1.25 + 0.002 = 0.102) -> still ok.
+        let current2 = write_artifact(&work, "BENCH_demo.json", 0.095);
+        let f = run(&args(&committed, &current2)).unwrap();
+        assert!(f.iter().all(|x| !x.regressed));
+        assert_eq!(f[0].baseline, 0.080, "must gate against branch history");
+
+        // Third run at 0.200 regresses against the rolling baseline AND
+        // the committed one -> fails, and must NOT ratchet the stored
+        // file.
+        let current3 = write_artifact(&work, "BENCH_demo.json", 0.200);
+        let f = run(&args(&committed, &current3)).unwrap();
+        assert!(f[0].regressed);
+        let kept = std::fs::read_to_string(&stored).unwrap();
+        assert!(
+            kept.contains("0.095000"),
+            "regressing run must not overwrite the baseline: {kept}"
+        );
+
+        // The escape hatch: the same 0.200 run passes once the
+        // committed baseline is refreshed for a legitimate perf change,
+        // even though the branch's rolling history is still fast.
+        let refreshed = write_artifact(&work, "BENCH_demo_base.json", 0.190);
+        let f = run(&args(&refreshed, &current3)).unwrap();
+        assert!(
+            !f[0].regressed,
+            "refreshed committed baseline must override stale-fast history"
+        );
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    #[test]
+    fn new_branch_inherits_mains_history() {
+        let work = temp_dir("inherit");
+        let hist = work.join("history");
+        let committed = write_artifact(&work, "BENCH_demo_base.json", 0.500);
+        // main's stored baseline is much faster than the committed one…
+        std::fs::create_dir_all(hist.join("main")).unwrap();
+        let _ = write_artifact(&hist.join("main"), "BENCH_demo.json", 0.100);
+        // …and the fresh branch's 0.200 regresses against it, but not
+        // against the committed 0.500 floor -> passes (and the pass is
+        // gated on main's numbers, proving the fallback was read).
+        let current = write_artifact(&work, "BENCH_demo.json", 0.200);
+        let f = run(&[
+            "--history".to_owned(),
+            hist.to_string_lossy().into_owned(),
+            "--branch".to_owned(),
+            "brand/new".to_owned(),
+            committed,
+            current,
+        ])
+        .unwrap();
+        assert_eq!(f[0].baseline, 0.100, "must gate against main's history");
+        assert!(!f[0].regressed, "committed floor keeps the branch green");
+        // The green run seeds the new branch's own history.
+        assert!(hist.join("brand-new").join("BENCH_demo.json").is_file());
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    #[test]
+    fn history_requires_both_flags() {
+        let work = temp_dir("flags");
+        let a = write_artifact(&work, "a.json", 0.1);
+        let b = write_artifact(&work, "b.json", 0.1);
+        let err = run(&["--history".into(), "h".into(), a, b]).unwrap_err();
+        assert!(err.contains("--branch"), "{err}");
+        let _ = std::fs::remove_dir_all(&work);
     }
 
     #[test]

@@ -28,7 +28,8 @@
 //! extended comparison A8 of `DESIGN.md`.
 
 use sp_core::{
-    default_ttl, walk, FaceState, HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing,
+    default_ttl, walk_into, FaceState, HopPolicy, Mode, PacketState, RouteBuffer, RoutePhase,
+    RouteRef, Routing,
 };
 use sp_geom::Segment;
 use sp_net::{Network, NodeId, PlanarGraph, Planarization};
@@ -206,8 +207,14 @@ impl Routing for GfgRouter {
         "GFG"
     }
 
-    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
-        walk(self, net, src, dst, default_ttl(net))
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
+        walk_into(self, net, src, dst, default_ttl(net), buf)
     }
 }
 

@@ -15,7 +15,10 @@
 //! rather than mis-measured.
 
 use crate::boundhole::HoleAtlas;
-use sp_core::{default_ttl, walk, HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing};
+use sp_core::{
+    default_ttl, walk_into, HopPolicy, Mode, PacketState, RouteBuffer, RoutePhase, RouteRef,
+    RouteResult, Routing,
+};
 use sp_net::{Network, NodeId, PlanarGraph, Planarization};
 
 /// How GF recovers from a local minimum.
@@ -171,8 +174,14 @@ impl Routing for GfRouter {
         "GF"
     }
 
-    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
-        walk(self, net, src, dst, default_ttl(net))
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
+        walk_into(self, net, src, dst, default_ttl(net), buf)
     }
 }
 

@@ -23,8 +23,8 @@
 
 use crate::GfgRouter;
 use sp_core::{
-    closer_than_entry, default_ttl, walk, FaceState, HopPolicy, Mode, PacketState, RoutePhase,
-    RouteResult, Routing, SafetyInfo, Slgf2Router,
+    closer_than_entry, default_ttl, walk_into, FaceState, HopPolicy, Mode, PacketState,
+    RouteBuffer, RoutePhase, RouteRef, Routing, SafetyInfo, Slgf2Router,
 };
 use sp_net::{Network, NodeId};
 
@@ -115,8 +115,14 @@ impl Routing for Slgf2FaceRouter<'_> {
         "SLGF2-F"
     }
 
-    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
-        walk(self, net, src, dst, default_ttl(net))
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
+        walk_into(self, net, src, dst, default_ttl(net), buf)
     }
 }
 

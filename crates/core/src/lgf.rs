@@ -9,8 +9,8 @@
 //! greedy/perimeter alternation of \[2\]).
 
 use crate::{
-    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, walk, zone_candidates, Hand,
-    HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing,
+    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, walk_into, zone_candidates, Hand,
+    HopPolicy, Mode, PacketState, RouteBuffer, RoutePhase, RouteRef, Routing,
 };
 use sp_net::{Network, NodeId};
 
@@ -89,8 +89,14 @@ impl Routing for LgfRouter {
         "LGF"
     }
 
-    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
-        walk(self, net, src, dst, default_ttl(net))
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
+        walk_into(self, net, src, dst, default_ttl(net), buf)
     }
 }
 

@@ -51,6 +51,7 @@ pub mod shape;
 pub mod slgf;
 pub mod slgf2;
 pub mod status;
+pub mod traffic;
 
 pub use distributed::{
     construct_async, construct_async_with, construct_distributed, construct_legacy, construct_with,
@@ -61,13 +62,16 @@ pub use info::SafetyInfo;
 pub use labeling::SafetyMap;
 pub use lgf::LgfRouter;
 pub use maintenance::{InfoMaintainer, RepairReport};
-pub use packet::{FaceState, Mode, PacketState, RouteOutcome, RoutePhase, RouteResult};
+pub use packet::{FaceState, Mode, PacketState, RouteOutcome, RoutePhase, RouteResult, VisitedSet};
 pub use regions::{choose_hand, hand_order, Hand, RegionSplit};
 pub use router::{
-    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, set_phase, walk, zone_candidates,
-    zone_type, HopPolicy, Routing,
+    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, set_phase, walk, walk_into,
+    zone_candidates, zone_type, HopPolicy, RouteBuffer, RouteRef, Routing,
 };
 pub use shape::{greedy_region, ShapeEstimate, ShapeMap};
 pub use slgf::SlgfRouter;
 pub use slgf2::Slgf2Router;
 pub use status::SafetyTuple;
+pub use traffic::{
+    RouteRecord, RouteSession, TrafficEngine, TrafficReport, TrafficStats, TRAFFIC_THREADS_ENV,
+};

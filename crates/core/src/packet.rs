@@ -70,6 +70,65 @@ impl FaceState {
     }
 }
 
+/// The packet's visited ("tried") set, generation-stamped so reuse
+/// across packets is O(1): a slot counts as visited only when its stamp
+/// equals the current epoch, and [`VisitedSet::reset`] starts a fresh
+/// packet by bumping the epoch instead of clearing `n` slots. This is
+/// what makes a reused [`crate::RouteBuffer`] cost O(path) per route
+/// where a fresh `vec![false; n]` costs O(n).
+#[derive(Debug, Clone, Default)]
+pub struct VisitedSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// An empty set sized for a network of `n` nodes.
+    pub fn new(n: usize) -> VisitedSet {
+        let mut set = VisitedSet::default();
+        set.reset(n);
+        set
+    }
+
+    /// Starts a new generation covering `n` nodes: every slot reads
+    /// unvisited again. O(1) unless the set has to grow — or, once per
+    /// `u32::MAX` resets, when the epoch counter wraps and the stamps
+    /// are bulk-cleared to keep stale generations unreadable.
+    pub fn reset(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `v` visited in the current generation.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) {
+        self.stamps[v.index()] = self.epoch;
+    }
+
+    /// Unmarks `v` (exposed for tests constructing packet states).
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) {
+        self.stamps[v.index()] = 0;
+    }
+
+    /// True when `v` was visited in the current generation.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.stamps[v.index()] == self.epoch
+    }
+
+    /// Slots the set can address (the `n` of the last reset or larger).
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
 /// Mutable state carried by one packet during a route computation.
 #[derive(Debug, Clone)]
 pub struct PacketState {
@@ -81,7 +140,7 @@ pub struct PacketState {
     /// walks pivot around it.
     pub prev: Option<NodeId>,
     /// Nodes already visited ("tried") by this packet.
-    pub visited: Vec<bool>,
+    pub visited: VisitedSet,
     /// The committed either-hand rule, once chosen.
     pub hand: Option<Hand>,
     /// Current forwarding mode.
@@ -100,8 +159,20 @@ pub struct PacketState {
 impl PacketState {
     /// Fresh packet at `src` heading for `dst` in a network of `n` nodes.
     pub fn new(n: usize, src: NodeId, dst: NodeId) -> PacketState {
-        let mut visited = vec![false; n];
-        visited[src.index()] = true;
+        PacketState::with_visited(VisitedSet::default(), n, src, dst)
+    }
+
+    /// Packet reusing a caller-owned [`VisitedSet`] (the allocation-free
+    /// path of [`crate::walk_into`]): the set is re-generationed for `n`
+    /// nodes, so nothing from earlier packets leaks through.
+    pub fn with_visited(
+        mut visited: VisitedSet,
+        n: usize,
+        src: NodeId,
+        dst: NodeId,
+    ) -> PacketState {
+        visited.reset(n);
+        visited.insert(src);
         PacketState {
             dst,
             current: src,
@@ -119,7 +190,7 @@ impl PacketState {
     /// True when the packet already visited `v`.
     #[inline]
     pub fn tried(&self, v: NodeId) -> bool {
-        self.visited[v.index()]
+        self.visited.contains(v)
     }
 
     /// Switches to perimeter mode (counting the entry) anchored at the
@@ -201,6 +272,45 @@ impl RouteResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn visited_set_reset_starts_a_new_generation() {
+        let mut set = VisitedSet::new(4);
+        set.insert(NodeId(1));
+        assert!(set.contains(NodeId(1)));
+        set.reset(4);
+        assert!(!set.contains(NodeId(1)), "old generation must not leak");
+        set.insert(NodeId(2));
+        set.remove(NodeId(2));
+        assert!(!set.contains(NodeId(2)));
+        set.reset(6);
+        assert_eq!(set.capacity(), 6);
+        assert!(!set.contains(NodeId(5)));
+    }
+
+    #[test]
+    fn visited_set_epoch_wraparound_clears_stale_stamps() {
+        let mut set = VisitedSet::new(3);
+        set.insert(NodeId(0));
+        // Force the wrap: the next reset must bulk-clear, otherwise the
+        // old stamp could alias a future epoch.
+        set.epoch = u32::MAX;
+        set.reset(3);
+        assert!(!set.contains(NodeId(0)));
+        set.insert(NodeId(1));
+        assert!(set.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn reused_visited_set_is_indistinguishable_from_fresh() {
+        let recycled = PacketState::new(5, NodeId(0), NodeId(4)).visited;
+        let pkt = PacketState::with_visited(recycled, 5, NodeId(2), NodeId(4));
+        assert!(pkt.tried(NodeId(2)));
+        assert!(
+            !pkt.tried(NodeId(0)),
+            "previous packet's marks must be gone"
+        );
+    }
 
     #[test]
     fn new_packet_marks_source_tried() {

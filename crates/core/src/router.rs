@@ -3,21 +3,152 @@
 //! All schemes — GF in `sp-baselines`, LGF/SLGF/SLGF2 here — expose the
 //! same [`Routing`] interface so the experiment harness can sweep them
 //! uniformly. The LGF family shares the [`HopPolicy`] walker: a policy
-//! picks one successor per hop from purely local state, and [`walk`]
-//! moves the packet until delivery, a dead end, or TTL exhaustion.
+//! picks one successor per hop from purely local state, and
+//! [`walk_into`] moves the packet until delivery, a dead end, or TTL
+//! exhaustion.
+//!
+//! Routing is buffered: [`Routing::route_into`] writes the trace into a
+//! caller-owned [`RouteBuffer`] and returns a borrowed [`RouteRef`], so
+//! a streaming workload routing millions of packets reuses one
+//! generation-stamped visited set and two retained-capacity vectors
+//! instead of allocating an O(n) `PacketState` per packet.
+//! [`Routing::route`] stays as the one-shot convenience wrapper.
 
-use crate::{Mode, PacketState, RouteOutcome, RoutePhase, RouteResult};
+use crate::{Mode, PacketState, RouteOutcome, RoutePhase, RouteResult, VisitedSet};
 use sp_geom::{Point, Quadrant, Rect};
 use sp_net::{Network, NodeId};
+
+/// Reusable per-packet scratch: the generation-stamped visited set plus
+/// retained-capacity path/phase vectors. One buffer serves any number
+/// of consecutive [`Routing::route_into`] calls (on any networks — it
+/// regrows as needed); reuse costs O(path walked), not O(n).
+#[derive(Debug, Clone, Default)]
+pub struct RouteBuffer {
+    pub(crate) visited: VisitedSet,
+    pub(crate) path: Vec<NodeId>,
+    pub(crate) phases: Vec<RoutePhase>,
+}
+
+impl RouteBuffer {
+    /// An empty buffer; it sizes itself on first use.
+    pub fn new() -> RouteBuffer {
+        RouteBuffer::default()
+    }
+
+    /// A buffer whose visited set is pre-sized for networks of `n`
+    /// nodes, so the first route pays no O(n) growth. The path/phase
+    /// vectors still size themselves on first use (a route's length
+    /// isn't known up front) and retain that capacity afterwards.
+    pub fn with_capacity(n: usize) -> RouteBuffer {
+        RouteBuffer {
+            visited: VisitedSet::new(n),
+            path: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// The path of the route most recently written into this buffer.
+    pub fn path(&self) -> &[NodeId] {
+        &self.path
+    }
+
+    /// Moves the buffered trace out as an owned [`RouteResult`],
+    /// leaving the buffer's vectors empty (the visited set is kept).
+    /// Used by the one-shot [`Routing::route`] wrapper so the compat
+    /// path clones nothing.
+    pub(crate) fn take_result(
+        &mut self,
+        outcome: RouteOutcome,
+        perimeter_entries: usize,
+        backup_entries: usize,
+    ) -> RouteResult {
+        RouteResult {
+            outcome,
+            path: std::mem::take(&mut self.path),
+            phases: std::mem::take(&mut self.phases),
+            perimeter_entries,
+            backup_entries,
+        }
+    }
+}
+
+/// A borrowed view of one route trace inside a [`RouteBuffer`] — what
+/// [`Routing::route_into`] returns. Copyable and cheap; call
+/// [`RouteRef::to_result`] only when an owned [`RouteResult`] must
+/// outlive the buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteRef<'a> {
+    /// Terminal status.
+    pub outcome: RouteOutcome,
+    /// Visited node sequence from source (inclusive) to last holder.
+    pub path: &'a [NodeId],
+    /// Phase that produced each hop (`path.len() - 1` entries).
+    pub phases: &'a [RoutePhase],
+    /// Number of distinct perimeter-phase entries.
+    pub perimeter_entries: usize,
+    /// Number of distinct backup-phase entries.
+    pub backup_entries: usize,
+}
+
+impl RouteRef<'_> {
+    /// True when the packet was delivered.
+    pub fn delivered(&self) -> bool {
+        self.outcome == RouteOutcome::Delivered
+    }
+
+    /// Hop count of the path walked.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Euclidean length of the walked path in `net`.
+    pub fn length(&self, net: &Network) -> f64 {
+        net.path_length(self.path)
+    }
+
+    /// Hops spent in a given phase.
+    pub fn hops_in_phase(&self, phase: RoutePhase) -> usize {
+        self.phases.iter().filter(|&&p| p == phase).count()
+    }
+
+    /// Clones the borrowed trace into an owned [`RouteResult`].
+    pub fn to_result(&self) -> RouteResult {
+        RouteResult {
+            outcome: self.outcome,
+            path: self.path.to_vec(),
+            phases: self.phases.to_vec(),
+            perimeter_entries: self.perimeter_entries,
+            backup_entries: self.backup_entries,
+        }
+    }
+}
 
 /// A complete routing scheme: source to destination, full trace out.
 pub trait Routing {
     /// Scheme name as used in the paper's figures ("GF", "LGF", …).
     fn name(&self) -> &'static str;
 
-    /// Routes one packet; never panics on disconnected pairs (reports
-    /// [`RouteOutcome::Stuck`] or TTL exhaustion instead).
-    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult;
+    /// Routes one packet into a caller-owned buffer; never panics on
+    /// disconnected pairs (reports [`RouteOutcome::Stuck`] or TTL
+    /// exhaustion instead). This is the hot-path entry: reusing `buf`
+    /// across calls makes routing allocation-free after warm-up.
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b>;
+
+    /// One-shot convenience: routes through a fresh [`RouteBuffer`] and
+    /// returns the owned trace. Prefer [`Routing::route_into`] (or a
+    /// [`crate::RouteSession`]) anywhere more than one packet flows.
+    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
+        let mut buf = RouteBuffer::new();
+        let r = self.route_into(net, src, dst, &mut buf);
+        let (outcome, pe, be) = (r.outcome, r.perimeter_entries, r.backup_entries);
+        buf.take_result(outcome, pe, be)
+    }
 }
 
 /// References to routers route too — this lets registries hand out
@@ -27,6 +158,37 @@ pub trait Routing {
 impl<T: Routing + ?Sized> Routing for &T {
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
+        (**self).route_into(net, src, dst, buf)
+    }
+
+    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
+        (**self).route(net, src, dst)
+    }
+}
+
+/// Boxed routers (what the scheme registry builds) route directly too.
+impl<T: Routing + ?Sized> Routing for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
+        (**self).route_into(net, src, dst, buf)
     }
 
     fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
@@ -50,17 +212,24 @@ pub fn default_ttl(net: &Network) -> usize {
     4 * net.len().max(1)
 }
 
-/// Drives a [`HopPolicy`] from `src` to `dst`.
-pub fn walk(
+/// Drives a [`HopPolicy`] from `src` to `dst` into a caller-owned
+/// buffer — the engine behind every scheme's
+/// [`Routing::route_into`]. The buffer's visited set is re-generationed
+/// (not cleared) and its vectors keep their capacity, so a warm buffer
+/// allocates nothing.
+pub fn walk_into<'b>(
     policy: &dyn HopPolicy,
     net: &Network,
     src: NodeId,
     dst: NodeId,
     ttl: usize,
-) -> RouteResult {
-    let mut pkt = PacketState::new(net.len(), src, dst);
-    let mut path = vec![src];
-    let mut phases = Vec::new();
+    buf: &'b mut RouteBuffer,
+) -> RouteRef<'b> {
+    let visited = std::mem::take(&mut buf.visited);
+    let mut pkt = PacketState::with_visited(visited, net.len(), src, dst);
+    buf.path.clear();
+    buf.phases.clear();
+    buf.path.push(src);
     let mut outcome = RouteOutcome::TtlExhausted;
     if src == dst {
         outcome = RouteOutcome::Delivered;
@@ -79,11 +248,11 @@ pub fn walk(
                         pkt.current,
                         next
                     );
-                    phases.push(pkt.phase);
-                    pkt.visited[next.index()] = true;
+                    buf.phases.push(pkt.phase);
+                    pkt.visited.insert(next);
                     pkt.prev = Some(pkt.current);
                     pkt.current = next;
-                    path.push(next);
+                    buf.path.push(next);
                     if next == dst {
                         outcome = RouteOutcome::Delivered;
                         break;
@@ -92,13 +261,30 @@ pub fn walk(
             }
         }
     }
-    RouteResult {
+    buf.visited = pkt.visited; // hand the set back for the next packet
+    RouteRef {
         outcome,
-        path,
-        phases,
+        path: &buf.path,
+        phases: &buf.phases,
         perimeter_entries: pkt.perimeter_entries,
         backup_entries: pkt.backup_entries,
     }
+}
+
+/// One-shot [`walk_into`]: routes through a fresh buffer and moves the
+/// trace out (the compat shape every scheme's [`Routing::route`] had
+/// before buffered routing).
+pub fn walk(
+    policy: &dyn HopPolicy,
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    ttl: usize,
+) -> RouteResult {
+    let mut buf = RouteBuffer::new();
+    let r = walk_into(policy, net, src, dst, ttl, &mut buf);
+    let (outcome, pe, be) = (r.outcome, r.perimeter_entries, r.backup_entries);
+    buf.take_result(outcome, pe, be)
 }
 
 /// Neighbors of `u` inside the request zone `Z_k(u, d)` (LAR scheme 1):
@@ -279,13 +465,13 @@ mod tests {
         let n = net();
         let mut pkt = PacketState::new(n.len(), NodeId(0), NodeId(3));
         // Mark the straight-ahead candidate as tried.
-        pkt.visited[2] = true;
-        pkt.visited[1] = false;
+        pkt.visited.insert(NodeId(2));
+        pkt.visited.remove(NodeId(1));
         let nxt = perimeter_sweep(&n, &pkt, crate::Hand::Ccw).unwrap();
         assert_ne!(nxt, NodeId(2));
         // Everything tried -> None.
         for v in 0..n.len() {
-            pkt.visited[v] = true;
+            pkt.visited.insert(NodeId(v));
         }
         assert_eq!(perimeter_sweep(&n, &pkt, crate::Hand::Ccw), None);
     }

@@ -10,8 +10,8 @@
 //! with its backup-path and shape-estimate machinery.
 
 use crate::{
-    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, walk, zone_candidates, Hand,
-    HopPolicy, Mode, PacketState, RoutePhase, RouteResult, Routing, SafetyInfo,
+    closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, walk_into, zone_candidates, Hand,
+    HopPolicy, Mode, PacketState, RouteBuffer, RoutePhase, RouteRef, Routing, SafetyInfo,
 };
 use sp_geom::Quadrant;
 use sp_net::{Network, NodeId};
@@ -105,8 +105,14 @@ impl Routing for SlgfRouter<'_> {
         "SLGF"
     }
 
-    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
-        walk(self, net, src, dst, default_ttl(net))
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
+        walk_into(self, net, src, dst, default_ttl(net), buf)
     }
 }
 

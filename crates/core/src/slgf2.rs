@@ -18,8 +18,8 @@
 //!    plus the rectangular estimates keep it near the unsafe area).
 
 use crate::{
-    choose_hand, greedy_pick, hand_order, walk, zone_candidates, Hand, HopPolicy, Mode,
-    PacketState, RoutePhase, RouteResult, Routing, SafetyInfo,
+    choose_hand, greedy_pick, hand_order, walk_into, zone_candidates, Hand, HopPolicy, Mode,
+    PacketState, RouteBuffer, RoutePhase, RouteRef, Routing, SafetyInfo,
 };
 use sp_geom::{Point, Quadrant};
 use sp_net::{Network, NodeId};
@@ -250,10 +250,16 @@ impl Routing for Slgf2Router<'_> {
         "SLGF2"
     }
 
-    fn route(&self, net: &Network, src: NodeId, dst: NodeId) -> RouteResult {
+    fn route_into<'b>(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        buf: &'b mut RouteBuffer,
+    ) -> RouteRef<'b> {
         // At the default multiplier of 4.0 this equals default_ttl(net).
         let ttl = ((self.ttl_multiplier * net.len().max(1) as f64).ceil() as usize).max(1);
-        walk(self, net, src, dst, ttl)
+        walk_into(self, net, src, dst, ttl, buf)
     }
 }
 

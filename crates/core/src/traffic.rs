@@ -1,0 +1,421 @@
+//! Batched traffic: reusable [`RouteSession`]s and the parallel
+//! [`TrafficEngine`].
+//!
+//! The paper motivates straightforward paths with streaming WASN
+//! workloads that push "large amount of data" over fixed flows; serving
+//! that regime means routing *batches* of packets, not one-shot
+//! queries. Two layers close the gap over the buffered
+//! [`crate::Routing::route_into`] API:
+//!
+//! * [`RouteSession`] pins one router to one [`crate::RouteBuffer`], so
+//!   a long-lived flow (or a harness loop) routes packet after packet
+//!   with zero allocations after warm-up;
+//! * [`TrafficEngine`] takes a whole batch of `(src, dst)` flows and
+//!   shards it across threads over a std-only atomic-cursor work queue
+//!   — each worker owns a thread-local buffer, chunks merge back in
+//!   flow order, and the output is **bit-identical to serial execution
+//!   at any thread count** (the parity property tests enforce this).
+//!   `SP_TRAFFIC_THREADS` pins the worker count; the default follows
+//!   the workspace-wide thread policy.
+
+use crate::{RouteBuffer, RouteOutcome, RouteRef, Routing};
+use sp_net::{Network, NodeId, SpatialIndex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The thread-count environment knob read by [`TrafficEngine::new`].
+pub const TRAFFIC_THREADS_ENV: &str = "SP_TRAFFIC_THREADS";
+
+/// Flows per work-queue claim. Large enough that the atomic cursor is
+/// cold, small enough that stragglers rebalance.
+const FLOW_CHUNK: usize = 64;
+
+/// One router bound to one reusable buffer: the session object of the
+/// streaming API. Every [`RouteSession::route`] call reuses the
+/// generation-stamped visited set and the retained-capacity path/phase
+/// vectors, so routing is allocation-free after the first packet.
+///
+/// ```
+/// use sp_core::{RouteSession, SafetyInfo, Slgf2Router};
+/// use sp_net::{deploy::DeploymentConfig, Network, NodeId};
+///
+/// let cfg = DeploymentConfig::paper_default(300);
+/// let net = Network::from_positions(cfg.deploy_uniform(7), cfg.radius, cfg.area);
+/// let info = SafetyInfo::build(&net);
+/// let router = Slgf2Router::new(&info);
+/// let mut session = RouteSession::new(&router);
+/// for dst in [NodeId(100), NodeId(200), NodeId(299)] {
+///     let r = session.route(&net, NodeId(0), dst); // one buffer, reused
+///     assert_eq!(r.path.first(), Some(&NodeId(0)));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct RouteSession<'r, R: Routing + ?Sized> {
+    router: &'r R,
+    buf: RouteBuffer,
+}
+
+impl<'r, R: Routing + ?Sized> RouteSession<'r, R> {
+    /// A session over `router` with an empty buffer.
+    pub fn new(router: &'r R) -> RouteSession<'r, R> {
+        RouteSession {
+            router,
+            buf: RouteBuffer::new(),
+        }
+    }
+
+    /// A session pre-sized for networks of `n` nodes.
+    pub fn with_capacity(router: &'r R, n: usize) -> RouteSession<'r, R> {
+        RouteSession {
+            router,
+            buf: RouteBuffer::with_capacity(n),
+        }
+    }
+
+    /// The router this session drives.
+    pub fn router(&self) -> &'r R {
+        self.router
+    }
+
+    /// Routes one packet through the session buffer. The returned
+    /// [`RouteRef`] borrows the buffer, so read (or
+    /// [`RouteRef::to_result`]) it before the next call.
+    pub fn route(&mut self, net: &Network, src: NodeId, dst: NodeId) -> RouteRef<'_> {
+        self.router.route_into(net, src, dst, &mut self.buf)
+    }
+}
+
+/// Everything the engine records about one routed flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteRecord {
+    /// The flow's source.
+    pub src: NodeId,
+    /// The flow's destination.
+    pub dst: NodeId,
+    /// Terminal status of the route.
+    pub outcome: RouteOutcome,
+    /// Hops walked.
+    pub hops: usize,
+    /// Euclidean path length walked.
+    pub length: f64,
+    /// Perimeter-phase entries.
+    pub perimeter_entries: usize,
+    /// Backup-phase entries (SLGF2 family).
+    pub backup_entries: usize,
+}
+
+impl RouteRecord {
+    /// True when the flow's packet reached its destination.
+    pub fn delivered(&self) -> bool {
+        self.outcome == RouteOutcome::Delivered
+    }
+}
+
+/// Aggregates folded over one [`TrafficEngine::run`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrafficStats {
+    /// Flows routed.
+    pub flows: usize,
+    /// Flows whose packet was delivered.
+    pub delivered: usize,
+    /// Hops summed over delivered flows.
+    pub delivered_hops: usize,
+    /// Euclidean length summed over delivered flows.
+    pub delivered_length: f64,
+    /// Perimeter-phase entries summed over all flows.
+    pub perimeter_entries: usize,
+    /// Backup-phase entries summed over all flows.
+    pub backup_entries: usize,
+}
+
+impl TrafficStats {
+    fn add(&mut self, r: &RouteRecord) {
+        self.flows += 1;
+        self.perimeter_entries += r.perimeter_entries;
+        self.backup_entries += r.backup_entries;
+        if r.delivered() {
+            self.delivered += 1;
+            self.delivered_hops += r.hops;
+            self.delivered_length += r.length;
+        }
+    }
+
+    /// Delivered / routed, in `[0, 1]` (0 for an empty batch).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.flows == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.flows as f64
+        }
+    }
+
+    /// Mean hops over delivered flows (0 when none delivered).
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delivered_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean path length over delivered flows (0 when none delivered).
+    pub fn mean_length(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delivered_length / self.delivered as f64
+        }
+    }
+}
+
+/// One completed batch: per-flow records in flow order plus aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// One record per input flow, in input order.
+    pub records: Vec<RouteRecord>,
+    /// Aggregates over the batch.
+    pub stats: TrafficStats,
+}
+
+/// Routes whole batches of flows over one network, sharded across
+/// threads. Results are merged in flow order and are bit-identical to
+/// serial execution at any thread count.
+///
+/// ```
+/// use sp_core::{LgfRouter, TrafficEngine};
+/// use sp_net::{deploy::DeploymentConfig, Network, NodeId};
+///
+/// let cfg = DeploymentConfig::paper_default(300);
+/// let net = Network::from_positions(cfg.deploy_uniform(7), cfg.radius, cfg.area);
+/// let flows: Vec<_> = (1..40).map(|i| (NodeId(0), NodeId(i))).collect();
+/// let report = TrafficEngine::new(&net).run(&LgfRouter::new(), &flows);
+/// assert_eq!(report.records.len(), flows.len());
+/// assert_eq!(report.stats.flows, flows.len());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficEngine<'n> {
+    net: &'n Network,
+    threads: usize,
+}
+
+impl<'n> TrafficEngine<'n> {
+    /// An engine over `net` with the default thread policy:
+    /// `SP_TRAFFIC_THREADS` when set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`].
+    pub fn new(net: &'n Network) -> TrafficEngine<'n> {
+        TrafficEngine {
+            net,
+            threads: SpatialIndex::configured_threads_for(TRAFFIC_THREADS_ENV),
+        }
+    }
+
+    /// Pins the worker count (1 = serial; same results either way).
+    pub fn with_threads(mut self, threads: usize) -> TrafficEngine<'n> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The network flows route on.
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// Routes every flow and maps each trace through `map` (called with
+    /// the flow index, the flow, and the borrowed trace), returning the
+    /// mapped values in flow order. This is the allocation-scaling
+    /// primitive: the trace never leaves the worker's buffer, so `map`
+    /// decides what survives (a compact record, an energy debit, a
+    /// cloned path — whatever the caller needs).
+    pub fn run_map<R, T, F>(&self, router: &R, flows: &[(NodeId, NodeId)], map: F) -> Vec<T>
+    where
+        R: Routing + Sync + ?Sized,
+        T: Send,
+        F: Fn(usize, (NodeId, NodeId), RouteRef<'_>) -> T + Sync,
+    {
+        let chunks = flows.len().div_ceil(FLOW_CHUNK);
+        let workers = self.threads.min(chunks);
+        if workers <= 1 {
+            let mut buf = RouteBuffer::with_capacity(self.net.len());
+            return flows
+                .iter()
+                .enumerate()
+                .map(|(i, &(src, dst))| {
+                    let r = router.route_into(self.net, src, dst, &mut buf);
+                    map(i, (src, dst), r)
+                })
+                .collect();
+        }
+
+        // Workers claim fixed-size flow chunks off an atomic cursor and
+        // route them with a thread-local buffer; chunks reassemble in
+        // index order, so the merged output is the serial output.
+        let cursor = AtomicUsize::new(0);
+        let mut merged: Vec<Option<Vec<T>>> = (0..chunks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut buf = RouteBuffer::with_capacity(self.net.len());
+                        let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= chunks {
+                                break;
+                            }
+                            let lo = c * FLOW_CHUNK;
+                            let hi = (lo + FLOW_CHUNK).min(flows.len());
+                            let mut out = Vec::with_capacity(hi - lo);
+                            for (i, &(src, dst)) in flows[lo..hi].iter().enumerate() {
+                                let r = router.route_into(self.net, src, dst, &mut buf);
+                                out.push(map(lo + i, (src, dst), r));
+                            }
+                            mine.push((c, out));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (c, out) in h.join().expect("traffic worker panicked") {
+                    merged[c] = Some(out);
+                }
+            }
+        });
+        merged
+            .into_iter()
+            .flat_map(|chunk| chunk.expect("every chunk routed"))
+            .collect()
+    }
+
+    /// Routes every flow, returning per-flow [`RouteRecord`]s (in flow
+    /// order) plus folded [`TrafficStats`] in one pass.
+    pub fn run<R>(&self, router: &R, flows: &[(NodeId, NodeId)]) -> TrafficReport
+    where
+        R: Routing + Sync + ?Sized,
+    {
+        let net = self.net;
+        let records = self.run_map(router, flows, |_, (src, dst), r| RouteRecord {
+            src,
+            dst,
+            outcome: r.outcome,
+            hops: r.hops(),
+            length: r.length(net),
+            perimeter_entries: r.perimeter_entries,
+            backup_entries: r.backup_entries,
+        });
+        let mut stats = TrafficStats::default();
+        for r in &records {
+            stats.add(r);
+        }
+        TrafficReport { records, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LgfRouter, SafetyInfo, Slgf2Router};
+    use sp_net::deploy::DeploymentConfig;
+
+    fn prepared(n: usize, seed: u64) -> Network {
+        let cfg = DeploymentConfig::paper_default(n);
+        Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area)
+    }
+
+    fn some_flows(net: &Network, count: usize) -> Vec<(NodeId, NodeId)> {
+        let comp = net.largest_component();
+        (0..count)
+            .map(|k| {
+                (
+                    comp[(k * 53) % comp.len()],
+                    comp[(k * 101 + 17) % comp.len()],
+                )
+            })
+            .filter(|(s, d)| s != d)
+            .collect()
+    }
+
+    #[test]
+    fn session_matches_one_shot_route() {
+        let net = prepared(300, 3);
+        let info = SafetyInfo::build(&net);
+        let router = Slgf2Router::new(&info);
+        let mut session = RouteSession::with_capacity(&router, net.len());
+        for (s, d) in some_flows(&net, 12) {
+            let owned = router.route(&net, s, d);
+            let buffered = session.route(&net, s, d);
+            assert_eq!(buffered.to_result(), owned, "{s}->{d}");
+        }
+        assert_eq!(session.router().info().rounds(), info.rounds());
+    }
+
+    #[test]
+    fn engine_records_match_serial_sessions_at_any_thread_count() {
+        let net = prepared(350, 5);
+        let flows = some_flows(&net, 150);
+        let router = LgfRouter::new();
+        let serial = TrafficEngine::new(&net)
+            .with_threads(1)
+            .run(&router, &flows);
+        assert_eq!(serial.records.len(), flows.len());
+        for threads in [2, 3, 8] {
+            let t = TrafficEngine::new(&net)
+                .with_threads(threads)
+                .run(&router, &flows);
+            assert_eq!(serial, t, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stats_fold_matches_records() {
+        let net = prepared(300, 9);
+        let flows = some_flows(&net, 40);
+        let report = TrafficEngine::new(&net).run(&LgfRouter::new(), &flows);
+        let delivered = report.records.iter().filter(|r| r.delivered()).count();
+        assert_eq!(report.stats.flows, flows.len());
+        assert_eq!(report.stats.delivered, delivered);
+        assert!(report.stats.delivery_ratio() > 0.0);
+        assert!(report.stats.mean_hops() >= 1.0);
+        assert!(report.stats.mean_length() > 0.0);
+        let hops: usize = report
+            .records
+            .iter()
+            .filter(|r| r.delivered())
+            .map(|r| r.hops)
+            .sum();
+        assert_eq!(report.stats.delivered_hops, hops);
+    }
+
+    #[test]
+    fn run_map_preserves_flow_order_and_indices() {
+        let net = prepared(300, 11);
+        let flows = some_flows(&net, 130); // > 2 chunks
+        let engine = TrafficEngine::new(&net).with_threads(4);
+        let tagged = engine.run_map(&LgfRouter::new(), &flows, |i, flow, r| (i, flow, r.hops()));
+        assert_eq!(tagged.len(), flows.len());
+        for (i, (idx, flow, _)) in tagged.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*flow, flows[i]);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty_report() {
+        let net = prepared(50, 1);
+        let report = TrafficEngine::new(&net).run(&LgfRouter::new(), &[]);
+        assert!(report.records.is_empty());
+        assert_eq!(report.stats, TrafficStats::default());
+        assert_eq!(report.stats.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn thread_knob_floors_at_one() {
+        let net = prepared(50, 1);
+        assert_eq!(TrafficEngine::new(&net).with_threads(0).threads(), 1);
+        assert!(TrafficEngine::new(&net).threads() >= 1);
+    }
+}

@@ -268,8 +268,8 @@ fn gfg_figure(results: &SweepResults) -> Figure {
         "A8 GFG face-routing comparison ({} model)",
         results.deployment_tag
     );
-    let keep: Vec<String> = Scheme::EXTENDED_SET.iter().map(|s| s.name()).collect();
-    fig.series.retain(|s| keep.contains(&s.label));
+    let keep = Scheme::display_names(&Scheme::EXTENDED_SET);
+    fig.series.retain(|s| keep.iter().any(|k| **k == s.label));
     fig
 }
 
@@ -309,8 +309,8 @@ fn slgf2_face_figure(results: &SweepResults) -> Figure {
 /// Restrict a figure to the paper's four curves (the sweep also carries
 /// the ablation variants).
 fn keep_paper_set(mut fig: Figure) -> Figure {
-    let keep: Vec<String> = Scheme::PAPER_SET.iter().map(|s| s.name()).collect();
-    fig.series.retain(|s| keep.contains(&s.label));
+    let keep = Scheme::display_names(&Scheme::PAPER_SET);
+    fig.series.retain(|s| keep.iter().any(|k| **k == s.label));
     fig
 }
 
@@ -350,7 +350,7 @@ fn run_spec(spec: &str, quick: bool, chart: bool, svg: bool, out_dir: &Path) {
             ];
         }
     }
-    let names: Vec<String> = resolved.schemes.iter().map(|s| s.name()).collect();
+    let names = Scheme::display_names(&resolved.schemes);
     eprintln!(
         "running spec sweep: scenario={}, {} node counts x {} nets, schemes [{}]...",
         resolved.config.deployment,

@@ -24,6 +24,12 @@ pub struct SweepConfig {
     pub networks_per_point: usize,
     /// Random source/destination pairs routed per network.
     pub pairs_per_network: usize,
+    /// Concurrent flows routed per network as **one batched
+    /// [`sp_core::TrafficEngine`] pass** per scheme (the `flows=` spec
+    /// clause). `0` (the default) routes `pairs_per_network` flows —
+    /// the paper's per-pair setup; a positive value supersedes it for
+    /// mixed streaming workloads.
+    pub flows_per_network: usize,
     /// Deployment scenario (resolved through the scenario registry).
     pub deployment: Scenario,
     /// Base seed; instance seeds derive deterministically from it.
@@ -37,6 +43,7 @@ impl SweepConfig {
             node_counts: (400..=800).step_by(50).collect(),
             networks_per_point: 100,
             pairs_per_network: 1,
+            flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 0x5eed_0001,
         }
@@ -57,6 +64,7 @@ impl SweepConfig {
             node_counts: vec![400, 600, 800],
             networks_per_point: 8,
             pairs_per_network: 1,
+            flows_per_network: 0,
             deployment,
             base_seed: 0x5eed_0002,
         }
@@ -66,6 +74,16 @@ impl SweepConfig {
     /// and radius).
     pub fn deployment_config(&self, node_count: usize) -> DeploymentConfig {
         DeploymentConfig::paper_default(node_count)
+    }
+
+    /// Flows drawn per network instance: `flows_per_network` when set,
+    /// otherwise `pairs_per_network`.
+    pub fn flow_count(&self) -> usize {
+        if self.flows_per_network > 0 {
+            self.flows_per_network
+        } else {
+            self.pairs_per_network
+        }
     }
 
     /// The deterministic seed of instance `k` at node count index `i`.

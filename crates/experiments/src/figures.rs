@@ -55,13 +55,20 @@ impl Metric {
 /// Builds one figure from sweep results.
 pub fn figure_from_sweep(results: &SweepResults, metric: Metric, title: &str) -> Figure {
     let mut fig = Figure::new(title, "nodes", metric.y_label());
-    let schemes: Vec<Scheme> = results
+    // Scheme names were resolved once by the sweep runner and ride on
+    // the aggregates — no registry lookups during figure assembly.
+    let schemes: Vec<(Scheme, std::sync::Arc<str>)> = results
         .points
         .first()
-        .map(|p| p.schemes.iter().map(|s| s.scheme).collect())
+        .map(|p| {
+            p.schemes
+                .iter()
+                .map(|s| (s.scheme, s.scheme_name.clone()))
+                .collect()
+        })
         .unwrap_or_default();
-    for scheme in schemes {
-        let mut series = Series::new(scheme.name());
+    for (scheme, name) in schemes {
+        let mut series = Series::new(name.as_ref());
         for point in &results.points {
             let Some(sp) = point.scheme(scheme) else {
                 continue;
@@ -622,6 +629,7 @@ mod tests {
             node_counts: vec![450, 550],
             networks_per_point: 3,
             pairs_per_network: 1,
+            flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 99,
         };
@@ -658,6 +666,7 @@ mod tests {
             node_counts: vec![400],
             networks_per_point: 1,
             pairs_per_network: 1,
+            flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 5,
         };
@@ -700,6 +709,7 @@ mod tests {
             node_counts: vec![400],
             networks_per_point: 1,
             pairs_per_network: 1,
+            flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 11,
         };
@@ -745,6 +755,7 @@ mod tests {
             node_counts: vec![450],
             networks_per_point: 2,
             pairs_per_network: 1,
+            flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 23,
         };

@@ -1,14 +1,20 @@
 //! The parallel sweep runner.
 //!
-//! Fans network instances out over worker threads (crossbeam channel as
-//! the work queue), routes every scheme on every instance, and folds the
-//! per-instance records into per-point statistics.
+//! Fans network instances out over worker threads (a std-only atomic
+//! cursor as the work queue), routes every scheme's flow batch through
+//! a [`TrafficEngine`] session on every instance, and folds the
+//! per-instance records into per-point statistics. Scheme display
+//! names resolve **once per sweep** ([`Scheme::display_names`]) and are
+//! stamped onto the aggregates, so nothing in the hot loop touches the
+//! registry.
 
 use crate::{PreparedNetwork, Scheme, SweepConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use sp_core::TrafficEngine;
 use sp_metrics::Summary;
 use sp_net::{interference_count, Network, NodeId, RadioModel};
+use std::sync::Arc;
 
 /// Packet size used for the A7 energy accounting, in bits. One short
 /// sensor data frame; only the *relative* energy of the schemes matters.
@@ -49,6 +55,9 @@ pub struct RouteRecord {
 pub struct SchemePoint {
     /// The scheme.
     pub scheme: Scheme,
+    /// The scheme's display name, resolved once when the sweep started
+    /// (shared across points; figure assembly reads it lock-free).
+    pub scheme_name: Arc<str>,
     /// Hop counts of delivered routes.
     pub hops: Vec<f64>,
     /// Path lengths of delivered routes.
@@ -72,9 +81,10 @@ pub struct SchemePoint {
 }
 
 impl SchemePoint {
-    fn new(scheme: Scheme) -> SchemePoint {
+    fn new(scheme: Scheme, scheme_name: Arc<str>) -> SchemePoint {
         SchemePoint {
             scheme,
+            scheme_name,
             hops: Vec::new(),
             lengths: Vec::new(),
             perimeter_entries: Vec::new(),
@@ -196,12 +206,19 @@ pub fn run_sweep(cfg: &SweepConfig, schemes: &[Scheme]) -> SweepResults {
 
     let records = run_jobs(cfg, schemes, &jobs);
 
+    // One registry read for the whole sweep: every point shares the
+    // resolved names instead of cloning a String per lookup.
+    let names = Scheme::display_names(schemes);
     let mut points: Vec<SweepPoint> = cfg
         .node_counts
         .iter()
         .map(|&n| SweepPoint {
             node_count: n,
-            schemes: schemes.iter().map(|&s| SchemePoint::new(s)).collect(),
+            schemes: schemes
+                .iter()
+                .zip(&names)
+                .map(|(&s, name)| SchemePoint::new(s, Arc::clone(name)))
+                .collect(),
         })
         .collect();
     for (point_idx, recs) in records {
@@ -259,7 +276,13 @@ fn run_jobs(
 }
 
 /// Generates one network instance and routes every scheme over the same
-/// source/destination pairs.
+/// source/destination flows.
+///
+/// The flow batch (`flows=` when set, otherwise `pairs=` many flows) is
+/// drawn up front, then each scheme routes the whole batch through a
+/// [`TrafficEngine`] — reused per-worker route buffers, metrics folded
+/// off the borrowed traces, no per-packet allocation. Records keep the
+/// historical flow-major order: all schemes for flow 0, then flow 1, …
 pub fn run_instance(
     cfg: &SweepConfig,
     schemes: &[Scheme],
@@ -276,19 +299,35 @@ pub fn run_instance(
     // per-packet loop.
     let routers: Vec<_> = schemes.iter().map(|s| s.build(&ctx)).collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7a1c_5eed);
-    let mut out = Vec::with_capacity(schemes.len() * cfg.pairs_per_network);
-    for _ in 0..cfg.pairs_per_network {
-        let Some((s, d)) = random_connected_pair(&prepared.net, &mut rng) else {
-            continue;
-        };
-        let radio = RadioModel::first_order();
-        // References for the stretch metrics: BFS hop minimum and the
-        // Dijkstra "ideal routing path" of Fig. 1(a).
-        let min_hops = prepared.net.bfs_hops(s)[d.index()].map(f64::from);
-        let ideal_len = prepared.net.shortest_path(s, d).map(|(_, len)| len);
-        for (&scheme, router) in schemes.iter().zip(&routers) {
-            let r = router.route(&prepared.net, s, d);
+    let flow_target = cfg.flow_count();
+    let mut flows = Vec::with_capacity(flow_target);
+    for _ in 0..flow_target {
+        if let Some(pair) = random_connected_pair(&prepared.net, &mut rng) {
+            flows.push(pair);
+        }
+    }
+    // References for the stretch metrics, one per flow: BFS hop minimum
+    // and the Dijkstra "ideal routing path" of Fig. 1(a).
+    let refs: Vec<(Option<f64>, Option<f64>)> = flows
+        .iter()
+        .map(|&(s, d)| {
+            (
+                prepared.net.bfs_hops(s)[d.index()].map(f64::from),
+                prepared.net.shortest_path(s, d).map(|(_, len)| len),
+            )
+        })
+        .collect();
+    let radio = RadioModel::first_order();
+    // One engine worker: the sweep is already instance-parallel
+    // (run_jobs saturates the host), so nesting threads here would
+    // only oversubscribe. Direct batched callers wanting in-batch
+    // parallelism drive `TrafficEngine` themselves.
+    let engine = TrafficEngine::new(&prepared.net).with_threads(1);
+    let mut per_scheme = Vec::with_capacity(schemes.len());
+    for (&scheme, router) in schemes.iter().zip(&routers) {
+        per_scheme.push(engine.run_map(router.as_ref(), &flows, |i, _, r| {
             let delivered = r.delivered();
+            let (min_hops, ideal_len) = refs[i];
             let hop_stretch = match (delivered, min_hops) {
                 (true, Some(m)) if m > 0.0 => r.hops() as f64 / m,
                 _ => 0.0,
@@ -298,7 +337,7 @@ pub fn run_instance(
                 (true, Some(l)) if l > 0.0 => length / l,
                 _ => 0.0,
             };
-            out.push(RouteRecord {
+            RouteRecord {
                 scheme,
                 node_count,
                 delivered,
@@ -306,11 +345,19 @@ pub fn run_instance(
                 length,
                 perimeter_entries: r.perimeter_entries,
                 backup_entries: r.backup_entries,
-                energy_uj: radio.path_energy(&prepared.net, &r.path, PACKET_BITS) / 1000.0,
-                interference: interference_count(&prepared.net, &r.path),
+                energy_uj: radio.path_energy(&prepared.net, r.path, PACKET_BITS) / 1000.0,
+                interference: interference_count(&prepared.net, r.path),
                 hop_stretch,
                 length_stretch,
-            });
+            }
+        }));
+    }
+    // Interleave back to flow-major order — the shape downstream
+    // consumers (and the seed tests) have always read.
+    let mut out = Vec::with_capacity(schemes.len() * flows.len());
+    for i in 0..flows.len() {
+        for recs in &per_scheme {
+            out.push(recs[i]);
         }
     }
     out
@@ -346,6 +393,7 @@ mod tests {
             node_counts: vec![400, 500],
             networks_per_point: 3,
             pairs_per_network: 1,
+            flows_per_network: 0,
             deployment: scenario,
             base_seed: 7,
         }

@@ -61,7 +61,7 @@ pub struct RouterContext<'a> {
 /// registry hands builders out to sweep worker threads without holding
 /// its lock across user code.
 pub type SchemeBuild =
-    Arc<dyn for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync>;
+    Arc<dyn for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + Send + Sync + 'a> + Send + Sync>;
 
 struct SchemeEntry {
     name: String,
@@ -129,7 +129,10 @@ impl SchemeRegistry {
 
     fn add<F>(&mut self, name: &str, build: F) -> Scheme
     where
-        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + Send + Sync + 'a>
+            + Send
+            + Sync
+            + 'static,
     {
         self.try_add(name.to_owned(), Arc::new(build))
             .unwrap_or_else(|e| panic!("{e}"))
@@ -249,7 +252,10 @@ impl Scheme {
     /// [`Scheme::try_register`] to handle the collision instead.
     pub fn register<F>(name: impl Into<String>, build: F) -> Scheme
     where
-        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + Send + Sync + 'a>
+            + Send
+            + Sync
+            + 'static,
     {
         // Panic only after the lock guard is released, so a rejected
         // registration cannot poison the registry for other threads.
@@ -260,7 +266,10 @@ impl Scheme {
     /// instead of panicking.
     pub fn try_register<F>(name: impl Into<String>, build: F) -> Result<Scheme, String>
     where
-        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + Send + Sync + 'a>
+            + Send
+            + Sync
+            + 'static,
     {
         write_registry().try_add(name.into(), Arc::new(build))
     }
@@ -281,13 +290,28 @@ impl Scheme {
     }
 
     /// Display name (figure legend). Cloned out of the registry — names
-    /// are short and this never runs in a per-packet loop.
+    /// are short and this never runs in a per-packet loop. Hot paths
+    /// that label many records resolve a whole scheme set at once with
+    /// [`Scheme::display_names`] instead.
     pub fn name(&self) -> String {
         read_registry().entries[self.0 as usize].name.clone()
     }
 
+    /// Resolves the display names of a whole scheme set under **one**
+    /// registry read lock, as shared `Arc<str>`s. The sweep runner
+    /// resolves names once per sweep and stamps them onto its
+    /// aggregates, so figure assembly and record labeling never pay a
+    /// per-call lock + `String` clone again.
+    pub fn display_names(schemes: &[Scheme]) -> Vec<Arc<str>> {
+        let reg = read_registry();
+        schemes
+            .iter()
+            .map(|s| Arc::from(reg.entries[s.0 as usize].name.as_str()))
+            .collect()
+    }
+
     /// Constructs this scheme's router over the given context.
-    pub fn build<'a>(&self, ctx: &RouterContext<'a>) -> Box<dyn Routing + 'a> {
+    pub fn build<'a>(&self, ctx: &RouterContext<'a>) -> Box<dyn Routing + Send + Sync + 'a> {
         // Clone the shared builder out so user code runs with the
         // registry lock released (a builder may itself register).
         let build = Arc::clone(&read_registry().entries[self.0 as usize].build);
@@ -344,7 +368,10 @@ impl SchemeFamily {
     /// bare base name when `params` is empty).
     pub fn variant<F>(mut self, params: impl Into<String>, build: F) -> SchemeFamily
     where
-        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + 'a> + Send + Sync + 'static,
+        F: for<'a> Fn(&RouterContext<'a>) -> Box<dyn Routing + Send + Sync + 'a>
+            + Send
+            + Sync
+            + 'static,
     {
         let params = params.into();
         let name = if params.is_empty() {
@@ -362,7 +389,7 @@ impl SchemeFamily {
     where
         P: Send + Sync + 'static,
         T: Into<String>,
-        F: for<'a> Fn(&P, &RouterContext<'a>) -> Box<dyn Routing + 'a>
+        F: for<'a> Fn(&P, &RouterContext<'a>) -> Box<dyn Routing + Send + Sync + 'a>
             + Send
             + Sync
             + Clone

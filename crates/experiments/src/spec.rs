@@ -12,6 +12,7 @@
 //! | `nodes`    | `lo..hi:step` (inclusive), a comma list, or one value | the paper's `400..800:50` |
 //! | `nets`     | networks per node count                          | `100`   |
 //! | `pairs`    | source/destination pairs per network             | `1`     |
+//! | `flows`    | concurrent flows per network, routed as one batched `TrafficEngine` pass per scheme (supersedes `pairs`) | unset |
 //! | `seed`     | base seed (decimal or `0x…`)                     | the paper sweeps' seed |
 //! | `schemes`  | `+`-separated scheme names; `PAPER`, `EXTENDED`, and `ALL` expand to the corresponding sets | `PAPER` |
 //!
@@ -70,6 +71,7 @@ impl SweepSpec {
                 "nodes" => config.node_counts = parse_nodes(value)?,
                 "nets" => config.networks_per_point = parse_count(key, value)?,
                 "pairs" => config.pairs_per_network = parse_count(key, value)?,
+                "flows" => config.flows_per_network = parse_count(key, value)?,
                 "seed" => {
                     config.base_seed = parse_u64(value)
                         .ok_or_else(|| SpecError(format!("seed {value:?} is not a number")))?;
@@ -77,8 +79,8 @@ impl SweepSpec {
                 "schemes" => schemes = parse_schemes(value)?,
                 other => {
                     return Err(SpecError(format!(
-                        "unknown key {other:?} (expected scenario/nodes/nets/pairs/seed/schemes)"
-                    )))
+                    "unknown key {other:?} (expected scenario/nodes/nets/pairs/flows/seed/schemes)"
+                )))
                 }
             }
         }
@@ -223,6 +225,26 @@ mod tests {
                 .node_counts,
             vec![400, 450, 500]
         );
+    }
+
+    #[test]
+    fn flows_clause_enables_batched_workloads() {
+        let spec = SweepSpec::parse("flows=64").unwrap();
+        assert_eq!(spec.config.flows_per_network, 64);
+        assert_eq!(spec.config.flow_count(), 64);
+        // Unset flows fall back to the per-pair setup.
+        let spec = SweepSpec::parse("pairs=3").unwrap();
+        assert_eq!(spec.config.flows_per_network, 0);
+        assert_eq!(spec.config.flow_count(), 3);
+        assert!(SweepSpec::parse("flows=0").is_err());
+    }
+
+    #[test]
+    fn flows_spec_runs_a_batched_sweep() {
+        let spec = SweepSpec::parse("scenario=IA;nodes=400;nets=2;flows=12;schemes=SLGF2").unwrap();
+        let results = spec.run();
+        // Every instance routes the whole 12-flow batch.
+        assert_eq!(results.points[0].schemes[0].total, 24);
     }
 
     #[test]

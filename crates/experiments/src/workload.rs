@@ -14,7 +14,7 @@ use crate::{RouterContext, Scheme};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sp_baselines::{GfRouter, GfgRouter};
-use sp_core::InfoMaintainer;
+use sp_core::{InfoMaintainer, RouteBuffer, Routing};
 use sp_metrics::{Figure, Series};
 use sp_net::{radio::EnergyLedger, Network, RadioModel};
 
@@ -63,10 +63,14 @@ pub struct LifetimeReport {
 /// a flow is physically severed (undelivered with the endpoints in
 /// different components), or `cfg.max_rounds` is reached.
 ///
-/// Every round sends one packet per flow. Depleted nodes are removed
-/// from the ghost topology and — for the information-based schemes —
-/// the safety labeling is repaired incrementally, mirroring how a real
-/// deployment would run Algorithm 2's failure handling.
+/// Every round sends one packet per flow. Routing runs session-style:
+/// the scheme's router is resolved through the registry **once per
+/// topology epoch** (not per packet) and every packet routes through
+/// one reused [`RouteBuffer`], so the steady-state loop allocates
+/// nothing. Depleted nodes are removed from the ghost topology and —
+/// for the information-based schemes — the safety labeling is repaired
+/// incrementally, mirroring how a real deployment would run Algorithm
+/// 2's failure handling.
 pub fn run_lifetime(
     net: &Network,
     scheme: Scheme,
@@ -86,11 +90,6 @@ pub fn run_lifetime(
 
     let mut maint = InfoMaintainer::new(net.clone());
     let mut ledger = EnergyLedger::new(net.len(), cfg.node_energy_nj, RadioModel::first_order());
-    // Routing structures are rebuilt only when the topology changes
-    // (the safety labeling itself is repaired incrementally).
-    let mut info = maint.info();
-    let mut gf = GfRouter::new(maint.network());
-    let mut gfg = GfgRouter::new(maint.network());
     let mut report = LifetimeReport {
         packets_delivered: 0,
         packets_lost: 0,
@@ -99,39 +98,61 @@ pub fn run_lifetime(
         energy_spent: 0.0,
     };
 
-    'rounds: for _ in 0..cfg.max_rounds {
-        report.rounds += 1;
-        for &(s, d) in &flows {
-            if maint.is_dead(s) || maint.is_dead(d) {
-                break 'rounds; // a flow endpoint died: end of lifetime
-            }
-            let topo = maint.network();
-            // Registry dispatch over the *degraded* topology, reusing
-            // the incrementally-repaired info and the rebuilt recovery
-            // structures — no per-scheme match anywhere.
+    // One packet buffer for the whole run; `round`/`flow_idx` carry the
+    // streaming position across topology epochs so a node death mid-
+    // round resumes at the very next flow, exactly like the old
+    // rebuild-in-place loop did.
+    let mut buf = RouteBuffer::with_capacity(net.len());
+    let mut round = 0usize;
+    let mut flow_idx = 0usize;
+    if flows.is_empty() {
+        report.rounds = cfg.max_rounds;
+    } else {
+        'epochs: loop {
+            // Routing structures for the current topology epoch: the
+            // degraded snapshot, the incrementally-repaired safety
+            // information, the rebuilt recovery structures, and — once,
+            // not per packet — the scheme's router via the registry.
+            let topo = maint.network().clone();
+            let info = maint.info();
+            let gf = GfRouter::new(&topo);
+            let gfg = GfgRouter::new(&topo);
             let ctx = RouterContext {
-                net: topo,
+                net: &topo,
                 info: &info,
                 gf: &gf,
                 gfg: &gfg,
             };
-            let route = scheme.route(&ctx, s, d);
-            if !route.delivered() {
-                report.packets_lost += 1;
-                if !topo.connected(s, d) {
-                    break 'rounds; // flow physically severed
+            let router = scheme.build(&ctx);
+            loop {
+                if flow_idx == 0 {
+                    if round == cfg.max_rounds {
+                        break 'epochs;
+                    }
+                    round += 1;
+                    report.rounds = round;
                 }
-                continue;
-            }
-            report.packets_delivered += 1;
-            let newly_dead = ledger.charge_path(topo, &route.path, cfg.packet_bits);
-            if !newly_dead.is_empty() {
-                for v in newly_dead {
-                    maint.kill(v);
+                let (s, d) = flows[flow_idx];
+                if maint.is_dead(s) || maint.is_dead(d) {
+                    break 'epochs; // a flow endpoint died: end of lifetime
                 }
-                info = maint.info();
-                gf = GfRouter::new(maint.network());
-                gfg = GfgRouter::new(maint.network());
+                flow_idx = (flow_idx + 1) % flows.len();
+                let route = router.route_into(&topo, s, d, &mut buf);
+                if !route.delivered() {
+                    report.packets_lost += 1;
+                    if !topo.connected(s, d) {
+                        break 'epochs; // flow physically severed
+                    }
+                    continue;
+                }
+                report.packets_delivered += 1;
+                let newly_dead = ledger.charge_path(&topo, route.path, cfg.packet_bits);
+                if !newly_dead.is_empty() {
+                    for v in newly_dead {
+                        maint.kill(v);
+                    }
+                    continue 'epochs; // topology changed: new epoch
+                }
             }
         }
     }
