@@ -330,7 +330,7 @@ fn compare(
             format!("{bn}[{label}]")
         };
         for (k, v) in br {
-            if !k.ends_with("_seconds") {
+            if !k.ends_with("_seconds") && !k.ends_with("_bytes_per_node") {
                 continue;
             }
             let base = v
@@ -489,25 +489,35 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
             "using rolling baseline {rp} (committed {} as the floor)",
             pair[0]
         );
-        let rolling = Parser::parse(&read(&rp)?).map_err(|e| format!("{rp}: {e}"))?;
-        let mut rolling_findings = compare(&rolling, &cur, tol, slack)?;
-        if rolling_findings.len() != committed_findings.len() {
-            return Err(format!(
-                "{rp}: rolling baseline has {} gated metrics but committed {} has {} — \
-                 delete the stale history file",
-                rolling_findings.len(),
-                pair[0],
-                committed_findings.len()
-            ));
-        }
-        for (r, c) in rolling_findings.iter_mut().zip(&committed_findings) {
-            if r.metric != c.metric || r.row != c.row {
-                return Err(format!(
-                    "{rp}: rolling metric {}/{} does not match committed {}/{} — \
-                     delete the stale history file",
-                    r.row, r.metric, c.row, c.metric
-                ));
+        // A rolling baseline written before a bench gained rows or
+        // metrics (or the reverse) can't be zipped against the fresh
+        // run; fall back to the committed baseline for this gate — the
+        // next green run rewrites the branch history with the new
+        // metric set, so history picks up new metrics without anyone
+        // deleting cache entries by hand.
+        let rolling_findings = Parser::parse(&read(&rp)?)
+            .map_err(|e| format!("{rp}: {e}"))
+            .and_then(|rolling| compare(&rolling, &cur, tol, slack));
+        let mut rolling_findings = match rolling_findings {
+            Ok(f)
+                if f.len() == committed_findings.len()
+                    && f.iter()
+                        .zip(&committed_findings)
+                        .all(|(r, c)| r.metric == c.metric && r.row == c.row) =>
+            {
+                f
             }
+            Ok(_) | Err(_) => {
+                println!(
+                    "rolling baseline {rp} does not match the current metric set; \
+                     gating against committed {} only (a green run refreshes history)",
+                    pair[0]
+                );
+                findings.extend(committed_findings);
+                continue;
+            }
+        };
+        for (r, c) in rolling_findings.iter_mut().zip(&committed_findings) {
             r.regressed = r.regressed && c.regressed;
         }
         findings.extend(rolling_findings);
@@ -796,6 +806,56 @@ mod tests {
         let b = write_artifact(&work, "b.json", 0.1);
         let err = run(&["--history".into(), "h".into(), a, b]).unwrap_err();
         assert!(err.contains("--branch"), "{err}");
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    #[test]
+    fn bytes_per_node_metrics_are_gated() {
+        let row = |bytes: f64| {
+            Parser::parse(&format!(
+                "{{\"benchmark\": \"demo\", \"results\": [{{\"case\": \"p\", \"time_seconds\": 0.1, \"csr_bytes_per_node\": {bytes:.1}, \"adjacency_compression\": 2.5}}]}}"
+            ))
+            .unwrap()
+        };
+        let base = row(80.0);
+        let f = compare(&base, &row(82.0), 0.25, 0.002).unwrap();
+        assert_eq!(f.len(), 2, "seconds + bytes must both be gated");
+        assert!(f.iter().all(|x| !x.regressed));
+        let f = compare(&base, &row(160.0), 0.25, 0.002).unwrap();
+        assert!(
+            f.iter()
+                .any(|x| x.metric == "csr_bytes_per_node" && x.regressed),
+            "2x memory growth must trip the gate"
+        );
+    }
+
+    #[test]
+    fn stale_rolling_history_falls_back_to_committed_and_refreshes() {
+        let work = temp_dir("newmetrics");
+        let hist = work.join("history");
+        let committed = work.join("BENCH_demo_base.json");
+        let current = work.join("BENCH_demo.json");
+        // Committed + current carry a bytes metric the old rolling
+        // baseline (from before the metric existed) does not.
+        let with_bytes = "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"time_seconds\": 0.100000, \"csr_bytes_per_node\": 80.0}]}";
+        std::fs::write(&committed, with_bytes).unwrap();
+        std::fs::write(&current, with_bytes).unwrap();
+        std::fs::create_dir_all(hist.join("main")).unwrap();
+        let _ = write_artifact(&hist.join("main"), "BENCH_demo.json", 0.100);
+        let args: Vec<String> = vec![
+            "--history".into(),
+            hist.to_string_lossy().into_owned(),
+            "--branch".into(),
+            "main".into(),
+            committed.to_string_lossy().into_owned(),
+            current.to_string_lossy().into_owned(),
+        ];
+        let f = run(&args).unwrap();
+        assert_eq!(f.len(), 2, "committed baseline must gate both metrics");
+        assert!(f.iter().all(|x| !x.regressed));
+        // The green run rewrote main's history with the new metric set.
+        let stored = std::fs::read_to_string(hist.join("main").join("BENCH_demo.json")).unwrap();
+        assert!(stored.contains("csr_bytes_per_node"), "{stored}");
         let _ = std::fs::remove_dir_all(&work);
     }
 

@@ -163,15 +163,15 @@ pub fn pivot_dir(net: &Network, x: NodeId, dir: Vec2, exclude: Option<NodeId>) -
     // hit" would short-circuit the sweep into a collinear trap, so it is
     // deferred to pass 2.
     for e in sweep.entries() {
-        if e.rotation <= EPS || Some(NodeId(e.id)) == exclude {
+        if e.rotation <= EPS || Some(NodeId::new(e.id)) == exclude {
             continue;
         }
-        return Some(NodeId(e.id));
+        return Some(NodeId::new(e.id));
     }
     // Pass 2: collinear candidates (nearest first), then bounce back.
     for e in sweep.entries() {
-        if Some(NodeId(e.id)) != exclude {
-            return Some(NodeId(e.id));
+        if Some(NodeId::new(e.id)) != exclude {
+            return Some(NodeId::new(e.id));
         }
     }
     exclude.filter(|f| net.neighbors(x).contains(f))

@@ -13,7 +13,7 @@
 //! Run with: `cargo bench -p sp-bench --bench grid_vs_bruteforce`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sp_bench::sample_stats;
+use sp_bench::{memory_json_fields, sample_stats};
 use sp_net::{DeploymentConfig, Network};
 
 const SIZES: [usize; 3] = [500, 2000, 10_000];
@@ -47,18 +47,30 @@ fn construction_benches(c: &mut Criterion) {
             Network::from_positions_brute_force(positions.clone(), cfg.radius, cfg.area)
         });
         let speedup = brute_s.median / grid_s.median;
+        // Memory estimator: the CSR arena must strictly undercut the
+        // legacy per-node-Vec layout at every benchmarked size.
+        let footprint = grid.memory_footprint();
+        assert!(
+            footprint.adjacency_bytes_per_node() < footprint.legacy_adjacency_bytes_per_node(),
+            "CSR ({:.1} B/node) must beat the per-node-Vec layout ({:.1} B/node) at n={n}",
+            footprint.adjacency_bytes_per_node(),
+            footprint.legacy_adjacency_bytes_per_node()
+        );
         eprintln!(
-            "n={n}: grid {:.3} ms | brute {:.3} ms | speedup {speedup:.1}x",
+            "n={n}: grid {:.3} ms | brute {:.3} ms | speedup {speedup:.1}x | {:.1} B/node CSR vs {:.1} legacy",
             grid_s.median * 1e3,
-            brute_s.median * 1e3
+            brute_s.median * 1e3,
+            footprint.adjacency_bytes_per_node(),
+            footprint.legacy_adjacency_bytes_per_node()
         );
         rows.push(format!(
-            "    {{\"n\": {}, \"edges\": {}, {}, {}, \"speedup\": {:.2}}}",
+            "    {{\"n\": {}, \"edges\": {}, {}, {}, \"speedup\": {:.2}, {}}}",
             n,
             grid.edge_count(),
             grid_s.json_fields("grid"),
             brute_s.json_fields("bruteforce"),
-            speedup
+            speedup,
+            memory_json_fields("", &footprint)
         ));
 
         // Criterion lines for the same comparison (its own timing loop).

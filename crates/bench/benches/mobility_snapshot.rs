@@ -44,7 +44,7 @@ fn mover_batch(cfg: &DeploymentConfig, positions: &[Point]) -> Vec<(NodeId, Poin
         .map(|(i, p)| {
             let x = (p.x + cfg.radius).min(cfg.area.max().x);
             let y = (p.y + 0.5 * cfg.radius).min(cfg.area.max().y);
-            (NodeId(i), Point::new(x, y))
+            (NodeId::new(i), Point::new(x, y))
         })
         .collect()
 }
@@ -69,7 +69,7 @@ fn snapshot_benches(c: &mut Criterion, rows: &mut Vec<String>) {
         }
     };
     net.apply_moves(&moves);
-    let rebuilt = Network::from_positions(net.positions().to_vec(), cfg.radius, cfg.area);
+    let rebuilt = Network::from_positions(net.positions_vec(), cfg.radius, cfg.area);
     same_topology(&net, &rebuilt, "forward");
     net.apply_moves(&inverse);
     let back = Network::from_positions(positions.clone(), cfg.radius, cfg.area);

@@ -27,6 +27,17 @@ use sp_net::{deploy::DeploymentConfig, Network, NodeId};
 
 const NODES: usize = 10_000;
 const FLOWS: usize = 4_096;
+/// Node count for the `SP_BENCH_SCALE=large` batch row.
+const LARGE_NODES: usize = 1_000_000;
+/// Flows in the large batch (kept smaller: setup dominates otherwise).
+const LARGE_FLOWS: usize = 2_048;
+
+/// True when `SP_BENCH_SCALE=large` asks for the million-node row; the
+/// committed baseline is generated with the toggle ON (as in the CI
+/// bench-gate job), so the gate's row counts match.
+fn large_scale() -> bool {
+    std::env::var("SP_BENCH_SCALE").is_ok_and(|v| v == "large")
+}
 
 /// Deterministic flow batches per class over the largest component.
 fn flow_classes(net: &Network) -> Vec<(&'static str, Vec<(NodeId, NodeId)>)> {
@@ -144,6 +155,12 @@ fn throughput_benches(c: &mut Criterion) {
     }
     group.finish();
 
+    if large_scale() {
+        large_batch_row(&mut rows);
+    } else {
+        eprintln!("n={LARGE_NODES} batch row: skipped (set SP_BENCH_SCALE=large to measure)");
+    }
+
     let json = format!(
         "{{\n  \"benchmark\": \"route_throughput\",\n  \"unit\": \"seconds (median over samples)\",\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
@@ -151,6 +168,74 @@ fn throughput_benches(c: &mut Criterion) {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_traffic.json");
     std::fs::write(out, &json).expect("write BENCH_traffic.json");
     eprintln!("wrote {out}");
+}
+
+/// The million-node batch row: local telemetry flows (2–4 radio
+/// ranges) routed through one reused-buffer `TrafficEngine` batch on a
+/// spatially-sorted network, so neighbor scans hit the contiguous CSR
+/// arena. Batched + threaded medians only — the per-call path would pay
+/// a fresh O(n) = 4 MB visited map per packet, which is exactly the
+/// regime the buffered API exists to avoid.
+fn large_batch_row(rows: &mut Vec<String>) {
+    let cfg = DeploymentConfig::paper_density(LARGE_NODES);
+    let net = Network::from_positions(cfg.deploy_uniform(42), cfg.radius, cfg.area);
+    let (net, _remap) = net.spatially_sorted();
+    let info = SafetyInfo::build(&net);
+    let router = Slgf2Router::new(&info);
+    let serial = TrafficEngine::new(&net).with_threads(1);
+    let auto = TrafficEngine::new(&net);
+
+    let comp = net.largest_component();
+    let mut flows: Vec<(NodeId, NodeId)> = Vec::with_capacity(LARGE_FLOWS);
+    let mut k = 0usize;
+    while flows.len() < LARGE_FLOWS && k < 64 * LARGE_FLOWS {
+        let s = comp[(k * 7919) % comp.len()];
+        k += 1;
+        let ps = net.position(s);
+        if let Some(d) = comp.iter().skip(k % 37).step_by(9973).copied().find(|&v| {
+            let dist = net.position(v).distance(ps);
+            v != s && dist > 25.0 && dist < 80.0
+        }) {
+            flows.push((s, d));
+        }
+    }
+    assert!(flows.len() >= LARGE_FLOWS / 2, "too few large flows built");
+
+    let report = serial.run(&router, &flows);
+    let mean_hops = report.stats.mean_hops();
+    assert!(report.stats.delivery_ratio() > 0.99, "large batch delivery");
+
+    let runs = 5;
+    let batched = sample_stats(runs, || {
+        serial
+            .run_map(&router, &flows, |_, _, r| r.hops())
+            .into_iter()
+            .sum::<usize>()
+    });
+    let threaded = sample_stats(runs, || {
+        auto.run_map(&router, &flows, |_, _, r| r.hops())
+            .into_iter()
+            .sum::<usize>()
+    });
+    let pps = |median: f64| flows.len() as f64 / median.max(1e-12);
+    eprintln!(
+        "local_1m ({:.1} mean hops, {} flows): batched {:.2} ms | threaded x{} {:.2} ms",
+        mean_hops,
+        flows.len(),
+        batched.median * 1e3,
+        auto.threads(),
+        threaded.median * 1e3,
+    );
+    rows.push(format!(
+        "    {{\"case\": \"local_1m\", \"scheme\": \"SLGF2\", \"nodes\": {LARGE_NODES}, \"flows\": {}, \"mean_hops\": {:.2}, \"threads\": {}, {}, {}, \"batched_packets_per_sec\": {:.0}, \"threaded_packets_per_sec\": {:.0}}}",
+        flows.len(),
+        mean_hops,
+        auto.threads(),
+        batched.json_fields("batched"),
+        threaded.json_fields("threaded"),
+        pps(batched.median),
+        pps(threaded.median),
+    ));
 }
 
 criterion_group!(benches, throughput_benches);

@@ -167,8 +167,8 @@ impl LabelingProcess {
             let order = ccw_order_in_quadrant(my_pos, q, in_zone.iter().copied());
             let chain = match (order.first(), order.last()) {
                 (Some(&f), Some(&l)) => {
-                    let first = self.resolve_chain_end(NodeId(f), q, true, &in_zone);
-                    let last = self.resolve_chain_end(NodeId(l), q, false, &in_zone);
+                    let first = self.resolve_chain_end(NodeId::new(f), q, true, &in_zone);
+                    let last = self.resolve_chain_end(NodeId::new(l), q, false, &in_zone);
                     ChainInfo { first, last }
                 }
                 _ => ChainInfo {
@@ -207,7 +207,7 @@ impl LabelingProcess {
         let fallback = in_zone
             .iter()
             .find(|&&(id, _)| id == v.index())
-            .map(|&(id, p)| (NodeId(id), p))
+            .map(|&(id, p)| (NodeId::new(id), p))
             .expect("chain target comes from the in-zone candidate list");
         match self
             .neighbor_view
@@ -393,7 +393,7 @@ fn assemble(
     let mut per_type: [Vec<Option<ShapeEstimate>>; 4] =
         std::array::from_fn(|_| vec![None; net.len()]);
     for (i, proc_state) in processes.iter().enumerate() {
-        let pu = net.position(NodeId(i));
+        let pu = net.position(NodeId::new(i));
         for q in Quadrant::ALL {
             if let Some(chain) = proc_state.chains()[q.array_index()] {
                 let (first_id, first_pos) = chain.first;
@@ -598,14 +598,17 @@ mod tests {
 
         // Compare with centralized labeling of the survivor network.
         let survivors: Vec<usize> = (0..net.len()).filter(|&i| i != victim.index()).collect();
-        let positions: Vec<_> = survivors.iter().map(|&i| net.positions()[i]).collect();
+        let positions: Vec<_> = survivors
+            .iter()
+            .map(|&i| net.position(NodeId::new(i)))
+            .collect();
         let sub = Network::from_positions(positions, net.radius(), net.area());
         let sub_pinned: Vec<bool> = survivors.iter().map(|&i| pinned[i]).collect();
         let central = SafetyInfo::build_with_pinned(&sub, sub_pinned);
         for (new_idx, &old_idx) in survivors.iter().enumerate() {
             assert_eq!(
-                run.info.tuple(NodeId(old_idx)),
-                central.tuple(NodeId(new_idx)),
+                run.info.tuple(NodeId::new(old_idx)),
+                central.tuple(NodeId::new(new_idx)),
                 "post-failure tuple mismatch at old node {old_idx}"
             );
         }

@@ -129,7 +129,7 @@ impl SafetyMap {
             .iter()
             .enumerate()
             .filter(|(_, t)| !t.is_safe(q))
-            .map(|(i, _)| NodeId(i))
+            .map(|(i, _)| NodeId::new(i))
             .collect()
     }
 

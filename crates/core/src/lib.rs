@@ -62,7 +62,9 @@ pub use info::SafetyInfo;
 pub use labeling::SafetyMap;
 pub use lgf::LgfRouter;
 pub use maintenance::{InfoMaintainer, RepairReport};
-pub use packet::{FaceState, Mode, PacketState, RouteOutcome, RoutePhase, RouteResult, VisitedSet};
+pub use packet::{
+    FaceState, HopScratch, Mode, PacketState, RouteOutcome, RoutePhase, RouteResult, VisitedSet,
+};
 pub use regions::{choose_hand, hand_order, Hand, RegionSplit};
 pub use router::{
     closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, set_phase, walk, walk_into,

@@ -195,7 +195,7 @@ impl InfoMaintainer {
             .iter()
             .enumerate()
             .filter(|&(_, &d)| d)
-            .map(|(i, _)| NodeId(i))
+            .map(|(i, _)| NodeId::new(i))
             .collect();
         self.net = self.original.without_nodes(&dead_now);
         self.pinned[node.index()] = self.original_pinned[node.index()];

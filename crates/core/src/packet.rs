@@ -7,7 +7,7 @@
 //! ("stick with the same hand-rule", Algo. 3), and the current phase.
 
 use crate::Hand;
-use sp_geom::Point;
+use sp_geom::{Point, Rect};
 use sp_net::{Network, NodeId};
 
 /// Which of the three SLGF2 phases (§4) produced a hop. LGF/SLGF use only
@@ -129,6 +129,29 @@ impl VisitedSet {
     }
 }
 
+/// Retained-capacity per-hop scratch vectors for forwarding policies.
+///
+/// A hop decision like [`crate::Slgf2Router`]'s safe forwarding filters
+/// the zone candidates, collects nearby unsafe-area estimate
+/// rectangles, and re-filters against them — three short-lived vectors
+/// per hop. Routing millions of packets, those per-hop allocations
+/// dominate the allocator traffic, so the scratch lives in the
+/// [`crate::RouteBuffer`] alongside the visited set and rides into each
+/// [`PacketState`] through [`crate::walk_into`]: each vector is cleared
+/// (capacity retained) before reuse, so a warm buffer's hops allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct HopScratch {
+    /// Primary candidate list (e.g. the safe zone candidates).
+    pub ids: Vec<NodeId>,
+    /// Secondary candidate list (e.g. the superseding-filtered subset).
+    pub filtered: Vec<NodeId>,
+    /// Unsafe-area estimate rectangles collected near the current node.
+    pub rects: Vec<Rect>,
+    /// Indexed candidate positions for angular-sweep hand ordering.
+    pub points: Vec<(usize, Point)>,
+}
+
 /// Mutable state carried by one packet during a route computation.
 #[derive(Debug, Clone)]
 pub struct PacketState {
@@ -154,6 +177,8 @@ pub struct PacketState {
     pub perimeter_entries: usize,
     /// How many times a backup phase was entered (SLGF2).
     pub backup_entries: usize,
+    /// Retained-capacity per-hop scratch for the forwarding policy.
+    pub scratch: HopScratch,
 }
 
 impl PacketState {
@@ -184,6 +209,7 @@ impl PacketState {
             phase: RoutePhase::Greedy,
             perimeter_entries: 0,
             backup_entries: 0,
+            scratch: HopScratch::default(),
         }
     }
 

@@ -14,12 +14,13 @@
 //! instead of allocating an O(n) `PacketState` per packet.
 //! [`Routing::route`] stays as the one-shot convenience wrapper.
 
-use crate::{Mode, PacketState, RouteOutcome, RoutePhase, RouteResult, VisitedSet};
+use crate::{HopScratch, Mode, PacketState, RouteOutcome, RoutePhase, RouteResult, VisitedSet};
 use sp_geom::{Point, Quadrant, Rect};
 use sp_net::{Network, NodeId};
 
-/// Reusable per-packet scratch: the generation-stamped visited set plus
-/// retained-capacity path/phase vectors. One buffer serves any number
+/// Reusable per-packet scratch: the generation-stamped visited set,
+/// retained-capacity path/phase vectors, and the [`HopScratch`] the
+/// hop policies decide successors with. One buffer serves any number
 /// of consecutive [`Routing::route_into`] calls (on any networks — it
 /// regrows as needed); reuse costs O(path walked), not O(n).
 #[derive(Debug, Clone, Default)]
@@ -27,6 +28,7 @@ pub struct RouteBuffer {
     pub(crate) visited: VisitedSet,
     pub(crate) path: Vec<NodeId>,
     pub(crate) phases: Vec<RoutePhase>,
+    pub(crate) scratch: HopScratch,
 }
 
 impl RouteBuffer {
@@ -44,6 +46,7 @@ impl RouteBuffer {
             visited: VisitedSet::new(n),
             path: Vec::new(),
             phases: Vec::new(),
+            scratch: HopScratch::default(),
         }
     }
 
@@ -227,6 +230,7 @@ pub fn walk_into<'b>(
 ) -> RouteRef<'b> {
     let visited = std::mem::take(&mut buf.visited);
     let mut pkt = PacketState::with_visited(visited, net.len(), src, dst);
+    pkt.scratch = std::mem::take(&mut buf.scratch);
     buf.path.clear();
     buf.phases.clear();
     buf.path.push(src);
@@ -262,6 +266,7 @@ pub fn walk_into<'b>(
         }
     }
     buf.visited = pkt.visited; // hand the set back for the next packet
+    buf.scratch = pkt.scratch; // and the hop scratch with it
     RouteRef {
         outcome,
         path: &buf.path,
@@ -335,11 +340,11 @@ pub fn perimeter_sweep(net: &Network, pkt: &PacketState, hand: crate::Hand) -> O
     let pd = net.position(pkt.dst);
     let candidates: Vec<(usize, Point)> = net
         .neighbor_points(u)
-        .filter(|&(v, _)| !pkt.tried(NodeId(v)))
+        .filter(|&(v, _)| !pkt.tried(NodeId::new(v)))
         .collect();
     crate::hand_order(pu, pd, hand, candidates)
         .first()
-        .map(|&id| NodeId(id))
+        .map(|&id| NodeId::new(id))
 }
 
 /// Shared perimeter-exit test of the LGF/SLGF recovery: leave perimeter
@@ -471,7 +476,7 @@ mod tests {
         assert_ne!(nxt, NodeId(2));
         // Everything tried -> None.
         for v in 0..n.len() {
-            pkt.visited.insert(NodeId(v));
+            pkt.visited.insert(NodeId::new(v));
         }
         assert_eq!(perimeter_sweep(&n, &pkt, crate::Hand::Ccw), None);
     }

@@ -69,7 +69,7 @@ impl ShapeMap {
                 let pu = net.position(u);
                 let in_zone: Vec<(usize, Point)> = net
                     .neighbor_points(u)
-                    .filter(|&(v, _)| !safety.is_safe(NodeId(v), q))
+                    .filter(|&(v, _)| !safety.is_safe(NodeId::new(v), q))
                     .collect();
                 let order = ccw_order_in_quadrant(pu, q, in_zone);
                 match (order.first(), order.last()) {

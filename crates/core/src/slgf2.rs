@@ -21,7 +21,7 @@ use crate::{
     choose_hand, greedy_pick, hand_order, walk_into, zone_candidates, Hand, HopPolicy, Mode,
     PacketState, RouteBuffer, RoutePhase, RouteRef, Routing, SafetyInfo,
 };
-use sp_geom::{Point, Quadrant};
+use sp_geom::{Quadrant, Rect};
 use sp_net::{Network, NodeId};
 
 /// Algorithm 3: safety-information routing with shape estimates.
@@ -86,17 +86,20 @@ impl<'a> Slgf2Router<'a> {
         self.info
     }
 
-    /// Active unsafe-area rectangles near `u`: every estimate collected
-    /// from `u` or a neighbor whose blocked type points at `d`.
-    fn nearby_estimates(&self, net: &Network, u: NodeId, d: NodeId) -> Vec<sp_geom::Rect> {
+    /// Active unsafe-area rectangles near `u` — every estimate collected
+    /// from `u` or a neighbor whose blocked type points at `d` — written
+    /// into the caller's retained-capacity scratch vector.
+    fn nearby_estimates_into(&self, net: &Network, u: NodeId, d: NodeId, out: &mut Vec<Rect>) {
         let pd = net.position(d);
-        std::iter::once(u)
-            .chain(net.neighbors(u).iter().copied())
-            .filter_map(|w| {
-                let q = Quadrant::of(net.position(w), pd)?;
-                self.info.estimate(w, q).map(|est| est.rect)
-            })
-            .collect()
+        out.clear();
+        out.extend(
+            std::iter::once(u)
+                .chain(net.neighbors(u).iter().copied())
+                .filter_map(|w| {
+                    let q = Quadrant::of(net.position(w), pd)?;
+                    self.info.estimate(w, q).map(|est| est.rect)
+                }),
+        );
     }
 
     /// Safe forwarding (steps 2+3): zone candidates safe toward `d`,
@@ -109,34 +112,39 @@ impl<'a> Slgf2Router<'a> {
     /// the critical/forbidden split steers the *hand-committed* phases
     /// instead — applying it to provably-safe candidates only deflects
     /// them from the greedy line and lengthens the path.)
-    fn safe_pick(&self, net: &Network, u: NodeId, d: NodeId) -> Option<NodeId> {
+    /// The candidate/rect vectors live in `pkt.scratch` (cleared, never
+    /// shrunk), so a warm [`RouteBuffer`] makes this hop allocation-free.
+    fn safe_pick(&self, net: &Network, pkt: &mut PacketState) -> Option<NodeId> {
+        let (u, d) = (pkt.current, pkt.dst);
         let pd = net.position(d);
-        let safe: Vec<NodeId> = zone_candidates(net, u, d)
-            .filter(|&v| match Quadrant::of(net.position(v), pd) {
+        let scratch = &mut pkt.scratch;
+        scratch.ids.clear();
+        scratch.ids.extend(zone_candidates(net, u, d).filter(|&v| {
+            match Quadrant::of(net.position(v), pd) {
                 None => true, // co-located with d: next hop delivers
                 Some(k_bar) => self.info.is_safe(v, k_bar),
-            })
-            .collect();
-        if safe.is_empty() {
+            }
+        }));
+        if scratch.ids.is_empty() {
             return None;
         }
         if self.superseding {
-            let rects = self.nearby_estimates(net, u, d);
-            if !rects.is_empty() {
-                let allowed: Vec<NodeId> = safe
-                    .iter()
-                    .copied()
-                    .filter(|&v| {
+            self.nearby_estimates_into(net, u, d, &mut scratch.rects);
+            if !scratch.rects.is_empty() {
+                let rects = &scratch.rects;
+                scratch.filtered.clear();
+                scratch
+                    .filtered
+                    .extend(scratch.ids.iter().copied().filter(|&v| {
                         let pv = net.position(v);
                         !rects.iter().any(|r| r.contains_strict(pv))
-                    })
-                    .collect();
-                if !allowed.is_empty() {
-                    return greedy_pick(net, d, allowed);
+                    }));
+                if !scratch.filtered.is_empty() {
+                    return greedy_pick(net, d, scratch.filtered.iter().copied());
                 }
             }
         }
-        greedy_pick(net, d, safe)
+        greedy_pick(net, d, scratch.ids.iter().copied())
     }
 
     /// Commits a hand for the current episode: prefer the estimate of
@@ -177,17 +185,24 @@ impl<'a> Slgf2Router<'a> {
         let d = pkt.dst;
         let pu = net.position(u);
         let pd = net.position(d);
-        let candidates: Vec<(usize, Point)> = net
-            .neighbor_points(u)
-            .filter(|&(v, _)| !pkt.tried(NodeId(v)) && keep(NodeId(v)))
-            .collect();
-        if candidates.is_empty() {
+        let PacketState {
+            visited,
+            scratch,
+            hand,
+            ..
+        } = pkt;
+        scratch.points.clear();
+        scratch.points.extend(
+            net.neighbor_points(u)
+                .filter(|&(v, _)| !visited.contains(NodeId::new(v)) && keep(NodeId::new(v))),
+        );
+        if scratch.points.is_empty() {
             return None;
         }
-        let hand = *pkt.hand.get_or_insert_with(|| self.pick_hand(net, u, d));
-        hand_order(pu, pd, hand, candidates)
+        let hand = *hand.get_or_insert_with(|| self.pick_hand(net, u, d));
+        hand_order(pu, pd, hand, scratch.points.iter().copied())
             .first()
-            .map(|&id| NodeId(id))
+            .map(|&id| NodeId::new(id))
     }
 }
 
@@ -221,7 +236,7 @@ impl HopPolicy for Slgf2Router<'_> {
         }
 
         // Steps 2+3: safe forwarding (ends a backup episode).
-        if let Some(v) = self.safe_pick(net, u, d) {
+        if let Some(v) = self.safe_pick(net, pkt) {
             pkt.resume_greedy();
             pkt.phase = RoutePhase::Greedy;
             return Some(v);
@@ -267,7 +282,7 @@ impl Routing for Slgf2Router<'_> {
 mod tests {
     use super::*;
     use crate::RouteOutcome;
-    use sp_geom::Rect;
+    use sp_geom::Point;
     use sp_net::DeploymentConfig;
 
     fn area() -> Rect {

@@ -61,7 +61,7 @@ proptest! {
         let mut state = seed ^ 0x5ca1_ab1e;
         for k in 0..kills {
             state = lcg(state);
-            let victim = NodeId((state >> 33) as usize % net.len());
+            let victim = NodeId::new((state >> 33) as usize % net.len());
             plan.kill_at(first_kill_round + 7 * k, victim);
         }
 

@@ -39,7 +39,7 @@ proptest! {
         let net = network(n, seed);
         let mut maint = InfoMaintainer::new(net.clone());
         for k in kills {
-            maint.kill(NodeId(k % n));
+            maint.kill(NodeId::new(k % n));
         }
         let rebuilt = SafetyMap::label_with_pinned(maint.network(), ghost_pinned(&maint));
         for u in maint.network().node_ids() {
@@ -62,7 +62,7 @@ proptest! {
         let net = network(n, seed);
         let mut maint = InfoMaintainer::new(net);
         for k in kills {
-            maint.kill(NodeId(k % n));
+            maint.kill(NodeId::new(k % n));
         }
         let info = maint.info();
         let central = SafetyInfo::build_with_pinned(
@@ -97,10 +97,10 @@ proptest! {
     ) {
         let n = 140;
         let net = network(n, seed);
-        let forward: Vec<NodeId> = victims.iter().map(|&v| NodeId(v)).collect();
+        let forward: Vec<NodeId> = victims.iter().map(|&v| NodeId::new(v)).collect();
         let mut a = InfoMaintainer::new(net.clone());
         a.kill_many(&forward);
-        let backward: Vec<NodeId> = victims.iter().rev().map(|&v| NodeId(v)).collect();
+        let backward: Vec<NodeId> = victims.iter().rev().map(|&v| NodeId::new(v)).collect();
         let mut b = InfoMaintainer::new(net);
         b.kill_many(&backward);
         for u in a.network().node_ids() {

@@ -238,13 +238,21 @@ fn main() {
                 vec![figures::async_cost_figure(&cfg, instances)]
             }
             "a16" => {
-                let counts: &[usize] = if quick {
-                    &[1_000, 2_000]
+                // Full mode climbs to 10⁶ nodes with fewer nets at the
+                // top sizes (a million-node instance outweighs the rest
+                // of the sweep combined); quick keeps the smoke sizes.
+                let sizes: &[(usize, usize)] = if quick {
+                    &[(1_000, 1), (2_000, 1)]
                 } else {
-                    &[2_000, 5_000, 10_000]
+                    &[
+                        (2_000, 2),
+                        (5_000, 2),
+                        (10_000, 2),
+                        (100_000, 1),
+                        (1_000_000, 1),
+                    ]
                 };
-                let instances = if quick { 1 } else { 2 };
-                vec![figures::construction_scale_figure(counts, instances)]
+                vec![figures::construction_scale_figure(sizes)]
             }
             _ => unreachable!("validated above"),
         };

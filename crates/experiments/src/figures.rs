@@ -465,7 +465,7 @@ pub fn maintenance_cost_figure(
                 let pinned: Vec<bool> = mask
                     .iter()
                     .enumerate()
-                    .map(|(u, &p)| p && !maint.is_dead(sp_net::NodeId(u)))
+                    .map(|(u, &p)| p && !maint.is_dead(sp_net::NodeId::new(u)))
                     .collect();
                 let fresh = sp_core::SafetyMap::label_with_pinned(maint.network(), pinned);
                 full_work.push((net.len() * fresh.rounds().max(1)) as f64);
@@ -483,9 +483,16 @@ pub fn maintenance_cost_figure(
 /// transmissions per node, and wall milliseconds per 1000 nodes as the
 /// deployment grows at the paper's density (the area scales with `n`,
 /// so every instance keeps ~500 nodes per 200 m × 200 m). This is the
-/// regime the zero-copy frontier engine opens; engine-level numbers
-/// live in `BENCH_distributed.json`.
-pub fn construction_scale_figure(node_counts: &[usize], instances: usize) -> Figure {
+/// regime the zero-copy frontier engine + CSR arena open; engine-level
+/// numbers live in `BENCH_distributed.json`.
+///
+/// Each `(n, instances)` pair sets its own sample count, so the sweep
+/// can extend to 10⁶ nodes with fewer nets at the top sizes (one
+/// million-node instance costs more than the whole rest of the sweep).
+/// Sizes past [`sp_net::PARALLEL_NODE_THRESHOLD`] route through the
+/// construction-time spatial sort, matching how million-node
+/// topologies are meant to be built.
+pub fn construction_scale_figure(sizes: &[(usize, usize)]) -> Figure {
     let mut fig = Figure::new(
         "A16 distributed construction at scale (fixed density)".to_string(),
         "nodes",
@@ -494,14 +501,19 @@ pub fn construction_scale_figure(node_counts: &[usize], instances: usize) -> Fig
     let mut rounds_series = Series::new("rounds to quiesce");
     let mut tx_series = Series::new("transmissions/node");
     let mut wall_series = Series::new("wall ms per 1000 nodes");
-    for (i, &n) in node_counts.iter().enumerate() {
+    for (i, &(n, instances)) in sizes.iter().enumerate() {
         let dc = sp_net::deploy::DeploymentConfig::paper_density(n);
         let mut rounds = Vec::new();
         let mut tx = Vec::new();
         let mut wall = Vec::new();
-        for k in 0..instances {
+        for k in 0..instances.max(1) {
             let seed = 0xa16_0000 ^ ((i as u64) << 20) ^ k as u64;
             let net = Network::from_positions(dc.deploy_uniform(seed), dc.radius, dc.area);
+            let net = if n >= sp_net::PARALLEL_NODE_THRESHOLD {
+                net.spatially_sorted().0
+            } else {
+                net
+            };
             let start = std::time::Instant::now();
             let run = construct_distributed(&net).expect("labeling quiesces");
             wall.push(start.elapsed().as_secs_f64() * 1e3 / (n as f64 / 1000.0));

@@ -49,8 +49,8 @@ impl PaperScenario {
             description,
             net,
             info,
-            source: NodeId(source),
-            destination: NodeId(destination),
+            source: NodeId::new(source),
+            destination: NodeId::new(destination),
         }
     }
 

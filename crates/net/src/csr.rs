@@ -1,0 +1,578 @@
+//! Cache-dense adjacency storage: one contiguous CSR edge arena.
+//!
+//! The per-node `Vec<NodeId>` adjacency that carried the stack to 10⁵
+//! nodes pointer-chases on every neighbor scan: each list is its own
+//! heap allocation, so walking a routing path touches as many cache
+//! lines for Vec headers as for ids. [`CsrAdjacency`] replaces that
+//! with the classic compressed-sparse-row layout — a single `Vec<u32>`
+//! offset table (length `n + 1`) plus one contiguous [`NodeId`] edge
+//! arena — so `neighbors(u)` is two loads into the same hot arrays for
+//! every `u`, and a full frontier sweep streams the arena linearly.
+//!
+//! Incremental topology repair would naively force an `O(E)` arena
+//! rewrite per mover; [`CsrPatch`] keeps the `O(1)`-per-move economics
+//! by overlaying the touched nodes' lists for the duration of one
+//! repair epoch and compacting the arena exactly once per
+//! [`apply_moves`](crate::Network::apply_moves) commit.
+//!
+//! [`NodeRemap`] rounds the module out with the id permutation produced
+//! by the construction-time spatial sort
+//! ([`Network::spatially_sorted`](crate::Network::spatially_sorted)):
+//! grid-row tiles map to contiguous id ranges, so the banded thread
+//! shards of construction and delivery touch disjoint cache ranges.
+
+use crate::NodeId;
+
+/// Compressed-sparse-row adjacency: `neighbors(u)` is the arena slice
+/// `edges[offsets[u] .. offsets[u + 1]]`, sorted ascending by id.
+///
+/// Offsets are `u32` — a deliberate cap of 2³²−1 *directed* edges
+/// (≈ 2 × 10⁹), two orders of magnitude above the 10⁶-node,
+/// average-degree-16 deployments the roadmap targets, and half the
+/// metadata bytes of `usize` offsets.
+///
+/// ```
+/// use sp_net::{CsrAdjacency, NodeId};
+/// let csr = CsrAdjacency::from_lists(&[
+///     vec![NodeId(1), NodeId(2)],
+///     vec![NodeId(0)],
+///     vec![NodeId(0)],
+/// ]);
+/// assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+/// assert_eq!(csr.degree(NodeId(1)), 1);
+/// assert_eq!(csr.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    /// `n + 1` monotone offsets into `edges`; `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists.
+    edges: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// An adjacency with `n` nodes and no edges.
+    pub fn empty(n: usize) -> CsrAdjacency {
+        CsrAdjacency {
+            offsets: vec![0; n + 1],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Packs legacy per-node lists into one arena. Lists are copied
+    /// as-is (callers keep them sorted).
+    pub fn from_lists(lists: &[Vec<NodeId>]) -> CsrAdjacency {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "directed edge count {total} overflows the u32 offset table"
+        );
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut edges = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for list in lists {
+            edges.extend_from_slice(list);
+            offsets.push(edges.len() as u32);
+        }
+        CsrAdjacency { offsets, edges }
+    }
+
+    /// Builds the arena directly from unordered undirected pair
+    /// buffers — the shape the sharded cell-row scan emits — without
+    /// ever materializing per-node `Vec`s: one counting pass, a prefix
+    /// sum, one scatter pass, then an in-place sort of every node's
+    /// range. The result is identical to accumulating per-node lists
+    /// and sorting each (the legacy construction), because both end in
+    /// the same sorted multiset per node.
+    pub fn from_pair_rows(n: usize, rows: &[Vec<(NodeId, NodeId)>]) -> CsrAdjacency {
+        let mut degree = vec![0u32; n];
+        for row in rows {
+            for &(u, v) in row {
+                degree[u.index()] += 1;
+                degree[v.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc: u64 = 0;
+        offsets.push(0u32);
+        for &d in &degree {
+            acc += u64::from(d);
+            assert!(
+                acc <= u64::from(u32::MAX),
+                "directed edge count {acc} overflows the u32 offset table"
+            );
+            offsets.push(acc as u32);
+        }
+        // Scatter through per-node write cursors (reusing the degree
+        // buffer as the cursor array), then sort each range.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut edges = vec![NodeId(0); acc as usize];
+        for row in rows {
+            for &(u, v) in row {
+                edges[cursor[u.index()] as usize] = v;
+                cursor[u.index()] += 1;
+                edges[cursor[v.index()] as usize] = u;
+                cursor[v.index()] += 1;
+            }
+        }
+        let mut csr = CsrAdjacency { offsets, edges };
+        csr.sort_ranges();
+        csr
+    }
+
+    fn sort_ranges(&mut self) {
+        for u in 0..self.node_count() {
+            let (start, end) = self.range(u);
+            self.edges[start..end].sort_unstable();
+        }
+    }
+
+    #[inline]
+    fn range(&self, u: usize) -> (usize, usize) {
+        (self.offsets[u] as usize, self.offsets[u + 1] as usize)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Sorted neighbor slice of `u`, straight out of the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let (start, end) = self.range(u.index());
+        &self.edges[start..end]
+    }
+
+    /// Degree `|N(u)|`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let (start, end) = self.range(u.index());
+        end - start
+    }
+
+    /// Total directed entries (twice the undirected edge count).
+    #[inline]
+    pub fn directed_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// The legacy per-node-`Vec` form, for equivalence tests and
+    /// callers that need owned lists.
+    pub fn to_lists(&self) -> Vec<Vec<NodeId>> {
+        (0..self.node_count())
+            .map(|u| {
+                let (start, end) = self.range(u);
+                self.edges[start..end].to_vec()
+            })
+            .collect()
+    }
+
+    /// A copy with every edge touching a dead node removed (dead nodes
+    /// keep their offset slots, so ids stay dense and index-aligned).
+    pub fn without_nodes(&self, is_dead: &[bool]) -> CsrAdjacency {
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        offsets.push(0u32);
+        for u in 0..n {
+            if !is_dead[u] {
+                let (start, end) = self.range(u);
+                edges.extend(
+                    self.edges[start..end]
+                        .iter()
+                        .copied()
+                        .filter(|v| !is_dead[v.index()]),
+                );
+            }
+            offsets.push(edges.len() as u32);
+        }
+        CsrAdjacency { offsets, edges }
+    }
+
+    /// Relabels the adjacency under `remap`: internal node `k` takes
+    /// the edges of external node `remap.to_external(k)`, with every
+    /// neighbor id translated to internal and each range re-sorted.
+    pub fn permuted(&self, remap: &NodeRemap) -> CsrAdjacency {
+        let n = self.node_count();
+        assert_eq!(n, remap.len(), "remap length must match node count");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        offsets.push(0u32);
+        for k in 0..n {
+            let external = remap.to_external(NodeId::new(k));
+            let start = edges.len();
+            edges.extend(
+                self.neighbors(external)
+                    .iter()
+                    .map(|&v| remap.to_internal(v)),
+            );
+            edges[start..].sort_unstable();
+            offsets.push(edges.len() as u32);
+        }
+        CsrAdjacency { offsets, edges }
+    }
+
+    /// Heap bytes held by the offset table and edge arena (by length,
+    /// not capacity, so the metric is layout-determined and stable).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.edges.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Heap bytes the same adjacency would occupy in the legacy
+    /// per-node-`Vec` layout: one `Vec` header (`3 × usize`) per node
+    /// plus its ids. The `bytes_per_node` bench metric reports both so
+    /// the CSR win is a measured number, not a claim.
+    pub fn legacy_layout_bytes(&self) -> usize {
+        self.node_count() * 3 * std::mem::size_of::<usize>()
+            + self.edges.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Rewrites the arena with every patched node's list replacing its
+    /// old range — the once-per-commit compaction that lets
+    /// [`CsrPatch`] keep per-move repair `O(1)`. `O(n + E)` regardless
+    /// of how many nodes the patch touched.
+    pub fn compact(&mut self, patch: &CsrPatch) {
+        if patch.touched().is_empty() {
+            return;
+        }
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc: u64 = 0;
+        offsets.push(0u32);
+        for u in 0..n {
+            let id = NodeId::new(u);
+            let d = match patch.get(id) {
+                Some(list) => list.len(),
+                None => self.degree(id),
+            };
+            acc += d as u64;
+            assert!(
+                acc <= u64::from(u32::MAX),
+                "directed edge count {acc} overflows the u32 offset table"
+            );
+            offsets.push(acc as u32);
+        }
+        let mut edges = Vec::with_capacity(acc as usize);
+        for u in 0..n {
+            let id = NodeId::new(u);
+            match patch.get(id) {
+                Some(list) => edges.extend_from_slice(list),
+                None => edges.extend_from_slice(self.neighbors(id)),
+            }
+        }
+        self.offsets = offsets;
+        self.edges = edges;
+    }
+}
+
+/// A per-epoch overlay of modified adjacency lists on top of a
+/// [`CsrAdjacency`].
+///
+/// Incremental repair ([`Network::apply_moves`](crate::Network::apply_moves))
+/// touches `O(m · k)` lists for `m` movers; rewriting the dense arena
+/// for each would cost `O(E)` per mover. The patch instead snapshots a
+/// node's list into a pooled `Vec` the first time an epoch edits it
+/// (copy-on-first-touch), serves reads for touched nodes from the
+/// overlay, and hands the whole edit set to
+/// [`CsrAdjacency::compact`] for a single `O(n + E)` rewrite at commit.
+///
+/// Epochs are stamp-based ([`CsrPatch::begin`] bumps a counter), so
+/// clearing the overlay between mover batches is `O(1)` and the pooled
+/// list capacity is retained across the whole mobility sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CsrPatch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    slot: Vec<u32>,
+    lists: Vec<Vec<NodeId>>,
+    live: usize,
+    touched: Vec<NodeId>,
+}
+
+impl CsrPatch {
+    /// An empty patch; [`begin`](Self::begin) sizes it lazily.
+    pub fn new() -> CsrPatch {
+        CsrPatch::default()
+    }
+
+    /// Opens a new edit epoch over `n` nodes, invalidating every slot
+    /// of the previous epoch in `O(1)` (stamp bump) while keeping the
+    /// pooled list allocations.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp = vec![0; n];
+            self.slot = vec![0; n];
+            self.epoch = 0;
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.live = 0;
+        self.touched.clear();
+    }
+
+    /// The overlaid list of `u`, or `None` when this epoch has not
+    /// touched it (read it from the CSR instead).
+    #[inline]
+    pub fn get(&self, u: NodeId) -> Option<&[NodeId]> {
+        if self.stamp.get(u.index()) == Some(&self.epoch) {
+            Some(&self.lists[self.slot[u.index()] as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to `u`'s list, snapshotting it out of `csr` on
+    /// the first touch of the epoch.
+    pub fn edit(&mut self, csr: &CsrAdjacency, u: NodeId) -> &mut Vec<NodeId> {
+        let i = u.index();
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            if self.live == self.lists.len() {
+                self.lists.push(Vec::new());
+            }
+            self.slot[i] = self.live as u32;
+            let list = &mut self.lists[self.live];
+            self.live += 1;
+            list.clear();
+            list.extend_from_slice(csr.neighbors(u));
+            self.touched.push(u);
+        }
+        &mut self.lists[self.slot[i] as usize]
+    }
+
+    /// Nodes touched this epoch, in first-touch order.
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+}
+
+/// The bijection between *external* (caller-visible, stable) node ids
+/// and *internal* (spatially sorted) storage order.
+///
+/// [`Network::spatially_sorted`](crate::Network::spatially_sorted)
+/// reorders nodes so each grid-row tile occupies a contiguous id
+/// range; the remap lets callers keep addressing nodes by their
+/// original deployment ids.
+///
+/// ```
+/// use sp_net::{NodeId, NodeRemap};
+/// let remap = NodeRemap::from_order(vec![NodeId(2), NodeId(0), NodeId(1)]);
+/// assert_eq!(remap.to_internal(NodeId(2)), NodeId(0));
+/// assert_eq!(remap.to_external(NodeId(0)), NodeId(2));
+/// for ext in 0..3 {
+///     let ext = NodeId(ext);
+///     assert_eq!(remap.to_external(remap.to_internal(ext)), ext);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRemap {
+    /// `to_external[internal] = external` — the placement order itself.
+    to_external: Vec<NodeId>,
+    /// `to_internal[external] = internal` — the inverse permutation.
+    to_internal: Vec<NodeId>,
+}
+
+impl NodeRemap {
+    /// Builds the remap from a placement order: `order[k]` is the
+    /// external id stored at internal position `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn from_order(order: Vec<NodeId>) -> NodeRemap {
+        let n = order.len();
+        let mut to_internal = vec![NodeId(u32::MAX); n];
+        for (k, &ext) in order.iter().enumerate() {
+            assert!(
+                ext.index() < n && to_internal[ext.index()] == NodeId(u32::MAX),
+                "order must be a permutation of 0..{n}"
+            );
+            to_internal[ext.index()] = NodeId::new(k);
+        }
+        NodeRemap {
+            to_external: order,
+            to_internal,
+        }
+    }
+
+    /// The identity remap over `n` nodes.
+    pub fn identity(n: usize) -> NodeRemap {
+        NodeRemap::from_order((0..n).map(NodeId::new).collect())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.to_external.len()
+    }
+
+    /// True for a zero-node remap.
+    pub fn is_empty(&self) -> bool {
+        self.to_external.is_empty()
+    }
+
+    /// The internal (storage) id of an external node.
+    #[inline]
+    pub fn to_internal(&self, external: NodeId) -> NodeId {
+        self.to_internal[external.index()]
+    }
+
+    /// The external (stable) id of an internal node.
+    #[inline]
+    pub fn to_external(&self, internal: NodeId) -> NodeId {
+        self.to_external[internal.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_lists() -> Vec<Vec<NodeId>> {
+        vec![
+            vec![NodeId(1), NodeId(3)],
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(1)],
+            vec![NodeId(0)],
+        ]
+    }
+
+    #[test]
+    fn lists_roundtrip_through_arena() {
+        let lists = demo_lists();
+        let csr = CsrAdjacency::from_lists(&lists);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.directed_len(), 6);
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(csr.to_lists(), lists);
+        assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(csr.degree(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn pair_rows_match_list_accumulation() {
+        // Same edge set delivered as two unordered pair rows.
+        let rows = vec![
+            vec![(NodeId(1), NodeId(0)), (NodeId(0), NodeId(3))],
+            vec![(NodeId(2), NodeId(1))],
+        ];
+        let csr = CsrAdjacency::from_pair_rows(4, &rows);
+        assert_eq!(csr, CsrAdjacency::from_lists(&demo_lists()));
+    }
+
+    #[test]
+    fn without_nodes_drops_incident_edges() {
+        let csr = CsrAdjacency::from_lists(&demo_lists());
+        let degraded = csr.without_nodes(&[false, true, false, false]);
+        assert_eq!(degraded.node_count(), 4);
+        assert_eq!(degraded.neighbors(NodeId(0)), &[NodeId(3)]);
+        assert_eq!(degraded.degree(NodeId(1)), 0);
+        assert_eq!(degraded.degree(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn patch_overlays_and_compacts() {
+        let mut csr = CsrAdjacency::from_lists(&demo_lists());
+        let mut patch = CsrPatch::new();
+        patch.begin(csr.node_count());
+        assert!(patch.get(NodeId(0)).is_none());
+        // Disconnect 0-1, connect 2-3.
+        patch.edit(&csr, NodeId(0)).retain(|&v| v != NodeId(1));
+        patch.edit(&csr, NodeId(1)).retain(|&v| v != NodeId(0));
+        patch.edit(&csr, NodeId(2)).push(NodeId(3));
+        let l3 = patch.edit(&csr, NodeId(3));
+        l3.push(NodeId(2));
+        l3.sort_unstable();
+        assert_eq!(patch.get(NodeId(0)), Some(&[NodeId(3)][..]));
+        csr.compact(&patch);
+        assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(3)]);
+        assert_eq!(csr.neighbors(NodeId(1)), &[NodeId(2)]);
+        assert_eq!(csr.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(csr.neighbors(NodeId(3)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn patch_epochs_reset_in_constant_time() {
+        let csr = CsrAdjacency::from_lists(&demo_lists());
+        let mut patch = CsrPatch::new();
+        patch.begin(csr.node_count());
+        patch.edit(&csr, NodeId(0)).clear();
+        assert_eq!(patch.touched(), &[NodeId(0)]);
+        patch.begin(csr.node_count());
+        // The previous epoch's edit is invisible.
+        assert!(patch.get(NodeId(0)).is_none());
+        assert!(patch.touched().is_empty());
+        // And the pooled list is reused with its original content reset.
+        assert_eq!(patch.edit(&csr, NodeId(2)), &vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_patch_compact_is_a_noop() {
+        let mut csr = CsrAdjacency::from_lists(&demo_lists());
+        let reference = csr.clone();
+        let mut patch = CsrPatch::new();
+        patch.begin(csr.node_count());
+        csr.compact(&patch);
+        assert_eq!(csr, reference);
+    }
+
+    #[test]
+    fn remap_roundtrips() {
+        let remap = NodeRemap::from_order(vec![NodeId(3), NodeId(1), NodeId(0), NodeId(2)]);
+        for i in 0..4 {
+            let ext = NodeId(i);
+            assert_eq!(remap.to_external(remap.to_internal(ext)), ext);
+            let int = NodeId(i);
+            assert_eq!(remap.to_internal(remap.to_external(int)), int);
+        }
+    }
+
+    #[test]
+    fn permuted_relabels_edges() {
+        let csr = CsrAdjacency::from_lists(&demo_lists());
+        let remap = NodeRemap::from_order(vec![NodeId(3), NodeId(1), NodeId(0), NodeId(2)]);
+        let permuted = csr.permuted(&remap);
+        // Every external edge (u, v) must appear as (int(u), int(v)).
+        for u in 0..4 {
+            let ext = NodeId(u);
+            let int = remap.to_internal(ext);
+            let mut mapped: Vec<NodeId> = csr
+                .neighbors(ext)
+                .iter()
+                .map(|&v| remap.to_internal(v))
+                .collect();
+            mapped.sort_unstable();
+            assert_eq!(permuted.neighbors(int), mapped.as_slice(), "node {ext}");
+        }
+    }
+
+    #[test]
+    fn memory_layouts_compared() {
+        let csr = CsrAdjacency::from_lists(&demo_lists());
+        // 5 offsets × 4B + 6 ids × 4B vs 4 Vec headers × 24B + 6 × 4B.
+        assert_eq!(csr.heap_bytes(), 5 * 4 + 6 * 4);
+        assert_eq!(csr.legacy_layout_bytes(), 4 * 24 + 6 * 4);
+        assert!(csr.heap_bytes() < csr.legacy_layout_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_order_rejected() {
+        let _ = NodeRemap::from_order(vec![NodeId(0), NodeId(0)]);
+    }
+}

@@ -18,7 +18,7 @@ use sp_geom::convex_hull;
 /// Boolean mask over node ids: `true` for interest-area edge nodes.
 pub fn edge_node_mask(net: &Network, margin: f64) -> Vec<bool> {
     let mut mask = vec![false; net.len()];
-    for &i in &convex_hull(net.positions()) {
+    for &i in &convex_hull(&net.positions_vec()) {
         mask[i] = true;
     }
     let area = net.area();
@@ -38,7 +38,7 @@ pub fn edge_node_ids(net: &Network) -> Vec<NodeId> {
     edge_node_mask(net, net.radius())
         .iter()
         .enumerate()
-        .filter_map(|(i, &is_edge)| is_edge.then_some(NodeId(i)))
+        .filter_map(|(i, &is_edge)| is_edge.then_some(NodeId::new(i)))
         .collect()
 }
 

@@ -6,7 +6,7 @@
 //! Dijkstra Euclidean shortest paths ("ideal routing path" in Fig. 1(a)) —
 //! and connectivity queries used to filter valid source/destination pairs.
 
-use crate::{NodeId, SpatialIndex};
+use crate::{CsrAdjacency, CsrPatch, NodeId, NodeRemap, PositionTable, SpatialIndex};
 use sp_geom::{Point, Rect};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,12 +22,13 @@ pub const PARALLEL_REPAIR_THRESHOLD: usize = 512;
 /// An immutable wireless ad hoc sensor network snapshot.
 ///
 /// Construction bucket-indexes the positions into a [`SpatialIndex`]
-/// (cell size = radio radius) and materializes sorted adjacency lists
-/// from `O(n · k)` cell lookups; the index stays attached to the
-/// network ([`Network::index`]) so planarization, routing heuristics,
-/// and deployment tooling can issue further range/nearest queries
-/// without rebuilding anything. All queries are read-only, so a
-/// `Network` can be shared freely across threads.
+/// (cell size = radio radius) and materializes one sorted
+/// [`CsrAdjacency`] edge arena from `O(n · k)` cell lookups; the index
+/// stays attached to the network ([`Network::index`]) so
+/// planarization, routing heuristics, and deployment tooling can issue
+/// further range/nearest queries without rebuilding anything. All
+/// queries are read-only, so a `Network` can be shared freely across
+/// threads.
 ///
 /// ```
 /// use sp_net::Network;
@@ -44,10 +45,16 @@ pub const PARALLEL_REPAIR_THRESHOLD: usize = 512;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Network {
+    // One contiguous CSR arena; `neighbors(u)` is a slice into it.
+    adjacency: CsrAdjacency,
+    // The per-epoch edit overlay incremental repair writes through;
+    // compacted back into `adjacency` at the end of every
+    // `apply_moves` commit. Retained so its pooled list capacity
+    // survives across mobility ticks.
+    patch: CsrPatch,
     // The position table lives in (and is shared with) the index; all
     // position accessors delegate, so incremental moves applied through
     // the index are never observed half-synced.
-    adjacency: Vec<Vec<NodeId>>,
     index: SpatialIndex,
     radius: f64,
     area: Rect,
@@ -71,23 +78,29 @@ impl Network {
     ///
     /// Panics if `radius` is not strictly positive.
     pub fn from_positions(positions: Vec<Point>, radius: f64, area: Rect) -> Network {
-        Network::from_shared_positions(positions.into(), radius, area)
+        Network::from_position_table(
+            Arc::new(PositionTable::from_points(&positions)),
+            radius,
+            area,
+        )
     }
 
-    /// [`Network::from_positions`] over an already-shared position
-    /// slice, so callers holding an `Arc` (mobility snapshot scratch,
-    /// repeated re-index of one deployment) skip the extra copy.
+    /// [`Network::from_positions`] over an already-shared
+    /// structure-of-arrays [`PositionTable`], so callers holding an
+    /// `Arc` (mobility snapshot scratch, repeated re-index of one
+    /// deployment) skip the extra copy.
     ///
     /// # Panics
     ///
     /// Panics if `radius` is not strictly positive.
-    pub fn from_shared_positions(positions: Arc<[Point]>, radius: f64, area: Rect) -> Network {
+    pub fn from_position_table(positions: Arc<PositionTable>, radius: f64, area: Rect) -> Network {
         assert!(radius > 0.0, "communication radius must be positive");
-        let index = SpatialIndex::build_shared(positions, area, radius);
+        let index = SpatialIndex::build_table(positions, area, radius);
         let threads = SpatialIndex::auto_threads(index.len());
         let adjacency = index.adjacency_within_threaded(radius, threads);
         Network {
             adjacency,
+            patch: CsrPatch::new(),
             index,
             radius,
             area,
@@ -103,21 +116,26 @@ impl Network {
     pub fn from_positions_brute_force(positions: Vec<Point>, radius: f64, area: Rect) -> Network {
         assert!(radius > 0.0, "communication radius must be positive");
         let r_sq = radius * radius;
-        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); positions.len()];
+        let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); positions.len()];
         for i in 0..positions.len() {
             for j in (i + 1)..positions.len() {
                 if positions[i].distance_sq(positions[j]) <= r_sq {
-                    adjacency[i].push(NodeId(j));
-                    adjacency[j].push(NodeId(i));
+                    lists[i].push(NodeId::new(j));
+                    lists[j].push(NodeId::new(i));
                 }
             }
         }
-        for list in &mut adjacency {
+        for list in &mut lists {
             list.sort_unstable();
         }
-        let index = SpatialIndex::build_shared(positions.into(), area, radius);
+        let index = SpatialIndex::build_table(
+            Arc::new(PositionTable::from_points(&positions)),
+            area,
+            radius,
+        );
         Network {
-            adjacency,
+            adjacency: CsrAdjacency::from_lists(&lists),
+            patch: CsrPatch::new(),
             index,
             radius,
             area,
@@ -140,6 +158,13 @@ impl Network {
     /// ```
     pub fn index(&self) -> &SpatialIndex {
         &self.index
+    }
+
+    /// The CSR adjacency arena itself — for memory accounting and
+    /// equivalence tests; routing code should go through
+    /// [`Network::neighbors`].
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adjacency
     }
 
     /// Number of nodes.
@@ -167,31 +192,44 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `u` is out of range.
+    #[inline]
     pub fn position(&self, u: NodeId) -> Point {
         self.index.position(u)
     }
 
-    /// All node positions, indexed by [`NodeId`].
-    pub fn positions(&self) -> &[Point] {
-        self.index.points()
+    /// All node positions in structure-of-arrays form, indexed by
+    /// [`NodeId`].
+    pub fn position_table(&self) -> &PositionTable {
+        self.index.positions()
     }
 
-    /// Neighbor set `N(u)`, sorted by id.
+    /// All node positions materialized as an array of points
+    /// (allocates; prefer [`Network::position`] or
+    /// [`Network::position_table`] in hot paths).
+    pub fn positions_vec(&self) -> Vec<Point> {
+        self.index.positions().to_points()
+    }
+
+    /// Neighbor set `N(u)`, sorted by id — a slice straight out of the
+    /// CSR arena.
+    #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.adjacency[u.index()]
+        self.adjacency.neighbors(u)
     }
 
     /// Neighbors of `u` paired with their positions — the candidate tuple
     /// shape the angular-scan helpers expect.
     pub fn neighbor_points(&self, u: NodeId) -> impl Iterator<Item = (usize, Point)> + '_ {
-        self.adjacency[u.index()]
+        self.adjacency
+            .neighbors(u)
             .iter()
             .map(|&v| (v.index(), self.index.position(v)))
     }
 
     /// Degree `|N(u)|`.
+    #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adjacency[u.index()].len()
+        self.adjacency.degree(u)
     }
 
     /// Mean degree over all nodes (0 for an empty network).
@@ -199,13 +237,12 @@ impl Network {
         if self.is_empty() {
             return 0.0;
         }
-        let total: usize = self.adjacency.iter().map(Vec::len).sum();
-        total as f64 / self.len() as f64
+        self.adjacency.directed_len() as f64 / self.len() as f64
     }
 
     /// True when `(u, v)` is an edge (binary search on sorted adjacency).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adjacency[u.index()].binary_search(&v).is_ok()
+        self.adjacency.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Euclidean length of edge-or-not pair `(u, v)`.
@@ -215,9 +252,10 @@ impl Network {
 
     /// All undirected edges, each reported once with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(i, neigh)| {
-            let u = NodeId(i);
-            neigh
+        (0..self.len()).flat_map(move |i| {
+            let u = NodeId::new(i);
+            self.adjacency
+                .neighbors(u)
                 .iter()
                 .copied()
                 .filter(move |&v| u < v)
@@ -227,12 +265,12 @@ impl Network {
 
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+        self.adjacency.edge_count()
     }
 
     /// All node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.len()).map(NodeId)
+        (0..self.len()).map(NodeId::new)
     }
 
     /// BFS hop distance from `source` to every node
@@ -276,7 +314,7 @@ impl Network {
             if seen[start] {
                 continue;
             }
-            let mut comp = vec![NodeId(start)];
+            let mut comp = vec![NodeId::new(start)];
             seen[start] = true;
             let mut head = 0;
             while head < comp.len() {
@@ -381,37 +419,51 @@ impl Network {
         for &d in dead {
             is_dead[d.index()] = true;
         }
-        let adjacency = self
-            .adjacency
-            .iter()
-            .enumerate()
-            .map(|(i, neigh)| {
-                if is_dead[i] {
-                    Vec::new()
-                } else {
-                    neigh
-                        .iter()
-                        .copied()
-                        .filter(|v| !is_dead[v.index()])
-                        .collect()
-                }
-            })
-            .collect();
         Network {
-            adjacency,
+            adjacency: self.adjacency.without_nodes(&is_dead),
+            patch: CsrPatch::new(),
             index: self.index.clone(),
             radius: self.radius,
             area: self.area,
         }
     }
 
+    /// A copy of the network relabeled into *spatial storage order*:
+    /// node ids follow the grid cells row-major, so every grid-row tile
+    /// occupies one contiguous id range in the position table and the
+    /// CSR arena. Banded thread shards and frontier sweeps then touch
+    /// disjoint, contiguous cache ranges. The returned [`NodeRemap`]
+    /// translates between the original (external) ids and the sorted
+    /// (internal) ids; the relabeled graph is isomorphic to the
+    /// original under it.
+    pub fn spatially_sorted(&self) -> (Network, NodeRemap) {
+        let order = self.index.spatial_order();
+        let positions = self.index.positions().permuted_by(&order);
+        let remap = NodeRemap::from_order(order);
+        let adjacency = self.adjacency.permuted(&remap);
+        let index =
+            SpatialIndex::build_table(Arc::new(positions), self.area, self.index.cell_size());
+        (
+            Network {
+                adjacency,
+                patch: CsrPatch::new(),
+                index,
+                radius: self.radius,
+                area: self.area,
+            },
+            remap,
+        )
+    }
+
     /// Moves the given nodes to new positions and repairs adjacency
     /// incrementally: each point relocates between grid cells in `O(1)`
     /// ([`SpatialIndex::move_point`]) and only the touched neighborhoods
-    /// are recomputed ([`Network::update_adjacency_for`]), so a mobility
-    /// tick where `m` of `n` nodes moved costs `O(n + m · k)` instead of
-    /// the full `O(n · k)` rebuild. The result is identical to
-    /// rebuilding from scratch at the new positions.
+    /// are recomputed ([`Network::update_adjacency_for`]) through the
+    /// per-epoch [`CsrPatch`] overlay, which is compacted back into the
+    /// dense arena once per call — so a mobility tick where `m` of `n`
+    /// nodes moved costs `O(n + m · k)` instead of the full `O(n · k)`
+    /// rebuild. The result is identical to rebuilding from scratch at
+    /// the new positions.
     ///
     /// Intended for *live* snapshots; applying moves to a
     /// [`Network::without_nodes`]-degraded copy resurrects the dead
@@ -462,15 +514,17 @@ impl Network {
 
     /// [`Network::update_adjacency_for`] with a pinned thread count.
     ///
-    /// The repair has three phases: *detach* and *reattach* mutate
-    /// adjacency lists and stay serial, while the per-mover range
-    /// queries between them — the dominant cost of a large batch — are
-    /// sharded across `threads` workers pulling movers from an atomic
-    /// cursor (the same std-only work-queue pattern as
+    /// The repair has three phases: *detach* and *reattach* edit
+    /// touched lists through the [`CsrPatch`] overlay and stay serial,
+    /// while the per-mover range queries between them — the dominant
+    /// cost of a large batch — are sharded across `threads` workers
+    /// pulling movers from an atomic cursor (the same std-only
+    /// work-queue pattern as
     /// [`SpatialIndex::adjacency_within_threaded`]). Each mover's
     /// candidate list is identical to the serial query, and candidates
     /// are applied in mover order, so the result is bit-identical to
-    /// the serial path at any thread count.
+    /// the serial path at any thread count. The patch is compacted back
+    /// into the CSR arena (one `O(n + E)` rewrite) before returning.
     pub fn update_adjacency_for_threaded(&mut self, moved: &[NodeId], threads: usize) {
         let mut is_moved = vec![false; self.len()];
         let mut uniq: Vec<NodeId> = Vec::with_capacity(moved.len());
@@ -480,15 +534,26 @@ impl Network {
                 uniq.push(u);
             }
         }
-        // Detach every moved node: clear its list and delete it from
-        // each unmoved old neighbor (moved neighbors are rebuilt anyway).
+        if uniq.is_empty() {
+            return;
+        }
+        self.patch.begin(self.adjacency.node_count());
+        // Detach every moved node: clear its overlay list and delete it
+        // from each unmoved old neighbor's overlay (moved neighbors are
+        // rebuilt anyway).
+        let mut old_buf: Vec<NodeId> = Vec::new();
         for &u in &uniq {
-            let old = std::mem::take(&mut self.adjacency[u.index()]);
-            for v in old {
+            {
+                let list = self.patch.edit(&self.adjacency, u);
+                old_buf.clear();
+                old_buf.extend_from_slice(list);
+                list.clear();
+            }
+            for &v in &old_buf {
                 if is_moved[v.index()] {
                     continue;
                 }
-                let list = &mut self.adjacency[v.index()];
+                let list = self.patch.edit(&self.adjacency, v);
                 if let Ok(at) = list.binary_search(&u) {
                     list.remove(at);
                 }
@@ -501,7 +566,7 @@ impl Network {
         // precomputes all candidate lists in parallel first. Either
         // way, candidates per mover are identical, and application
         // order is mover order, so results match at any thread count.
-        let threads = threads.clamp(1, uniq.len().max(1));
+        let threads = threads.clamp(1, uniq.len());
         if threads <= 1 {
             let mut candidates: Vec<NodeId> = Vec::new();
             for &u in &uniq {
@@ -519,13 +584,15 @@ impl Network {
             }
         }
         for &u in &uniq {
-            self.adjacency[u.index()].sort_unstable();
+            self.patch.edit(&self.adjacency, u).sort_unstable();
         }
+        self.adjacency.compact(&self.patch);
     }
 
     /// Inserts the edges of one repaired mover given its radius-query
-    /// `candidates`. A pair of moved endpoints shows up in both movers'
-    /// queries; the smaller id owns it so each edge lands exactly once.
+    /// `candidates`, writing through the patch overlay. A pair of moved
+    /// endpoints shows up in both movers' queries; the smaller id owns
+    /// it so each edge lands exactly once.
     fn reattach_one(&mut self, u: NodeId, candidates: &[NodeId], is_moved: &[bool]) {
         let pu = self.index.position(u);
         let r_sq = self.radius * self.radius;
@@ -534,11 +601,11 @@ impl Network {
                 continue;
             }
             debug_assert!(self.index.position(v).distance_sq(pu) <= r_sq);
-            self.adjacency[u.index()].push(v);
+            self.patch.edit(&self.adjacency, u).push(v);
             if is_moved[v.index()] {
-                self.adjacency[v.index()].push(u);
+                self.patch.edit(&self.adjacency, v).push(u);
             } else {
-                let list = &mut self.adjacency[v.index()];
+                let list = self.patch.edit(&self.adjacency, v);
                 if let Err(at) = list.binary_search(&u) {
                     list.insert(at, u);
                 }
@@ -577,6 +644,65 @@ impl Network {
             }
         });
         candidates
+    }
+
+    /// Byte-level accounting of the topology storage — the numbers the
+    /// `bytes_per_node` bench metric reports and the CI gate watches.
+    pub fn memory_footprint(&self) -> TopologyFootprint {
+        TopologyFootprint {
+            nodes: self.len(),
+            csr_bytes: self.adjacency.heap_bytes(),
+            position_bytes: self.position_table().heap_bytes(),
+            grid_bytes: self.index.grid_heap_bytes(),
+            legacy_adjacency_bytes: self.adjacency.legacy_layout_bytes(),
+        }
+    }
+}
+
+/// Heap-byte breakdown of one [`Network`]'s topology storage, from
+/// [`Network::memory_footprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyFootprint {
+    /// Node count the per-node ratios divide by.
+    pub nodes: usize,
+    /// The CSR offset table plus edge arena.
+    pub csr_bytes: usize,
+    /// The structure-of-arrays position table.
+    pub position_bytes: usize,
+    /// The spatial-index grid cells.
+    pub grid_bytes: usize,
+    /// What the same adjacency would cost in the legacy per-node-`Vec`
+    /// layout (one `Vec` header per node plus its ids).
+    pub legacy_adjacency_bytes: usize,
+}
+
+impl TopologyFootprint {
+    /// Total topology bytes per node (CSR adjacency + positions +
+    /// grid); 0 for an empty network.
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        (self.csr_bytes + self.position_bytes + self.grid_bytes) as f64 / self.nodes as f64
+    }
+
+    /// CSR adjacency bytes per node alone — the arena the tentpole
+    /// refactor shrank; 0 for an empty network.
+    pub fn adjacency_bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.csr_bytes as f64 / self.nodes as f64
+    }
+
+    /// Legacy per-node-`Vec` adjacency bytes per node, for the
+    /// strictly-lower comparison the acceptance criteria demand; 0 for
+    /// an empty network.
+    pub fn legacy_adjacency_bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.legacy_adjacency_bytes as f64 / self.nodes as f64
     }
 }
 
@@ -720,7 +846,7 @@ mod tests {
     fn neighbor_points_align_with_positions() {
         let net = line_net();
         for (idx, p) in net.neighbor_points(NodeId(1)) {
-            assert_eq!(net.position(NodeId(idx)), p);
+            assert_eq!(net.position(NodeId::new(idx)), p);
         }
     }
 
@@ -734,7 +860,7 @@ mod tests {
             (NodeId(4), Point::new(40.0, 0.0)),
             (NodeId(0), Point::new(90.0, 90.0)),
         ]);
-        let rebuilt = Network::from_positions(net.positions().to_vec(), net.radius(), net.area());
+        let rebuilt = Network::from_positions(net.positions_vec(), net.radius(), net.area());
         for u in net.node_ids() {
             assert_eq!(net.neighbors(u), rebuilt.neighbors(u), "node {u}");
         }
@@ -765,5 +891,36 @@ mod tests {
         assert!(degraded.has_edge(NodeId(2), NodeId(3)));
         // The line is now split at node 1.
         assert!(!degraded.connected(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn spatially_sorted_is_isomorphic() {
+        let net = line_net();
+        let (sorted, remap) = net.spatially_sorted();
+        assert_eq!(sorted.len(), net.len());
+        assert_eq!(sorted.edge_count(), net.edge_count());
+        for u in net.node_ids() {
+            let iu = remap.to_internal(u);
+            assert_eq!(sorted.position(iu), net.position(u), "position of {u}");
+            let mut mapped: Vec<NodeId> = net
+                .neighbors(u)
+                .iter()
+                .map(|&v| remap.to_internal(v))
+                .collect();
+            mapped.sort_unstable();
+            assert_eq!(sorted.neighbors(iu), mapped.as_slice(), "edges of {u}");
+        }
+    }
+
+    #[test]
+    fn memory_footprint_beats_legacy_layout() {
+        let net = line_net();
+        let fp = net.memory_footprint();
+        assert_eq!(fp.nodes, 5);
+        // 6 offsets × 4B + 6 directed edges × 4B.
+        assert_eq!(fp.csr_bytes, 6 * 4 + 6 * 4);
+        assert_eq!(fp.position_bytes, 5 * 16);
+        assert!(fp.adjacency_bytes_per_node() < fp.legacy_adjacency_bytes_per_node());
+        assert!(fp.bytes_per_node() > 0.0);
     }
 }

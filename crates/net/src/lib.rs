@@ -15,6 +15,15 @@
 //!   ([`Network::index`]). Bulk adjacency shards cell rows across
 //!   threads above [`PARALLEL_NODE_THRESHOLD`] nodes (`SP_NET_THREADS`
 //!   to pin) and supports `O(1)` incremental point moves;
+//! * [`csr`] — the cache-dense [`CsrAdjacency`] edge arena every
+//!   [`Network`] stores its topology in (one contiguous `u32` offset
+//!   table + [`NodeId`] arena), the [`CsrPatch`] overlay that keeps
+//!   incremental repair `O(1)` per move, and the [`NodeRemap`]
+//!   produced by the construction-time spatial sort
+//!   ([`Network::spatially_sorted`]);
+//! * [`positions`] — the structure-of-arrays [`PositionTable`]
+//!   (`xs`/`ys` slices) every [`SpatialIndex`] owns, so range scans
+//!   stream two dense `f64` arrays;
 //! * [`graph`] — the [`Network`] type: adjacency, BFS hop counts,
 //!   Dijkstra reference paths, connectivity;
 //! * [`planar`] — Gabriel / RNG planarization plus the CCW/CW pivots that
@@ -41,22 +50,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod deploy;
 pub mod edge_nodes;
 pub mod graph;
 pub mod mobility;
 pub mod node;
 pub mod planar;
+pub mod positions;
 pub mod radio;
 pub mod spatial;
 
+pub use csr::{CsrAdjacency, CsrPatch, NodeRemap};
 pub use deploy::{
     CityBlockModel, ClusterModel, CorridorModel, DeploymentConfig, FaModel, Obstacle,
 };
 pub use edge_nodes::edge_node_ids;
-pub use graph::{Network, PARALLEL_REPAIR_THRESHOLD};
+pub use graph::{Network, TopologyFootprint, PARALLEL_REPAIR_THRESHOLD};
 pub use mobility::RandomWaypoint;
 pub use node::NodeId;
 pub use planar::{PlanarGraph, Planarization};
+pub use positions::PositionTable;
 pub use radio::{interference_count, interference_set, EnergyLedger, RadioModel};
 pub use spatial::{SpatialIndex, PARALLEL_NODE_THRESHOLD, THREADS_ENV};

@@ -10,7 +10,7 @@
 //! The walker is deterministic per seed and steps in continuous time, so
 //! topology snapshots can be taken at any elapsed time.
 
-use crate::{Network, NodeId};
+use crate::{Network, NodeId, PositionTable};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sp_geom::{Point, Rect, Vec2};
@@ -54,7 +54,7 @@ pub struct RandomWaypoint {
     // Reused position buffer for full snapshots: the per-call Vec
     // allocation is amortized away; only the unavoidable Arc copy the
     // Network takes ownership of remains.
-    scratch: Vec<Point>,
+    scratch: PositionTable,
     // The incrementally-maintained topology behind snapshot_incremental.
     cache: Option<Network>,
 }
@@ -107,7 +107,7 @@ impl RandomWaypoint {
             rng,
             motions,
             elapsed: 0.0,
-            scratch: Vec::new(),
+            scratch: PositionTable::new(),
             cache: None,
         }
     }
@@ -170,16 +170,18 @@ impl RandomWaypoint {
     ///
     /// Each snapshot re-buckets the positions through a fresh
     /// [`sp_net::SpatialIndex`](crate::SpatialIndex) (inside
-    /// [`Network::from_shared_positions`]), so it stays `O(n · k)` per
+    /// [`Network::from_position_table`]), so it stays `O(n · k)` per
     /// tick rather than `O(n²)`; the position buffer is reused across
     /// calls. For frequent snapshots of a large network prefer
     /// [`RandomWaypoint::snapshot_incremental`], which only pays for
     /// the nodes that moved.
     pub fn snapshot(&mut self) -> Network {
         self.scratch.clear();
-        self.scratch.extend(self.motions.iter().map(|m| m.pos));
-        let shared: Arc<[Point]> = self.scratch.as_slice().into();
-        Network::from_shared_positions(shared, self.radius, self.area)
+        for m in &self.motions {
+            self.scratch.push(m.pos);
+        }
+        let shared = Arc::new(self.scratch.clone());
+        Network::from_position_table(shared, self.radius, self.area)
     }
 
     /// The unit-disk-graph snapshot of the current positions,
@@ -199,8 +201,8 @@ impl RandomWaypoint {
                     .motions
                     .iter()
                     .enumerate()
-                    .filter(|&(i, m)| net.position(NodeId(i)) != m.pos)
-                    .map(|(i, m)| (NodeId(i), m.pos))
+                    .filter(|&(i, m)| net.position(NodeId::new(i)) != m.pos)
+                    .map(|(i, m)| (NodeId::new(i), m.pos))
                     .collect();
                 if !moves.is_empty() {
                     net.apply_moves(&moves);

@@ -3,35 +3,56 @@
 /// Dense, zero-based identifier of a node in a [`Network`](crate::Network).
 ///
 /// Node ids double as indices into position and adjacency arrays, so they
-/// are cheap to store in packets, visited sets and safety tuples.
+/// are cheap to store in packets, visited sets and safety tuples. The id is
+/// deliberately `u32`-backed: a million-node topology's edge arena holds
+/// tens of millions of ids, and halving their width halves the bytes every
+/// neighbor scan streams through cache (see the README's "Topology at
+/// scale" section for the migration notes).
 ///
 /// ```
 /// use sp_net::NodeId;
 /// let id = NodeId(7);
 /// assert_eq!(id.index(), 7);
 /// assert_eq!(id.to_string(), "n7");
+/// let same = NodeId::new(7usize);
+/// assert_eq!(id, same);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct NodeId(pub usize);
+pub struct NodeId(pub u32);
 
 impl NodeId {
+    /// Builds an id from a dense `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — topologies are capped at
+    /// 2³²−1 nodes by the id width.
+    #[inline]
+    pub fn new(index: usize) -> NodeId {
+        assert!(
+            index <= u32::MAX as usize,
+            "node index {index} overflows u32"
+        );
+        NodeId(index as u32)
+    }
+
     /// The underlying dense index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
 impl From<usize> for NodeId {
     fn from(value: usize) -> Self {
-        NodeId(value)
+        NodeId::new(value)
     }
 }
 
 impl From<NodeId> for usize {
     fn from(value: NodeId) -> Self {
-        value.0
+        value.0 as usize
     }
 }
 
@@ -58,5 +79,13 @@ mod tests {
     fn ordering_follows_index() {
         assert!(NodeId(1) < NodeId(2));
         assert_eq!(NodeId(3), NodeId(3));
+    }
+
+    #[test]
+    fn id_is_four_bytes() {
+        // The whole point of the u32 backing: edge arenas at 10⁶ nodes
+        // hold ~1.6 × 10⁷ ids, and each one is exactly four bytes.
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
     }
 }

@@ -116,7 +116,7 @@ impl PlanarGraph {
         }
         PlanarGraph {
             adjacency,
-            positions: net.positions().to_vec(),
+            positions: net.positions_vec(),
             kind,
         }
     }
@@ -208,16 +208,16 @@ impl PlanarGraph {
         // pivot must not rely on it).
         const EPS: f64 = 1e-12;
         for e in sweep.entries() {
-            if e.rotation <= EPS || Some(NodeId(e.id)) == exclude {
+            if e.rotation <= EPS || Some(NodeId::new(e.id)) == exclude {
                 continue;
             }
-            return Some(NodeId(e.id));
+            return Some(NodeId::new(e.id));
         }
         // Pass 2: collinear candidates (nearest first), then the
         // dead-end bounce back to the predecessor.
         for e in sweep.entries() {
-            if Some(NodeId(e.id)) != exclude {
-                return Some(NodeId(e.id));
+            if Some(NodeId::new(e.id)) != exclude {
+                return Some(NodeId::new(e.id));
             }
         }
         exclude.filter(|f| neigh.contains(f))

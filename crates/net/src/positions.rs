@@ -1,0 +1,206 @@
+//! Structure-of-arrays node position storage.
+//!
+//! Range queries and the cell-pair construction scan compare one
+//! coordinate pair per candidate; storing positions as parallel
+//! `xs`/`ys` slices instead of an array-of-`Point` keeps those scans
+//! streaming through two dense `f64` arrays (and lets a future SIMD
+//! pass vectorize the distance tests without a layout change). The
+//! table is shared by `Arc` between a [`Network`](crate::Network) and
+//! its [`SpatialIndex`](crate::SpatialIndex) clones, with copy-on-write
+//! on the first incremental move of a shared snapshot — the same
+//! sharing discipline the old `Arc<[Point]>` slice had.
+
+use sp_geom::Point;
+
+/// Node positions in structure-of-arrays form: `xs[i]`/`ys[i]` are the
+/// coordinates of node `i`.
+///
+/// ```
+/// use sp_net::PositionTable;
+/// use sp_geom::Point;
+///
+/// let table = PositionTable::from_points(&[Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+/// assert_eq!(table.len(), 2);
+/// assert_eq!(table.get(1), Point::new(3.0, 4.0));
+/// assert_eq!(table.xs(), &[1.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PositionTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PositionTable {
+    /// An empty table.
+    pub fn new() -> PositionTable {
+        PositionTable::default()
+    }
+
+    /// An empty table with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> PositionTable {
+        PositionTable {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+        }
+    }
+
+    /// Splits an array-of-points into the two coordinate arrays.
+    pub fn from_points(points: &[Point]) -> PositionTable {
+        PositionTable {
+            xs: points.iter().map(|p| p.x).collect(),
+            ys: points.iter().map(|p| p.y).collect(),
+        }
+    }
+
+    /// Number of positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the table holds no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i])
+    }
+
+    /// Overwrites the position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, p: Point) {
+        self.xs[i] = p.x;
+        self.ys[i] = p.y;
+    }
+
+    /// Appends a position.
+    #[inline]
+    pub fn push(&mut self, p: Point) {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+    }
+
+    /// Clears the table, retaining capacity.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+    }
+
+    /// Squared Euclidean distance from node `i` to `q` — the hot
+    /// comparison of every range query, reading exactly two lanes.
+    #[inline]
+    pub fn distance_sq_to(&self, i: usize, q: Point) -> f64 {
+        let dx = self.xs[i] - q.x;
+        let dy = self.ys[i] - q.y;
+        dx * dx + dy * dy
+    }
+
+    /// All x coordinates, by node id.
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// All y coordinates, by node id.
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Materializes the array-of-points form (allocates; prefer
+    /// [`get`](Self::get) / [`xs`](Self::xs) / [`ys`](Self::ys) in hot
+    /// paths).
+    pub fn to_points(&self) -> Vec<Point> {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(&x, &y)| Point::new(x, y))
+            .collect()
+    }
+
+    /// A copy with node `k` placed at `order[k]`'s position — the
+    /// position leg of a spatial-sort permutation.
+    pub fn permuted_by(&self, order: &[crate::NodeId]) -> PositionTable {
+        PositionTable {
+            xs: order.iter().map(|&u| self.xs[u.index()]).collect(),
+            ys: order.iter().map(|&u| self.ys[u.index()]).collect(),
+        }
+    }
+
+    /// Heap bytes held by the coordinate arrays (by length, so the
+    /// metric is layout-determined and stable).
+    pub fn heap_bytes(&self) -> usize {
+        (self.xs.len() + self.ys.len()) * std::mem::size_of::<f64>()
+    }
+
+    /// Iterates positions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(&x, &y)| Point::new(x, y))
+    }
+}
+
+impl FromIterator<Point> for PositionTable {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> PositionTable {
+        let mut table = PositionTable::new();
+        for p in iter {
+            table.push(p);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn roundtrips_points() {
+        let pts = vec![Point::new(0.5, 1.5), Point::new(-2.0, 3.0)];
+        let table = PositionTable::from_points(&pts);
+        assert_eq!(table.to_points(), pts);
+        assert_eq!(table.iter().collect::<Vec<_>>(), pts);
+    }
+
+    #[test]
+    fn set_and_distance() {
+        let mut table = PositionTable::from_points(&[Point::new(0.0, 0.0)]);
+        table.set(0, Point::new(3.0, 4.0));
+        assert_eq!(table.get(0), Point::new(3.0, 4.0));
+        assert_eq!(table.distance_sq_to(0, Point::new(0.0, 0.0)), 25.0);
+    }
+
+    #[test]
+    fn permutation_moves_rows() {
+        let table = PositionTable::from_points(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]);
+        let permuted = table.permuted_by(&[NodeId(2), NodeId(0), NodeId(1)]);
+        assert_eq!(permuted.get(0), Point::new(2.0, 2.0));
+        assert_eq!(permuted.get(1), Point::new(0.0, 0.0));
+        assert_eq!(permuted.get(2), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn bytes_track_length() {
+        let table = PositionTable::from_points(&[Point::new(0.0, 0.0); 10]);
+        assert_eq!(table.heap_bytes(), 10 * 2 * 8);
+    }
+}

@@ -145,7 +145,7 @@ pub fn interference_set(net: &Network, path: &[NodeId]) -> Vec<NodeId> {
         .iter()
         .enumerate()
         .filter(|&(_, &o)| o)
-        .map(|(i, _)| NodeId(i))
+        .map(|(i, _)| NodeId::new(i))
         .collect()
 }
 
@@ -216,7 +216,7 @@ impl EnergyLedger {
             .iter()
             .enumerate()
             .filter(|&(_, &e)| e <= 0.0)
-            .map(|(i, _)| NodeId(i))
+            .map(|(i, _)| NodeId::new(i))
             .collect()
     }
 
@@ -260,7 +260,7 @@ impl EnergyLedger {
             .enumerate()
             .filter(|&(_, &e)| e > 0.0)
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, &e)| (NodeId(i), e))
+            .map(|(i, &e)| (NodeId::new(i), e))
     }
 }
 

@@ -15,15 +15,19 @@
 //! deployment tooling share one structure instead of re-deriving ad hoc
 //! scans.
 //!
-//! Two scale features keep topology refresh off the hot path of large
-//! mobile sweeps: bulk adjacency construction shards cell rows across
-//! threads ([`SpatialIndex::adjacency_within_threaded`], automatic above
-//! [`PARALLEL_NODE_THRESHOLD`] nodes, `SP_NET_THREADS` to pin), and
-//! points relocate incrementally in `O(1)`
-//! ([`SpatialIndex::move_point`]) so a mobility tick re-buckets only the
-//! nodes that moved instead of rebuilding the grid.
+//! Three scale features keep topology refresh off the hot path of
+//! large mobile sweeps: positions live in one structure-of-arrays
+//! [`PositionTable`] so the cell-pair scan streams two dense `f64`
+//! arrays; bulk adjacency construction emits straight into a
+//! [`CsrAdjacency`] arena, sharding contiguous *bands* of cell rows
+//! across threads ([`SpatialIndex::adjacency_within_threaded`],
+//! automatic above [`PARALLEL_NODE_THRESHOLD`] nodes, `SP_NET_THREADS`
+//! to pin) so each worker touches a disjoint cache range; and points
+//! relocate incrementally in `O(1)` ([`SpatialIndex::move_point`]) so a
+//! mobility tick re-buckets only the nodes that moved instead of
+//! rebuilding the grid.
 
-use crate::NodeId;
+use crate::{CsrAdjacency, NodeId, PositionTable};
 use sp_geom::{Point, Rect};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -36,6 +40,12 @@ pub const PARALLEL_NODE_THRESHOLD: usize = 8_192;
 /// The thread-count environment knob read by
 /// [`SpatialIndex::auto_threads`].
 pub const THREADS_ENV: &str = "SP_NET_THREADS";
+
+/// Contiguous row-bands handed to each construction worker are sized
+/// so roughly this many land on every thread: small enough to balance
+/// uneven rows, large enough that a worker's touched cache range stays
+/// contiguous.
+const BANDS_PER_THREAD: usize = 4;
 
 /// A uniform grid over a bounding rectangle with square cells.
 ///
@@ -63,7 +73,7 @@ pub struct SpatialIndex {
     // Shared with the owning Network (when built through one), so a
     // deployment's positions exist once no matter how many snapshots
     // or index clones reference them.
-    points: Arc<[Point]>,
+    positions: Arc<PositionTable>,
     origin: Point,
     cell_size: f64,
     cols: usize,
@@ -82,17 +92,25 @@ impl SpatialIndex {
     ///
     /// Panics if `cell_size` is not strictly positive.
     pub fn build(points: &[Point], bounds: Rect, cell_size: f64) -> SpatialIndex {
-        SpatialIndex::build_shared(points.into(), bounds, cell_size)
+        SpatialIndex::build_table(
+            Arc::new(PositionTable::from_points(points)),
+            bounds,
+            cell_size,
+        )
     }
 
-    /// Builds the index over an already-shared position slice without
+    /// Builds the index over an already-shared position table without
     /// copying it — [`Network::from_positions`](crate::Network) uses
     /// this so the network and its index reference one allocation.
     ///
     /// # Panics
     ///
     /// Panics if `cell_size` is not strictly positive.
-    pub fn build_shared(points: Arc<[Point]>, bounds: Rect, cell_size: f64) -> SpatialIndex {
+    pub fn build_table(
+        positions: Arc<PositionTable>,
+        bounds: Rect,
+        cell_size: f64,
+    ) -> SpatialIndex {
         assert!(
             cell_size > 0.0,
             "spatial index cell size must be positive, got {cell_size}"
@@ -103,15 +121,15 @@ impl SpatialIndex {
         let origin = bounds.min();
         let mut index = SpatialIndex {
             cells: Vec::new(),
-            points,
+            positions,
             origin,
             cell_size,
             cols,
             rows,
         };
-        for (i, &p) in index.points.iter().enumerate() {
-            let c = index.cell_of(p);
-            cells[c].push(NodeId(i));
+        for i in 0..index.positions.len() {
+            let c = index.cell_of(index.positions.get(i));
+            cells[c].push(NodeId::new(i));
         }
         index.cells = cells;
         index
@@ -119,12 +137,12 @@ impl SpatialIndex {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.positions.len()
     }
 
     /// True when no points are indexed.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.positions.is_empty()
     }
 
     /// Side length of the square cells.
@@ -142,26 +160,27 @@ impl SpatialIndex {
     /// # Panics
     ///
     /// Panics if `u` is out of range.
+    #[inline]
     pub fn position(&self, u: NodeId) -> Point {
-        self.points[u.index()]
+        self.positions.get(u.index())
     }
 
-    /// All indexed positions, by node id.
-    pub fn points(&self) -> &[Point] {
-        &self.points
+    /// The structure-of-arrays position table, by node id.
+    pub fn positions(&self) -> &PositionTable {
+        &self.positions
     }
 
-    /// The shared position slice (one allocation no matter how many
+    /// The shared position table (one allocation no matter how many
     /// snapshots or index clones reference it).
-    pub fn shared_points(&self) -> Arc<[Point]> {
-        Arc::clone(&self.points)
+    pub fn shared_positions(&self) -> Arc<PositionTable> {
+        Arc::clone(&self.positions)
     }
 
     /// Relocates one point to `new_pos` in `O(1)`: the position table is
     /// updated in place and the point moves between grid cells (cells
     /// keep ascending id order, so range queries stay deterministic).
     ///
-    /// When the position slice is still shared with other index or
+    /// When the position table is still shared with other index or
     /// network clones, the first move copies it once (copy-on-write);
     /// every subsequent move on this index is allocation-free.
     ///
@@ -169,16 +188,9 @@ impl SpatialIndex {
     ///
     /// Panics if `id` is out of range.
     pub fn move_point(&mut self, id: NodeId, new_pos: Point) {
-        let old_cell = self.cell_of(self.points[id.index()]);
+        let old_cell = self.cell_of(self.positions.get(id.index()));
         let new_cell = self.cell_of(new_pos);
-        let pts = match Arc::get_mut(&mut self.points) {
-            Some(p) => p,
-            None => {
-                self.points = self.points.iter().copied().collect();
-                Arc::get_mut(&mut self.points).expect("freshly copied slice is unshared")
-            }
-        };
-        pts[id.index()] = new_pos;
+        Arc::make_mut(&mut self.positions).set(id.index(), new_pos);
         if old_cell != new_cell {
             let cell = &mut self.cells[old_cell];
             let at = cell
@@ -222,10 +234,10 @@ impl SpatialIndex {
             .flat_map(move |dy| (-reach..=reach).map(move |dx| (cx + dx, cy + dy)))
             .filter(move |&(x, y)| x >= 0 && x < cols && y >= 0 && y < rows)
             .flat_map(move |(x, y)| self.cells[(y * cols + x) as usize].iter().copied())
-            .filter(move |id| self.points[id.index()].distance_sq(center) <= r_sq)
+            .filter(move |id| self.positions.distance_sq_to(id.index(), center) <= r_sq)
     }
 
-    /// Sorted adjacency lists of the radius graph over all indexed
+    /// The sorted CSR adjacency of the radius graph over all indexed
     /// points — the bulk form of [`within_radius`](Self::within_radius)
     /// that unit-disk-graph construction uses.
     ///
@@ -233,22 +245,30 @@ impl SpatialIndex {
     /// and each unordered pair of nearby cells is visited exactly once
     /// (cell pairs whose minimum separation exceeds `radius` are pruned
     /// up front), so every candidate pair costs one distance test and
-    /// no per-point iterator setup. Self-loops are never produced.
-    pub fn adjacency_within(&self, radius: f64) -> Vec<Vec<NodeId>> {
+    /// no per-point iterator setup. Self-loops are never produced. The
+    /// pair stream lands directly in one [`CsrAdjacency`] arena
+    /// (count → prefix-sum → scatter → per-range sort) — no per-node
+    /// `Vec` is ever allocated.
+    pub fn adjacency_within(&self, radius: f64) -> CsrAdjacency {
         self.adjacency_within_threaded(radius, 1)
     }
 
     /// [`adjacency_within`](Self::adjacency_within) sharded across
-    /// `threads` worker threads by grid *row*.
+    /// `threads` worker threads by contiguous *bands* of grid rows.
     ///
-    /// Workers pull rows from a shared atomic cursor (the same std-only
-    /// work-queue pattern as the sweep runner), each emitting the edge
-    /// pairs whose lower row is theirs into a per-row buffer; buffers
-    /// are merged in row order and every adjacency list is sorted, so
-    /// the output is bit-identical to the serial path at any thread
+    /// Workers pull row-bands from a shared atomic cursor (the same
+    /// std-only work-queue pattern as the sweep runner). Bands are
+    /// contiguous spatial regions balanced by per-row point counts, so
+    /// each worker streams a disjoint, cache-local range of the
+    /// position table — the locality-aware partitioning that makes the
+    /// construction-time spatial sort
+    /// ([`Network::spatially_sorted`](crate::Network::spatially_sorted))
+    /// pay off. Each band emits its edge pairs into per-row buffers;
+    /// buffers are merged in row order and every arena range is sorted,
+    /// so the output is bit-identical to the serial path at any thread
     /// count. `threads` is clamped to `[1, rows]`; `threads <= 1` runs
     /// inline without spawning.
-    pub fn adjacency_within_threaded(&self, radius: f64, threads: usize) -> Vec<Vec<NodeId>> {
+    pub fn adjacency_within_threaded(&self, radius: f64, threads: usize) -> CsrAdjacency {
         let r_sq = radius * radius;
         let offsets = self.forward_offsets(radius);
         let threads = threads.clamp(1, self.rows);
@@ -261,6 +281,7 @@ impl SpatialIndex {
             }
         } else {
             row_bufs.resize_with(self.rows, Vec::new);
+            let bands = self.row_bands(threads * BANDS_PER_THREAD);
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
@@ -268,13 +289,16 @@ impl SpatialIndex {
                         scope.spawn(|| {
                             let mut mine: Vec<(usize, Vec<(NodeId, NodeId)>)> = Vec::new();
                             loop {
-                                let cy = next.fetch_add(1, Ordering::Relaxed);
-                                if cy >= self.rows {
+                                let b = next.fetch_add(1, Ordering::Relaxed);
+                                if b >= bands.len() {
                                     break;
                                 }
-                                let mut buf = Vec::new();
-                                self.row_edges(cy as isize, &offsets, r_sq, &mut buf);
-                                mine.push((cy, buf));
+                                let (start, end) = bands[b];
+                                for cy in start..end {
+                                    let mut buf = Vec::new();
+                                    self.row_edges(cy as isize, &offsets, r_sq, &mut buf);
+                                    mine.push((cy, buf));
+                                }
                             }
                             mine
                         })
@@ -287,9 +311,25 @@ impl SpatialIndex {
                 }
             });
         }
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.points.len()];
-        for buf in &row_bufs {
-            for &(u, v) in buf {
+        CsrAdjacency::from_pair_rows(self.positions.len(), &row_bufs)
+    }
+
+    /// The legacy per-node-`Vec` adjacency construction, accumulating
+    /// and sorting one list per node.
+    ///
+    /// Kept *only* as the reference the CSR equivalence property tests
+    /// and the memory-layout comparison measure against; production
+    /// paths use [`adjacency_within`](Self::adjacency_within).
+    #[doc(hidden)]
+    pub fn adjacency_lists_within(&self, radius: f64) -> Vec<Vec<NodeId>> {
+        let r_sq = radius * radius;
+        let offsets = self.forward_offsets(radius);
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.positions.len()];
+        let mut buf = Vec::new();
+        for cy in 0..self.rows {
+            buf.clear();
+            self.row_edges(cy as isize, &offsets, r_sq, &mut buf);
+            for &(u, v) in &buf {
                 adj[u.index()].push(v);
                 adj[v.index()].push(u);
             }
@@ -298,6 +338,53 @@ impl SpatialIndex {
             list.sort_unstable();
         }
         adj
+    }
+
+    /// Splits the grid rows into at most `parts` contiguous bands of
+    /// roughly equal point count — the unit of work the threaded
+    /// construction scan hands to each worker. Always covers
+    /// `0..rows`; never returns an empty band.
+    fn row_bands(&self, parts: usize) -> Vec<(usize, usize)> {
+        let row_weight: Vec<usize> = (0..self.rows)
+            .map(|cy| {
+                self.cells[cy * self.cols..(cy + 1) * self.cols]
+                    .iter()
+                    .map(Vec::len)
+                    .sum()
+            })
+            .collect();
+        let total: usize = row_weight.iter().sum();
+        let target = total.div_ceil(parts.max(1)).max(1);
+        let mut bands = Vec::new();
+        let mut start = 0;
+        let mut acc = 0;
+        for (cy, &w) in row_weight.iter().enumerate() {
+            acc += w;
+            if acc >= target {
+                bands.push((start, cy + 1));
+                start = cy + 1;
+                acc = 0;
+            }
+        }
+        if start < self.rows {
+            bands.push((start, self.rows));
+        }
+        if bands.is_empty() {
+            bands.push((0, self.rows));
+        }
+        bands
+    }
+
+    /// Node ids in row-major grid-cell order (ascending id inside each
+    /// cell) — the placement order
+    /// [`Network::spatially_sorted`](crate::Network::spatially_sorted)
+    /// uses to map grid-row tiles onto contiguous id ranges.
+    pub fn spatial_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.positions.len());
+        for cell in &self.cells {
+            order.extend_from_slice(cell);
+        }
+        order
     }
 
     /// The thread count [`Network::from_positions`](crate::Network)
@@ -373,12 +460,13 @@ impl SpatialIndex {
     ) {
         let cols = self.cols as isize;
         let rows = self.rows as isize;
+        let pos = &*self.positions;
         for cx in 0..cols {
             let cell = &self.cells[(cy * cols + cx) as usize];
             for (i, &u) in cell.iter().enumerate() {
-                let pu = self.points[u.index()];
+                let pu = pos.get(u.index());
                 for &v in &cell[i + 1..] {
-                    if pu.distance_sq(self.points[v.index()]) <= r_sq {
+                    if pos.distance_sq_to(v.index(), pu) <= r_sq {
                         out.push((u, v));
                     }
                 }
@@ -390,9 +478,9 @@ impl SpatialIndex {
                 }
                 let other = &self.cells[(ny * cols + nx) as usize];
                 for &u in cell {
-                    let pu = self.points[u.index()];
+                    let pu = pos.get(u.index());
                     for &v in other {
-                        if pu.distance_sq(self.points[v.index()]) <= r_sq {
+                        if pos.distance_sq_to(v.index(), pu) <= r_sq {
                             out.push((u, v));
                         }
                     }
@@ -415,7 +503,7 @@ impl SpatialIndex {
     /// (ties broken by lowest id). Returns fewer than `k` when the index
     /// holds fewer points.
     pub fn k_nearest(&self, center: Point, k: usize) -> Vec<NodeId> {
-        if k == 0 || self.points.is_empty() {
+        if k == 0 || self.positions.is_empty() {
             return Vec::new();
         }
         let (cx, cy) = self.cell_coords(center);
@@ -441,7 +529,7 @@ impl SpatialIndex {
                     continue;
                 }
                 for &id in &self.cells[(y * cols + x) as usize] {
-                    let d = self.points[id.index()].distance_sq(center);
+                    let d = self.positions.distance_sq_to(id.index(), center);
                     best.push((d, id));
                     grew = true;
                 }
@@ -452,6 +540,16 @@ impl SpatialIndex {
             }
         }
         best.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Heap bytes held by the grid cells (headers plus bucketed ids).
+    pub fn grid_heap_bytes(&self) -> usize {
+        self.cells.len() * 3 * std::mem::size_of::<usize>()
+            + self
+                .cells
+                .iter()
+                .map(|c| c.len() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
     }
 }
 
@@ -548,6 +646,7 @@ mod tests {
         assert_eq!(index.within_radius(Point::new(1.0, 1.0), 50.0).count(), 0);
         assert_eq!(index.nearest(Point::new(1.0, 1.0)), None);
         assert!(index.k_nearest(Point::new(1.0, 1.0), 3).is_empty());
+        assert!(index.spatial_order().is_empty());
     }
 
     #[test]
@@ -574,7 +673,7 @@ mod tests {
                 .min_by(|(i, a), (j, b)| {
                     a.distance_sq(q).total_cmp(&b.distance_sq(q)).then(i.cmp(j))
                 })
-                .map(|(i, _)| NodeId(i));
+                .map(|(i, _)| NodeId::new(i));
             assert_eq!(index.nearest(q), want, "nearest mismatch at {q}");
         }
     }
@@ -589,7 +688,7 @@ mod tests {
                 let mut want: Vec<(f64, NodeId)> = pts
                     .iter()
                     .enumerate()
-                    .map(|(i, p)| (p.distance_sq(q), NodeId(i)))
+                    .map(|(i, p)| (p.distance_sq(q), NodeId::new(i)))
                     .collect();
                 want.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
                 let want: Vec<NodeId> = want.into_iter().take(k).map(|(_, id)| id).collect();
@@ -613,6 +712,14 @@ mod tests {
     }
 
     #[test]
+    fn csr_adjacency_equals_legacy_lists() {
+        let pts = scatter(350, 31337);
+        let index = SpatialIndex::build(&pts, demo_area(), 20.0);
+        let csr = index.adjacency_within(20.0);
+        assert_eq!(csr.to_lists(), index.adjacency_lists_within(20.0));
+    }
+
+    #[test]
     fn move_point_relocates_between_cells() {
         let pts = vec![Point::new(5.0, 5.0), Point::new(95.0, 95.0)];
         let mut index = SpatialIndex::build(&pts, demo_area(), 10.0);
@@ -628,7 +735,7 @@ mod tests {
     fn move_point_copies_shared_points_once() {
         let pts = scatter(50, 31);
         let index = SpatialIndex::build(&pts, demo_area(), 20.0);
-        let mut moved = index.clone(); // shares the position slice
+        let mut moved = index.clone(); // shares the position table
         moved.move_point(NodeId(7), Point::new(1.0, 2.0));
         assert_eq!(moved.position(NodeId(7)), Point::new(1.0, 2.0));
         // The original never observes the move.
@@ -651,10 +758,42 @@ mod tests {
             let id = (state >> 33) as usize % pts.len();
             let target = scatter(1, state ^ step)[0];
             pts[id] = target;
-            index.move_point(NodeId(id), target);
+            index.move_point(NodeId::new(id), target);
         }
         let fresh = SpatialIndex::build(&pts, demo_area(), 20.0);
         assert_eq!(index.adjacency_within(20.0), fresh.adjacency_within(20.0));
+    }
+
+    #[test]
+    fn spatial_order_is_a_permutation_in_row_major_cell_order() {
+        let pts = scatter(150, 97);
+        let index = SpatialIndex::build(&pts, demo_area(), 20.0);
+        let order = index.spatial_order();
+        assert_eq!(order.len(), pts.len());
+        let mut seen = vec![false; pts.len()];
+        let mut last_cell = 0usize;
+        for &u in &order {
+            assert!(!seen[u.index()], "{u} appeared twice");
+            seen[u.index()] = true;
+            let c = index.cell_of(pts[u.index()]);
+            assert!(c >= last_cell, "order must walk cells row-major");
+            last_cell = c;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn row_bands_cover_all_rows_contiguously() {
+        let pts = scatter(400, 2024);
+        let index = SpatialIndex::build(&pts, demo_area(), 10.0);
+        for parts in [1usize, 2, 3, 7, 100] {
+            let bands = index.row_bands(parts);
+            assert_eq!(bands.first().map(|b| b.0), Some(0));
+            assert_eq!(bands.last().map(|b| b.1), Some(index.rows));
+            for w in bands.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "bands must tile the rows");
+            }
+        }
     }
 
     #[test]

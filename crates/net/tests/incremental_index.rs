@@ -58,7 +58,7 @@ proptest! {
                 let id = (state >> 33) as usize % pos.len();
                 let p = draw_point(&mut state, &cfg);
                 pos[id] = p;
-                moves.push((NodeId(id), p));
+                moves.push((NodeId::new(id), p));
             }
             net.apply_moves(&moves);
             let brute = Network::from_positions_brute_force(pos.clone(), cfg.radius, cfg.area);
@@ -93,7 +93,7 @@ proptest! {
             let id = (state >> 33) as usize % pos.len();
             let p = draw_point(&mut state, &cfg);
             pos[id] = p;
-            moves.push((NodeId(id), p));
+            moves.push((NodeId::new(id), p));
         }
         let mut serial = base.clone();
         serial.apply_moves_threaded(&moves, 1);
@@ -166,7 +166,7 @@ fn auto_threaded_repair_above_threshold_matches_rebuild() {
         let id = (state >> 33) as usize % pos.len();
         let p = draw_point(&mut state, &cfg);
         pos[id] = p;
-        moves.push((NodeId(id), p));
+        moves.push((NodeId::new(id), p));
     }
     assert!(moves.len() >= sp_net::PARALLEL_REPAIR_THRESHOLD);
     net.apply_moves(&moves);

@@ -21,10 +21,10 @@ proptest! {
         let net = Network::from_positions(pos.clone(), cfg.radius, cfg.area);
         // Spot-check a deterministic subset against brute force.
         for i in (0..n).step_by(13) {
-            let u = NodeId(i);
+            let u = NodeId::new(i);
             let mut want: Vec<NodeId> = (0..n)
                 .filter(|&j| j != i && pos[i].distance(pos[j]) <= cfg.radius)
-                .map(NodeId)
+                .map(NodeId::new)
                 .collect();
             want.sort_unstable();
             prop_assert_eq!(net.neighbors(u), &want[..]);
@@ -38,7 +38,7 @@ proptest! {
         let hops = net.bfs_hops(NodeId(0));
         for (i, h) in hops.iter().enumerate() {
             if let Some(h) = h {
-                for &v in net.neighbors(NodeId(i)) {
+                for &v in net.neighbors(NodeId::new(i)) {
                     if let Some(hv) = hops[v.index()] {
                         prop_assert!(hv + 1 >= *h, "BFS level jump at edge {i}-{v}");
                     }
@@ -126,7 +126,7 @@ proptest! {
         let net = Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area);
         let gg = PlanarGraph::build(&net, Planarization::Gabriel);
         let edges: Vec<(NodeId, NodeId)> = (0..net.len())
-            .map(NodeId)
+            .map(NodeId::new)
             .flat_map(|u| {
                 gg.neighbors(u)
                     .iter()

@@ -208,7 +208,7 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
         let n = net.len();
         AsyncEngine {
             net,
-            nodes: (0..n).map(|i| make(NodeId(i))).collect(),
+            nodes: (0..n).map(|i| make(NodeId::new(i))).collect(),
             alive: vec![true; n],
             queue: BinaryHeap::new(),
             batch: Vec::new(),
@@ -354,14 +354,14 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
                 continue;
             }
             let mut ctx = Ctx {
-                id: NodeId(i),
+                id: NodeId::new(i),
                 net: self.net,
                 alive: &self.alive,
                 outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[i].on_init(&mut ctx);
             let mut outbox = ctx.outbox;
-            self.dispatch_outbox(NodeId(i), &mut outbox);
+            self.dispatch_outbox(NodeId::new(i), &mut outbox);
             self.outbox_pool.push(outbox);
         }
     }

@@ -163,7 +163,7 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
         let n = net.len();
         Engine {
             net,
-            nodes: (0..n).map(|i| make(NodeId(i))).collect(),
+            nodes: (0..n).map(|i| make(NodeId::new(i))).collect(),
             alive: vec![true; n],
             pending: Vec::new(),
             delivering: Vec::new(),
@@ -273,14 +273,19 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
                 continue;
             }
             let mut ctx = Ctx {
-                id: NodeId(i),
+                id: NodeId::new(i),
                 net: self.net,
                 alive: &self.alive,
                 outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[i].on_init(&mut ctx);
             let mut outbox = ctx.outbox;
-            queue_outbox(&mut self.pending, &mut self.stats, NodeId(i), &mut outbox);
+            queue_outbox(
+                &mut self.pending,
+                &mut self.stats,
+                NodeId::new(i),
+                &mut outbox,
+            );
             self.outbox_pool.push(outbox);
         }
     }
@@ -407,14 +412,19 @@ where
                     .map(|&(from, m)| (from, &self.delivering[m as usize].2)),
             );
             let mut ctx = Ctx {
-                id: NodeId(i),
+                id: NodeId::new(i),
                 net: self.net,
                 alive: &self.alive,
                 outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[i].on_round(&mut ctx, &refs);
             let mut outbox = ctx.outbox;
-            queue_outbox(&mut self.pending, &mut self.stats, NodeId(i), &mut outbox);
+            queue_outbox(
+                &mut self.pending,
+                &mut self.stats,
+                NodeId::new(i),
+                &mut outbox,
+            );
             self.outbox_pool.push(outbox);
         }
         self.refs_capacity = refs.capacity();
@@ -462,7 +472,7 @@ where
                                 .map(|&(from, m)| (from, &delivering[m as usize].2)),
                         );
                         let mut ctx = Ctx {
-                            id: NodeId(i),
+                            id: NodeId::new(i),
                             net,
                             alive,
                             outbox: Vec::new(),
@@ -484,7 +494,7 @@ where
                 queue_outbox(
                     &mut self.pending,
                     &mut self.stats,
-                    NodeId(*id as usize),
+                    NodeId::new(*id as usize),
                     outbox,
                 );
                 // Workers allocate their own buffers; recycle a bounded
@@ -570,7 +580,7 @@ mod tests {
             }
             if let Some(&(_, &hops)) = inbox.first() {
                 self.has_token = true;
-                let next = NodeId(ctx.id().index() + 1);
+                let next = NodeId::new(ctx.id().index() + 1);
                 if next.index() < ctx.net_len() {
                     ctx.send(next, hops + 1);
                 }

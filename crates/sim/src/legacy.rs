@@ -45,7 +45,7 @@ impl<'n, P: NodeProcess> LegacyEngine<'n, P> {
         let n = net.len();
         LegacyEngine {
             net,
-            nodes: (0..n).map(|i| make(NodeId(i))).collect(),
+            nodes: (0..n).map(|i| make(NodeId::new(i))).collect(),
             alive: vec![true; n],
             inboxes: vec![Vec::new(); n],
             pending: Vec::new(),
@@ -139,14 +139,14 @@ impl<'n, P: NodeProcess> LegacyEngine<'n, P> {
                 continue;
             }
             let mut ctx = Ctx {
-                id: NodeId(i),
+                id: NodeId::new(i),
                 net: self.net,
                 alive: &self.alive,
                 outbox: Vec::new(),
             };
             self.nodes[i].on_init(&mut ctx);
             let outbox = ctx.outbox;
-            self.queue_outbox(NodeId(i), outbox);
+            self.queue_outbox(NodeId::new(i), outbox);
         }
     }
 
@@ -207,14 +207,14 @@ impl<'n, P: NodeProcess> LegacyEngine<'n, P> {
             let inbox = std::mem::take(&mut self.inboxes[i]);
             let refs: Vec<(NodeId, &P::Msg)> = inbox.iter().map(|(f, m)| (*f, m)).collect();
             let mut ctx = Ctx {
-                id: NodeId(i),
+                id: NodeId::new(i),
                 net: self.net,
                 alive: &self.alive,
                 outbox: Vec::new(),
             };
             self.nodes[i].on_round(&mut ctx, &refs);
             let outbox = ctx.outbox;
-            self.queue_outbox(NodeId(i), outbox);
+            self.queue_outbox(NodeId::new(i), outbox);
         }
         true
     }

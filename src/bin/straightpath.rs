@@ -161,8 +161,8 @@ fn cmd_route(rest: &[String]) {
     if comp.len() < 2 {
         die("network has no routable pair");
     }
-    let src = NodeId(flags.usize_or("--src", comp[0].index()));
-    let dst = NodeId(flags.usize_or("--dst", comp[comp.len() - 1].index()));
+    let src = NodeId::new(flags.usize_or("--src", comp[0].index()));
+    let dst = NodeId::new(flags.usize_or("--dst", comp[comp.len() - 1].index()));
     if src.index() >= net.len() || dst.index() >= net.len() {
         die("--src/--dst out of range");
     }
