@@ -681,6 +681,63 @@ mod tests {
     }
 
     #[test]
+    fn truncated_artifact_is_a_parse_error() {
+        // A build that dies mid-write leaves a half artifact; the gate
+        // must refuse it (exit 2 via run's Err), never compare it.
+        let cut = &BASE[..BASE.len() / 2];
+        assert!(Parser::parse(cut).is_err());
+        let dir = temp_dir("truncated");
+        let good = write_artifact(&dir, "base.json", 0.1);
+        let bad = dir.join("cur.json");
+        std::fs::write(&bad, cut).unwrap();
+        let err = run(&[good, bad.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.contains("cur.json"), "error names the bad file: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nan_median_is_a_parse_error_not_a_silent_pass() {
+        // `NaN > bar` is false for every bar, so a NaN median that
+        // slipped through comparison would read as "within tolerance".
+        // The JSON grammar has no NaN literal and the parser must say
+        // so rather than improvise one.
+        let nan =
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"time_seconds\": NaN}]}";
+        assert!(Parser::parse(nan).is_err());
+        // Neither can it hide as a non-numeric stand-in: parsing
+        // succeeds but comparison refuses the row (the stringly metric
+        // trips the identity check before the number check can).
+        let stringly =
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"time_seconds\": \"NaN\"}]}";
+        let base = Parser::parse(stringly).unwrap();
+        let cur = with_time(&[("fast", 0.1)]);
+        let err = compare(&base, &cur, 0.25, 0.002).unwrap_err();
+        assert!(err.contains("time_seconds"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_samples_field_is_informational_not_fatal() {
+        // `samples` (like `*_stddev`) is bookkeeping, not a gated
+        // metric: an artifact from an older bench writer without it
+        // still gates on its medians.
+        let no_samples =
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"time_seconds\": 0.1}]}";
+        let base = Parser::parse(no_samples).unwrap();
+        let cur = with_time(&[("fast", 0.3)]);
+        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        assert_eq!(f.len(), 1, "the median is still gated");
+        assert!(f[0].regressed, "3x slowdown still trips without samples");
+    }
+
+    #[test]
+    fn missing_results_array_is_an_error() {
+        let empty = Parser::parse("{\"benchmark\": \"demo\"}").unwrap();
+        let cur = with_time(&[("fast", 0.1)]);
+        let err = compare(&empty, &cur, 0.25, 0.002).unwrap_err();
+        assert!(err.contains("results"), "got: {err}");
+    }
+
+    #[test]
     fn benchmark_name_mismatch_is_an_error() {
         let base = Parser::parse("{\"benchmark\": \"a\", \"results\": []}").unwrap();
         let cur = Parser::parse("{\"benchmark\": \"b\", \"results\": []}").unwrap();

@@ -47,7 +47,7 @@ const STORM_ROUNDS: usize = 8;
 /// in the CI bench-gate job), so the gate's row counts match; local
 /// runs without it produce a shorter artifact and skip the gate rows.
 fn large_scale() -> bool {
-    std::env::var("SP_BENCH_SCALE").is_ok_and(|v| v == "large")
+    sp_sync::env_flag("SP_BENCH_SCALE", "large")
 }
 
 /// The paper's density at scale `n` (area grows with the node count).

@@ -36,7 +36,7 @@ const LARGE_FLOWS: usize = 2_048;
 /// committed baseline is generated with the toggle ON (as in the CI
 /// bench-gate job), so the gate's row counts match.
 fn large_scale() -> bool {
-    std::env::var("SP_BENCH_SCALE").is_ok_and(|v| v == "large")
+    sp_sync::env_flag("SP_BENCH_SCALE", "large")
 }
 
 /// Deterministic flow batches per class over the largest component.

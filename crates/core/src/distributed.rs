@@ -208,7 +208,7 @@ impl LabelingProcess {
             .iter()
             .find(|&&(id, _)| id == v.index())
             .map(|&(id, p)| (NodeId::new(id), p))
-            .expect("chain target comes from the in-zone candidate list");
+            .expect("chain target comes from the in-zone candidate list"); // sp-analyze: allow(panic, v is drawn from the same in-zone list being searched)
         match self
             .neighbor_view
             .get(&v)
@@ -247,7 +247,7 @@ impl NodeProcess for LabelingProcess {
                 .get(&from)
                 .is_some_and(|seen| seen.seq >= msg.seq);
             if !stale {
-                self.neighbor_view.insert(from, msg.clone());
+                self.neighbor_view.insert(from, msg.clone()); // sp-analyze: allow(alloc, clones the 16-byte Arc handle only; the payload stays the sender's single allocation)
             }
         }
         self.recompute_and_announce(ctx);

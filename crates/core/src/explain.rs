@@ -31,7 +31,7 @@ pub fn explain_route(net: &Network, route: &RouteResult, info: Option<&SafetyInf
     let Some((&first, _)) = route.path.split_first() else {
         return "empty route\n".to_string();
     };
-    let dst = *route.path.last().expect("non-empty path");
+    let dst = *route.path.last().expect("non-empty path"); // sp-analyze: allow(panic, split_first above already proved the path non-empty)
     let pd = match route.outcome {
         RouteOutcome::Delivered => net.position(dst),
         // For failed routes the last holder is not the destination; the

@@ -74,8 +74,8 @@ impl ShapeMap {
                 let order = ccw_order_in_quadrant(pu, q, in_zone);
                 match (order.first(), order.last()) {
                     (Some(&v1), Some(&v2)) => {
-                        let f = first_far[v1].expect("chain target processed first (depth order)");
-                        let l = last_far[v2].expect("chain target processed first (depth order)");
+                        let f = first_far[v1].expect("chain target processed first (depth order)"); // sp-analyze: allow(panic, depth-sorted sweep fills chain targets before their dependents)
+                        let l = last_far[v2].expect("chain target processed first (depth order)"); // sp-analyze: allow(panic, depth-sorted sweep fills chain targets before their dependents)
                         first_far[u.index()] = Some(f);
                         last_far[u.index()] = Some(l);
                     }
@@ -88,8 +88,8 @@ impl ShapeMap {
             }
 
             for &u in &unsafe_ids {
-                let u1 = first_far[u.index()].expect("every unsafe node got a chain");
-                let u2 = last_far[u.index()].expect("every unsafe node got a chain");
+                let u1 = first_far[u.index()].expect("every unsafe node got a chain"); // sp-analyze: allow(panic, the loop above assigned a chain to every unsafe id)
+                let u2 = last_far[u.index()].expect("every unsafe node got a chain"); // sp-analyze: allow(panic, the loop above assigned a chain to every unsafe id)
                 per_type[q.array_index()][u.index()] = Some(make_estimate(net, u, q, u1, u2));
             }
         }

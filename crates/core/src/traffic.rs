@@ -19,8 +19,8 @@
 //!   the workspace-wide thread policy.
 
 use crate::{RouteBuffer, RouteOutcome, RouteRef, Routing};
-use sp_net::{Network, NodeId, SpatialIndex};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sp_net::{Network, NodeId};
+use sp_sync::WorkQueue;
 
 /// The thread-count environment knob read by [`TrafficEngine::new`].
 pub const TRAFFIC_THREADS_ENV: &str = "SP_TRAFFIC_THREADS";
@@ -204,7 +204,7 @@ impl<'n> TrafficEngine<'n> {
     pub fn new(net: &'n Network) -> TrafficEngine<'n> {
         TrafficEngine {
             net,
-            threads: SpatialIndex::configured_threads_for(TRAFFIC_THREADS_ENV),
+            threads: sp_sync::configured_threads_for(TRAFFIC_THREADS_ENV),
         }
     }
 
@@ -236,59 +236,20 @@ impl<'n> TrafficEngine<'n> {
         T: Send,
         F: Fn(usize, (NodeId, NodeId), RouteRef<'_>) -> T + Sync,
     {
-        let chunks = flows.len().div_ceil(FLOW_CHUNK);
-        let workers = self.threads.min(chunks);
-        if workers <= 1 {
-            let mut buf = RouteBuffer::with_capacity(self.net.len());
-            return flows
-                .iter()
-                .enumerate()
-                .map(|(i, &(src, dst))| {
-                    let r = router.route_into(self.net, src, dst, &mut buf);
-                    map(i, (src, dst), r)
-                })
-                .collect();
-        }
-
-        // Workers claim fixed-size flow chunks off an atomic cursor and
-        // route them with a thread-local buffer; chunks reassemble in
-        // index order, so the merged output is the serial output.
-        let cursor = AtomicUsize::new(0);
-        let mut merged: Vec<Option<Vec<T>>> = (0..chunks).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut buf = RouteBuffer::with_capacity(self.net.len());
-                        let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
-                        loop {
-                            let c = cursor.fetch_add(1, Ordering::Relaxed);
-                            if c >= chunks {
-                                break;
-                            }
-                            let lo = c * FLOW_CHUNK;
-                            let hi = (lo + FLOW_CHUNK).min(flows.len());
-                            let mut out = Vec::with_capacity(hi - lo);
-                            for (i, &(src, dst)) in flows[lo..hi].iter().enumerate() {
-                                let r = router.route_into(self.net, src, dst, &mut buf);
-                                out.push(map(lo + i, (src, dst), r));
-                            }
-                            mine.push((c, out));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (c, out) in h.join().expect("traffic worker panicked") {
-                    merged[c] = Some(out);
-                }
-            }
-        });
-        merged
-            .into_iter()
-            .flat_map(|chunk| chunk.expect("every chunk routed"))
-            .collect()
+        // Workers claim [`FLOW_CHUNK`]-sized flow chunks off the shared
+        // [`sp_sync::WorkQueue`] cursor and route them with a
+        // worker-local warm buffer; chunks reassemble in index order,
+        // so the merged output is the serial output.
+        WorkQueue::chunked(FLOW_CHUNK).run_with(
+            self.threads,
+            flows.len(),
+            || RouteBuffer::with_capacity(self.net.len()),
+            |buf, i| {
+                let (src, dst) = flows[i];
+                let r = router.route_into(self.net, src, dst, buf);
+                map(i, (src, dst), r)
+            },
+        )
     }
 
     /// Routes every flow, returning per-flow [`RouteRecord`]s (in flow

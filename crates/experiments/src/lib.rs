@@ -56,7 +56,7 @@ pub mod workload;
 pub use config::SweepConfig;
 pub use runner::{
     random_connected_pair, run_instance, run_sweep, RouteRecord, SchemePoint, SweepPoint,
-    SweepResults,
+    SweepResults, SWEEP_THREADS_ENV,
 };
 pub use scenario::{Scenario, ScenarioBuild, ScenarioRegistry};
 pub use scenarios::{all_scenarios, PaperScenario};

@@ -1,7 +1,7 @@
 //! The parallel sweep runner.
 //!
-//! Fans network instances out over worker threads (a std-only atomic
-//! cursor as the work queue), routes every scheme's flow batch through
+//! Fans network instances out over worker threads (the shared
+//! [`sp_sync::WorkQueue`]), routes every scheme's flow batch through
 //! a [`TrafficEngine`] session on every instance, and folds the
 //! per-instance records into per-point statistics. Scheme display
 //! names resolve **once per sweep** ([`Scheme::display_names`]) and are
@@ -14,6 +14,7 @@ use rand::{RngExt, SeedableRng};
 use sp_core::TrafficEngine;
 use sp_metrics::Summary;
 use sp_net::{interference_count, Network, NodeId, RadioModel};
+use sp_sync::WorkQueue;
 use std::sync::Arc;
 
 /// Packet size used for the A7 energy accounting, in bits. One short
@@ -227,7 +228,7 @@ pub fn run_sweep(cfg: &SweepConfig, schemes: &[Scheme]) -> SweepResults {
                 .schemes
                 .iter_mut()
                 .find(|s| s.scheme == r.scheme)
-                .expect("record scheme was in the sweep set");
+                .expect("record scheme was in the sweep set"); // sp-analyze: allow(panic, records are produced only from the schemes this sweep was given)
             sp.add(&r);
         }
     }
@@ -237,41 +238,23 @@ pub fn run_sweep(cfg: &SweepConfig, schemes: &[Scheme]) -> SweepResults {
     }
 }
 
+/// Environment knob pinning the sweep worker count.
+pub const SWEEP_THREADS_ENV: &str = "SP_SWEEP_THREADS";
+
 /// Executes the instance jobs across worker threads.
 ///
-/// Workers pull jobs from a shared atomic cursor, so load balances
-/// dynamically even when instance sizes differ widely.
+/// Workers pull jobs off the shared [`sp_sync::WorkQueue`] cursor, so
+/// load balances dynamically even when instance sizes differ widely;
+/// results come back in job order regardless of worker count.
 fn run_jobs(
     cfg: &SweepConfig,
     schemes: &[Scheme],
     jobs: &[(usize, usize, u64)],
 ) -> Vec<(usize, Vec<RouteRecord>)> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(&(point_idx, n, seed)) = jobs.get(i) else {
-                            break;
-                        };
-                        out.push((point_idx, run_instance(cfg, schemes, n, seed)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+    let workers = sp_sync::configured_threads_for(SWEEP_THREADS_ENV).min(jobs.len().max(1));
+    WorkQueue::new().run(workers, jobs.len(), |i| {
+        let (point_idx, n, seed) = jobs[i];
+        (point_idx, run_instance(cfg, schemes, n, seed))
     })
 }
 

@@ -104,7 +104,7 @@ impl ScenarioRegistry {
         F: Fn(&DeploymentConfig, u64) -> Vec<Point> + Send + Sync + 'static,
     {
         self.try_add(name.to_owned(), Arc::new(generate))
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
     }
 
     fn try_add(&mut self, name: String, generate: ScenarioBuild) -> Result<Scenario, String> {
@@ -173,6 +173,7 @@ impl Scenario {
         // Panic only after the lock guard is released, so a rejected
         // registration cannot poison the registry for other threads.
         Scenario::try_register(name, generate).unwrap_or_else(|e| panic!("{e}"))
+        // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
     }
 
     /// Registers a new scenario, reporting name collisions as `Err`

@@ -135,7 +135,7 @@ impl SchemeRegistry {
             + 'static,
     {
         self.try_add(name.to_owned(), Arc::new(build))
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
     }
 
     fn try_add(&mut self, name: String, build: SchemeBuild) -> Result<Scheme, String> {
@@ -259,7 +259,7 @@ impl Scheme {
     {
         // Panic only after the lock guard is released, so a rejected
         // registration cannot poison the registry for other threads.
-        Scheme::try_register(name, build).unwrap_or_else(|e| panic!("{e}"))
+        Scheme::try_register(name, build).unwrap_or_else(|e| panic!("{e}")) // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
     }
 
     /// Registers a new scheme, reporting name collisions as `Err`
@@ -415,7 +415,7 @@ impl SchemeFamily {
     /// Panics when any name is already registered (no variant is added
     /// in that case); use [`SchemeFamily::try_register`] to recover.
     pub fn register(self) -> Vec<Scheme> {
-        self.try_register().unwrap_or_else(|e| panic!("{e}"))
+        self.try_register().unwrap_or_else(|e| panic!("{e}")) // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
     }
 
     /// Registers every variant atomically: on any name collision the

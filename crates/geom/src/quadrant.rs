@@ -97,7 +97,7 @@ impl Quadrant {
             2 => Quadrant::II,
             3 => Quadrant::III,
             4 => Quadrant::IV,
-            _ => panic!("quadrant index must be 1..=4, got {index}"),
+            _ => panic!("quadrant index must be 1..=4, got {index}"), // sp-analyze: allow(panic, documented contract of from_index; callers pass paper-notation constants)
         }
     }
 

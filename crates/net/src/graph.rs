@@ -8,8 +8,8 @@
 
 use crate::{CsrAdjacency, CsrPatch, NodeId, NodeRemap, PositionTable, SpatialIndex};
 use sp_geom::{Point, Rect};
+use sp_sync::WorkQueue;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Mover-batch size at which [`Network::update_adjacency_for`] shards
@@ -281,7 +281,7 @@ impl Network {
         dist[source.index()] = Some(0);
         queue.push_back(source);
         while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()].expect("queued nodes have distances");
+            let du = dist[u.index()].expect("queued nodes have distances"); // sp-analyze: allow(panic, BFS assigns dist before enqueueing every node)
             for &v in self.neighbors(u) {
                 if dist[v.index()].is_none() {
                     dist[v.index()] = Some(du + 1);
@@ -615,35 +615,13 @@ impl Network {
 
     /// The per-mover radius-query results behind the threaded
     /// reattachment, sharded across `threads` workers pulling movers
-    /// from an atomic cursor. Content and order per mover are identical
-    /// to the serial queries.
+    /// from the shared [`sp_sync::WorkQueue`] cursor. Content and
+    /// order per mover are identical to the serial queries.
     fn repair_candidates_threaded(&self, uniq: &[NodeId], threads: usize) -> Vec<Vec<NodeId>> {
-        let mut candidates: Vec<Vec<NodeId>> = vec![Vec::new(); uniq.len()];
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut mine: Vec<(usize, Vec<NodeId>)> = Vec::new();
-                        loop {
-                            let k = next.fetch_add(1, Ordering::Relaxed);
-                            if k >= uniq.len() {
-                                break;
-                            }
-                            let pu = self.index.position(uniq[k]);
-                            mine.push((k, self.index.within_radius(pu, self.radius).collect()));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (k, list) in h.join().expect("repair shard panicked") {
-                    candidates[k] = list;
-                }
-            }
-        });
-        candidates
+        WorkQueue::new().run(threads, uniq.len(), |k| {
+            let pu = self.index.position(uniq[k]);
+            self.index.within_radius(pu, self.radius).collect()
+        })
     }
 
     /// Byte-level accounting of the topology storage — the numbers the

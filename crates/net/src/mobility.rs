@@ -133,6 +133,7 @@ impl RandomWaypoint {
     ///
     /// Panics if `dt` is negative.
     pub fn step(&mut self, dt: f64) {
+        // sp-analyze: allow(index, motions/positions are sized to the node count and i ranges over motions.len())
         assert!(dt >= 0.0, "time must not run backward");
         self.elapsed += dt;
         for i in 0..self.motions.len() {
@@ -213,7 +214,7 @@ impl RandomWaypoint {
                 self.cache = Some(Network::from_positions(positions, self.radius, self.area));
             }
         }
-        self.cache.as_ref().expect("cache was just populated")
+        self.cache.as_ref().expect("cache was just populated") // sp-analyze: allow(panic, the branch above fills the cache when empty)
     }
 }
 

@@ -29,7 +29,7 @@
 
 use crate::{CsrAdjacency, NodeId, PositionTable};
 use sp_geom::{Point, Rect};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sp_sync::WorkQueue;
 use std::sync::Arc;
 
 /// Node count at which [`SpatialIndex::auto_threads`] starts asking for
@@ -188,6 +188,7 @@ impl SpatialIndex {
     ///
     /// Panics if `id` is out of range.
     pub fn move_point(&mut self, id: NodeId, new_pos: Point) {
+        // sp-analyze: allow(index, cell indices come from cell_of over the clamped grid; id is a live bounds-checked node)
         let old_cell = self.cell_of(self.positions.get(id.index()));
         let new_cell = self.cell_of(new_pos);
         Arc::make_mut(&mut self.positions).set(id.index(), new_pos);
@@ -195,7 +196,7 @@ impl SpatialIndex {
             let cell = &mut self.cells[old_cell];
             let at = cell
                 .binary_search(&id)
-                .expect("moved point is bucketed in its old cell");
+                .expect("moved point is bucketed in its old cell"); // sp-analyze: allow(panic, the grid invariant buckets every live id in its cell; checked by debug assertions in tests)
             cell.remove(at);
             let cell = &mut self.cells[new_cell];
             let at = cell
@@ -256,8 +257,8 @@ impl SpatialIndex {
     /// [`adjacency_within`](Self::adjacency_within) sharded across
     /// `threads` worker threads by contiguous *bands* of grid rows.
     ///
-    /// Workers pull row-bands from a shared atomic cursor (the same
-    /// std-only work-queue pattern as the sweep runner). Bands are
+    /// Workers pull row-bands from the shared [`sp_sync::WorkQueue`]
+    /// (the workspace's one audited atomic-cursor primitive). Bands are
     /// contiguous spatial regions balanced by per-row point counts, so
     /// each worker streams a disjoint, cache-local range of the
     /// position table — the locality-aware partitioning that makes the
@@ -271,45 +272,26 @@ impl SpatialIndex {
     pub fn adjacency_within_threaded(&self, radius: f64, threads: usize) -> CsrAdjacency {
         let r_sq = radius * radius;
         let offsets = self.forward_offsets(radius);
-        let threads = threads.clamp(1, self.rows);
-        let mut row_bufs: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(self.rows);
-        if threads <= 1 {
-            for cy in 0..self.rows {
+        let threads = threads.clamp(1, self.rows.max(1));
+        let bands = if threads <= 1 {
+            vec![(0, self.rows)]
+        } else {
+            self.row_bands(threads * BANDS_PER_THREAD)
+        };
+        let per_band = WorkQueue::new().run(threads, bands.len(), |b| {
+            let (start, end) = bands[b];
+            let mut mine: Vec<(usize, Vec<(NodeId, NodeId)>)> = Vec::with_capacity(end - start);
+            for cy in start..end {
                 let mut buf = Vec::new();
                 self.row_edges(cy as isize, &offsets, r_sq, &mut buf);
-                row_bufs.push(buf);
+                mine.push((cy, buf));
             }
-        } else {
-            row_bufs.resize_with(self.rows, Vec::new);
-            let bands = self.row_bands(threads * BANDS_PER_THREAD);
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut mine: Vec<(usize, Vec<(NodeId, NodeId)>)> = Vec::new();
-                            loop {
-                                let b = next.fetch_add(1, Ordering::Relaxed);
-                                if b >= bands.len() {
-                                    break;
-                                }
-                                let (start, end) = bands[b];
-                                for cy in start..end {
-                                    let mut buf = Vec::new();
-                                    self.row_edges(cy as isize, &offsets, r_sq, &mut buf);
-                                    mine.push((cy, buf));
-                                }
-                            }
-                            mine
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    for (cy, buf) in h.join().expect("adjacency shard panicked") {
-                        row_bufs[cy] = buf;
-                    }
-                }
-            });
+            mine
+        });
+        let mut row_bufs: Vec<Vec<(NodeId, NodeId)>> = Vec::new();
+        row_bufs.resize_with(self.rows, Vec::new);
+        for (cy, buf) in per_band.into_iter().flatten() {
+            row_bufs[cy] = buf;
         }
         CsrAdjacency::from_pair_rows(self.positions.len(), &row_bufs)
     }
@@ -412,18 +394,12 @@ impl SpatialIndex {
     /// [`configured_threads`](Self::configured_threads) parameterized
     /// by the environment knob, so every `*_THREADS` variable in the
     /// workspace (e.g. `sp-sim`'s `SP_SIM_THREADS`) shares one parsing
-    /// and fallback policy.
+    /// and fallback policy — since the concurrency layer moved into
+    /// `sp-sync`, this simply delegates to the workspace-wide
+    /// [`sp_sync::configured_threads_for`] (the knob must be declared
+    /// in [`sp_sync::knobs::ENV_KNOBS`]).
     pub fn configured_threads_for(env: &str) -> usize {
-        if let Ok(raw) = std::env::var(env) {
-            if let Ok(n) = raw.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        sp_sync::configured_threads_for(env)
     }
 
     /// Forward cell offsets covering each unordered pair of nearby cells

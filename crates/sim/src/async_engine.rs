@@ -392,7 +392,7 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
         self.batch.clear();
         self.batch.push(ev);
         while self.batch.len() < budget && self.queue.peek().is_some_and(|next| next.time == time) {
-            let next = self.queue.pop().expect("peeked event exists");
+            let next = self.queue.pop().expect("peeked event exists"); // sp-analyze: allow(panic, pop follows a successful peek under exclusive access)
             self.batch.push(next);
         }
         self.now = time;

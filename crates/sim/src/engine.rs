@@ -11,6 +11,7 @@
 
 use crate::{Ctx, FailurePlan, NodeProcess, RoundLog, SimStats};
 use sp_net::{Network, NodeId};
+use sp_sync::WorkQueue;
 
 /// Node count at which [`auto_threads`] starts asking for more than one
 /// thread. Below this, rounds are small enough that thread spawn and
@@ -310,6 +311,7 @@ where
     /// Executes one round. Returns `true` while the system is still
     /// active (messages delivered or failures applied this round).
     pub fn step(&mut self) -> bool {
+        // sp-analyze: allow(index, all indices are u32 node ids bounded by the construction-time node count; per-node arrays share that length)
         self.init();
         self.due_scratch.clear();
         self.due_scratch
@@ -431,11 +433,12 @@ where
     }
 
     /// The processing phase sharded across worker threads. The sorted
-    /// frontier is cut into contiguous chunks; each worker receives the
-    /// `split_at_mut` node range covering its chunk (ranges are disjoint
+    /// frontier is cut into contiguous chunks; each chunk *owns* the
+    /// `split_at_mut` node range covering it (ranges are disjoint
     /// because the frontier is sorted and deduplicated), so no two
-    /// threads ever touch the same process. Outboxes are merged in
-    /// chunk order — ascending node order — which reproduces the serial
+    /// workers claiming chunks off the shared [`sp_sync::WorkQueue`]
+    /// ever touch the same process. Outboxes are merged in chunk order
+    /// — ascending node order — which reproduces the serial
     /// buffered-message order exactly.
     fn process_frontier_threaded(&mut self) {
         let threads = self.threads.min(self.frontier.len());
@@ -445,50 +448,48 @@ where
         let delivering = &self.delivering;
         let alive = &self.alive;
         let net = self.net;
-        let mut merged: Vec<Vec<TaggedOutbox<P::Msg>>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            let mut rest: &mut [P] = &mut self.nodes;
-            let mut offset = 0usize;
-            for ids in frontier.chunks(chunk_len) {
-                let lo = ids[0] as usize;
-                let hi = *ids.last().expect("chunks are non-empty") as usize;
-                let tail = rest.split_at_mut(lo - offset).1;
-                let (mine, tail) = tail.split_at_mut(hi - lo + 1);
-                rest = tail;
-                offset = hi + 1;
-                handles.push(scope.spawn(move || {
-                    let mut out: Vec<TaggedOutbox<P::Msg>> = Vec::with_capacity(ids.len());
-                    let mut refs: Vec<(NodeId, &P::Msg)> = Vec::new();
-                    for &id in ids {
-                        let i = id as usize;
-                        if !alive[i] || inboxes[i].is_empty() {
-                            continue;
-                        }
-                        refs.clear();
-                        refs.extend(
-                            inboxes[i]
-                                .iter()
-                                .map(|&(from, m)| (from, &delivering[m as usize].2)),
-                        );
-                        let mut ctx = Ctx {
-                            id: NodeId::new(i),
-                            net,
-                            alive,
-                            outbox: Vec::new(),
-                        };
-                        mine[i - lo].on_round(&mut ctx, &refs);
-                        if !ctx.outbox.is_empty() {
-                            out.push((id, ctx.outbox));
-                        }
+        // One owned work item per chunk: its frontier ids, the disjoint
+        // mutable node range covering them, and the range's base id.
+        let mut chunks: Vec<(&[u32], &mut [P], usize)> = Vec::with_capacity(threads);
+        let mut rest: &mut [P] = &mut self.nodes;
+        let mut offset = 0usize;
+        for ids in frontier.chunks(chunk_len) {
+            let lo = ids[0] as usize;
+            let hi = *ids.last().expect("chunks are non-empty") as usize; // sp-analyze: allow(panic, chunks() never yields an empty slice)
+            let tail = rest.split_at_mut(lo - offset).1;
+            let (mine, tail) = tail.split_at_mut(hi - lo + 1);
+            rest = tail;
+            offset = hi + 1;
+            chunks.push((ids, mine, lo));
+        }
+        let mut merged: Vec<Vec<TaggedOutbox<P::Msg>>> =
+            WorkQueue::new().run_owned(threads, chunks, |(ids, mine, lo)| {
+                let mut out: Vec<TaggedOutbox<P::Msg>> = Vec::with_capacity(ids.len());
+                let mut refs: Vec<(NodeId, &P::Msg)> = Vec::new();
+                for &id in ids {
+                    let i = id as usize;
+                    if !alive[i] || inboxes[i].is_empty() {
+                        continue;
                     }
-                    out
-                }));
-            }
-            for h in handles {
-                merged.push(h.join().expect("round shard panicked"));
-            }
-        });
+                    refs.clear();
+                    refs.extend(
+                        inboxes[i]
+                            .iter()
+                            .map(|&(from, m)| (from, &delivering[m as usize].2)),
+                    );
+                    let mut ctx = Ctx {
+                        id: NodeId::new(i),
+                        net,
+                        alive,
+                        outbox: Vec::new(),
+                    };
+                    mine[i - lo].on_round(&mut ctx, &refs);
+                    if !ctx.outbox.is_empty() {
+                        out.push((id, ctx.outbox));
+                    }
+                }
+                out
+            });
         for shard in &mut merged {
             for (id, outbox) in shard.iter_mut() {
                 queue_outbox(

@@ -1,0 +1,33 @@
+//! The workspace's *single* audited concurrency surface.
+//!
+//! Five crates used to hand-roll the same std-only pattern — scoped
+//! worker threads pulling work off an `AtomicUsize` cursor, per-worker
+//! result buffers merged back in claim order so threaded output is
+//! bit-identical to serial. Five copies meant five places a subtle
+//! claim/merge bug could hide, and nothing stopping a sixth copy from
+//! drifting. This crate shrinks that surface to one implementation:
+//!
+//! * [`WorkQueue`] — the chunked atomic-cursor queue every threaded
+//!   scan in the workspace routes through ([`WorkQueue::run`],
+//!   [`WorkQueue::run_with`] for worker-local scratch state,
+//!   [`WorkQueue::run_owned`] for pre-partitioned `&mut` work items).
+//! * [`configured_threads_for`] — the one thread-count policy behind
+//!   every `SP_*_THREADS` knob (explicit env pin, else
+//!   [`std::thread::available_parallelism`]).
+//! * [`knobs`] — the declared registry of every `SP_*` environment
+//!   variable the workspace reads. `sp-analyze` fails CI when a knob
+//!   is read outside this registry or missing from the README.
+//! * [`check`] — a vendored mini-loom: a deterministic, exhaustive
+//!   interleaving explorer that model-checks the claim/merge protocol
+//!   (and the other lock-free idioms the routing stack relies on)
+//!   across every schedule of 2–3 modeled threads.
+//!
+//! The crate is intentionally dependency-free and `std`-only, like the
+//! rest of the workspace.
+
+pub mod check;
+pub mod knobs;
+mod queue;
+
+pub use knobs::{configured_threads_for, env_flag, env_var};
+pub use queue::WorkQueue;

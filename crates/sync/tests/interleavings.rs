@@ -1,0 +1,574 @@
+//! Exhaustive interleaving checks for the workspace's three lock-free
+//! protocols, driven by the [`sp_sync::check`] mini-loom.
+//!
+//! Each model mirrors one real protocol at the granularity of its
+//! atomic actions:
+//!
+//! 1. [`QueueClaimMerge`] — [`sp_sync::WorkQueue`]: workers `fetch_add`
+//!    a shared cursor to claim chunks, process them, and the merge
+//!    reassembles outputs in chunk order.
+//! 2. [`VisitedWraparound`] — `sp_core`'s `VisitedSet` generation
+//!    stamps behind a CAS-claimed buffer pool, with the epoch width
+//!    shrunk so every exploration crosses the wrap-and-bulk-clear path.
+//! 3. [`CowSwap`] — the epoch-versioned `Arc` copy-on-write position
+//!    table: a writer builds a private copy and publishes it with one
+//!    atomic pointer swap while readers load concurrently.
+//!
+//! The explorer walks **every** schedule of 2–3 modeled threads and
+//! checks the invariants at every reachable state, so a pass here is a
+//! proof over the modeled state space, not a lucky sample.
+
+use sp_sync::check::{explore, Interleave, Report};
+
+fn assert_explored(name: &str, report: Report) {
+    assert!(
+        report.schedules > 0,
+        "{name}: explorer must complete at least one schedule"
+    );
+    assert!(
+        report.steps >= report.schedules,
+        "{name}: steps {} < schedules {}",
+        report.steps,
+        report.schedules
+    );
+    eprintln!(
+        "{name}: {} schedules, {} steps, deepest {}",
+        report.schedules, report.steps, report.deepest
+    );
+}
+
+// ---------------------------------------------------------------------
+// Model 1: WorkQueue chunk claiming and ordered merge.
+// ---------------------------------------------------------------------
+
+/// Per-worker program counter for [`QueueClaimMerge`].
+#[derive(Clone, Copy, PartialEq)]
+enum WorkerPc {
+    /// About to `fetch_add` the shared cursor.
+    Claim,
+    /// Claimed this chunk; about to process and write its output slot.
+    Process(usize),
+    /// Cursor ran past the chunk count.
+    Finished,
+}
+
+/// Workers race a shared cursor for chunks, then the in-order merge is
+/// checked against the serial result.
+///
+/// `fetch_add` is a single atomic action in the real queue, so it is a
+/// single step here; processing + slot write is the second step. The
+/// invariants catch a chunk claimed twice (slot written twice), a chunk
+/// skipped, or a merge that fails to reconstruct chunk order.
+#[derive(Clone)]
+struct QueueClaimMerge {
+    cursor: usize,
+    chunks: usize,
+    pcs: Vec<WorkerPc>,
+    /// `slots[c]` = how many times chunk `c`'s output was written, and
+    /// the value written (chunk id, so the merged output must be the
+    /// identity sequence).
+    slots: Vec<(usize, usize)>,
+}
+
+impl QueueClaimMerge {
+    fn new(workers: usize, chunks: usize) -> QueueClaimMerge {
+        QueueClaimMerge {
+            cursor: 0,
+            chunks,
+            pcs: vec![WorkerPc::Claim; workers],
+            slots: vec![(0, usize::MAX); chunks],
+        }
+    }
+}
+
+impl Interleave for QueueClaimMerge {
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.pcs.len())
+            .filter(|&t| self.pcs[t] != WorkerPc::Finished)
+            .collect()
+    }
+
+    fn step(&mut self, tid: usize) {
+        match self.pcs[tid] {
+            WorkerPc::Claim => {
+                let c = self.cursor;
+                self.cursor += 1;
+                self.pcs[tid] = if c < self.chunks {
+                    WorkerPc::Process(c)
+                } else {
+                    WorkerPc::Finished
+                };
+            }
+            WorkerPc::Process(c) => {
+                self.slots[c].0 += 1;
+                self.slots[c].1 = c;
+                self.pcs[tid] = WorkerPc::Claim;
+            }
+            WorkerPc::Finished => unreachable!("finished workers are not runnable"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pcs.iter().all(|&pc| pc == WorkerPc::Finished)
+    }
+
+    fn invariants(&self) -> Result<(), String> {
+        for (c, &(writes, value)) in self.slots.iter().enumerate() {
+            if writes > 1 {
+                return Err(format!("chunk {c} claimed {writes} times"));
+            }
+            if writes == 1 && value != c {
+                return Err(format!("chunk {c} slot holds {value}: merge order broken"));
+            }
+        }
+        if self.done() {
+            if let Some(c) = self.slots.iter().position(|&(writes, _)| writes == 0) {
+                return Err(format!("chunk {c} never processed"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn work_queue_claims_every_chunk_exactly_once_in_order() {
+    for (workers, chunks) in [(2, 3), (3, 2), (3, 3)] {
+        let report = explore(&QueueClaimMerge::new(workers, chunks))
+            .unwrap_or_else(|v| panic!("{workers} workers / {chunks} chunks: {v}"));
+        assert_explored(&format!("queue {workers}w/{chunks}c"), report);
+    }
+}
+
+#[test]
+fn work_queue_model_catches_a_non_atomic_cursor() {
+    /// The same protocol with the claim split into a racy load and a
+    /// separate store — the bug the real `fetch_add` exists to prevent.
+    #[derive(Clone)]
+    struct TornClaim {
+        inner: QueueClaimMerge,
+        /// Thread ids mid-claim: loaded the cursor, not yet stored.
+        loaded: Vec<Option<usize>>,
+    }
+
+    impl Interleave for TornClaim {
+        fn runnable(&self) -> Vec<usize> {
+            self.inner.runnable()
+        }
+        fn step(&mut self, tid: usize) {
+            match self.inner.pcs[tid] {
+                WorkerPc::Claim => match self.loaded[tid] {
+                    None => self.loaded[tid] = Some(self.inner.cursor),
+                    Some(c) => {
+                        self.inner.cursor = c + 1;
+                        self.loaded[tid] = None;
+                        self.inner.pcs[tid] = if c < self.inner.chunks {
+                            WorkerPc::Process(c)
+                        } else {
+                            WorkerPc::Finished
+                        };
+                    }
+                },
+                _ => self.inner.step(tid),
+            }
+        }
+        fn done(&self) -> bool {
+            self.inner.done()
+        }
+        fn invariants(&self) -> Result<(), String> {
+            self.inner.invariants()
+        }
+    }
+
+    let err = explore(&TornClaim {
+        inner: QueueClaimMerge::new(2, 2),
+        loaded: vec![None; 2],
+    })
+    .expect_err("a load/store claim must double-claim under some schedule");
+    assert!(err.message.contains("claimed 2 times"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Model 2: VisitedSet generation stamps behind a CAS-claimed pool.
+// ---------------------------------------------------------------------
+
+/// Epoch width of the modeled `VisitedSet`. The real counter is `u32`;
+/// shrinking it to wrap after two resets forces every exploration
+/// through the wrap-and-bulk-clear branch that production code reaches
+/// once per `u32::MAX` routes.
+const EPOCH_MAX: u8 = 2;
+
+/// Modeled node count. Node 1 carries a stale stamp from a previous
+/// generation; node 0 is the one each packet actually visits.
+const NODES: usize = 2;
+
+#[derive(Clone, Copy)]
+struct ModelVisited {
+    stamps: [u8; NODES],
+    epoch: u8,
+}
+
+impl ModelVisited {
+    /// `VisitedSet::reset`, with the modeled epoch width: wraps
+    /// bulk-clear the stamps so stale generations stay unreadable.
+    fn reset(&mut self) {
+        if self.epoch == EPOCH_MAX {
+            self.stamps = [0; NODES];
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    fn insert(&mut self, v: usize) {
+        self.stamps[v] = self.epoch;
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        self.stamps[v] == self.epoch
+    }
+}
+
+/// Per-thread program counter for [`VisitedWraparound`].
+#[derive(Clone, Copy, PartialEq)]
+enum RoutePc {
+    /// Compare-and-swap the pool's `free` flag to claim the shared set.
+    TryClaim,
+    /// Start a fresh generation in the owned set (`true` = the shared
+    /// pooled set, `false` = a private fallback set).
+    Reset(bool),
+    /// Mark node 0 visited.
+    Insert(bool),
+    /// Read both nodes back; the invariant checks the observation.
+    Check(bool),
+    /// Return the shared set to the pool (fallback sets are dropped).
+    Release(bool),
+    Done,
+}
+
+/// Two packets race to reuse one pooled `VisitedSet` across the epoch
+/// wrap.
+///
+/// The pool hands the set out through a CAS on `free`; a loser takes a
+/// fresh private set (the pool's allocate-on-empty path) instead of
+/// spinning, which keeps the schedule space finite. The pooled set
+/// starts one reset away from the wrap with a stale stamp planted on
+/// node 1 — exactly the stamp that would alias a future epoch if the
+/// wrap failed to bulk-clear.
+#[derive(Clone)]
+struct VisitedWraparound {
+    pool: ModelVisited,
+    free: bool,
+    pcs: [RoutePc; 2],
+    privs: [ModelVisited; 2],
+    /// `(saw_inserted, saw_stale)` per thread, recorded at `Check`.
+    observed: [Option<(bool, bool)>; 2],
+}
+
+impl VisitedWraparound {
+    fn new() -> VisitedWraparound {
+        VisitedWraparound {
+            // One reset away from the wrap; node 1's stamp is stale
+            // residue from the "previous" packet's generation.
+            pool: ModelVisited {
+                stamps: [0, 1],
+                epoch: 1,
+            },
+            free: true,
+            pcs: [RoutePc::TryClaim; 2],
+            privs: [ModelVisited {
+                stamps: [0; NODES],
+                epoch: 0,
+            }; 2],
+            observed: [None; 2],
+        }
+    }
+
+    fn set_mut(&mut self, tid: usize, pooled: bool) -> &mut ModelVisited {
+        if pooled {
+            &mut self.pool
+        } else {
+            &mut self.privs[tid]
+        }
+    }
+}
+
+impl Interleave for VisitedWraparound {
+    fn runnable(&self) -> Vec<usize> {
+        (0..2).filter(|&t| self.pcs[t] != RoutePc::Done).collect()
+    }
+
+    fn step(&mut self, tid: usize) {
+        match self.pcs[tid] {
+            RoutePc::TryClaim => {
+                // CAS(free, true -> false): one atomic action.
+                let won = std::mem::replace(&mut self.free, false);
+                self.pcs[tid] = RoutePc::Reset(won);
+            }
+            RoutePc::Reset(pooled) => {
+                self.set_mut(tid, pooled).reset();
+                self.pcs[tid] = RoutePc::Insert(pooled);
+            }
+            RoutePc::Insert(pooled) => {
+                self.set_mut(tid, pooled).insert(0);
+                self.pcs[tid] = RoutePc::Check(pooled);
+            }
+            RoutePc::Check(pooled) => {
+                let set = if pooled { &self.pool } else { &self.privs[tid] };
+                self.observed[tid] = Some((set.contains(0), set.contains(1)));
+                self.pcs[tid] = RoutePc::Release(pooled);
+            }
+            RoutePc::Release(pooled) => {
+                if pooled {
+                    self.free = true;
+                }
+                self.pcs[tid] = RoutePc::Done;
+            }
+            RoutePc::Done => unreachable!("done threads are not runnable"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pcs.iter().all(|&pc| pc == RoutePc::Done)
+    }
+
+    fn invariants(&self) -> Result<(), String> {
+        // Mutual exclusion: at most one thread may hold the pooled set
+        // between claim and release.
+        let holders = self
+            .pcs
+            .iter()
+            .filter(|pc| {
+                matches!(
+                    pc,
+                    RoutePc::Reset(true)
+                        | RoutePc::Insert(true)
+                        | RoutePc::Check(true)
+                        | RoutePc::Release(true)
+                )
+            })
+            .count();
+        if holders > 1 {
+            return Err(format!("{holders} threads hold the pooled set at once"));
+        }
+        for (tid, obs) in self.observed.iter().enumerate() {
+            match obs {
+                Some((false, _)) => {
+                    return Err(format!("thread {tid}: inserted node reads unvisited"));
+                }
+                Some((_, true)) => {
+                    return Err(format!("thread {tid}: stale stamp survived the epoch wrap"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn visited_set_epoch_wrap_never_leaks_stale_stamps() {
+    let report = explore(&VisitedWraparound::new()).unwrap_or_else(|v| panic!("{v}"));
+    assert_explored("visited wraparound", report);
+}
+
+#[test]
+fn visited_model_catches_a_wrap_without_bulk_clear() {
+    /// The same protocol with the bulk-clear dropped from the wrap —
+    /// the bug the `stamps.fill(0)` in `VisitedSet::reset` prevents.
+    #[derive(Clone)]
+    struct NoClear(VisitedWraparound);
+
+    impl Interleave for NoClear {
+        fn runnable(&self) -> Vec<usize> {
+            self.0.runnable()
+        }
+        fn step(&mut self, tid: usize) {
+            if let RoutePc::Reset(pooled) = self.0.pcs[tid] {
+                let set = self.0.set_mut(tid, pooled);
+                // BUG: wrap the epoch without clearing the stamps.
+                if set.epoch == EPOCH_MAX {
+                    set.epoch = 0;
+                }
+                set.epoch += 1;
+                self.0.pcs[tid] = RoutePc::Insert(pooled);
+            } else {
+                self.0.step(tid);
+            }
+        }
+        fn done(&self) -> bool {
+            self.0.done()
+        }
+        fn invariants(&self) -> Result<(), String> {
+            self.0.invariants()
+        }
+    }
+
+    let err = explore(&NoClear(VisitedWraparound::new()))
+        .expect_err("a wrap without bulk-clear must alias a stale stamp");
+    assert!(err.message.contains("stale stamp"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Model 3: the Arc copy-on-write position-table swap.
+// ---------------------------------------------------------------------
+
+/// Per-thread program counter for [`CowSwap`]: pc 0 is the writer,
+/// pcs 1.. are readers.
+#[derive(Clone, Copy, PartialEq)]
+enum CowPc {
+    /// Writer: clone the current table into private storage.
+    Clone,
+    /// Writer: apply the position update to the private copy.
+    Mutate,
+    /// Writer: publish the new table with one atomic pointer store.
+    Publish,
+    /// Reader: atomically load the table pointer.
+    Load,
+    /// Reader: read positions through the loaded pointer.
+    Read,
+    Done,
+}
+
+/// A modeled position table: an epoch and the data that must always
+/// agree with it. `data == epoch` is the "fully initialized" condition;
+/// a torn publication breaks it.
+#[derive(Clone, Copy, PartialEq)]
+struct Table {
+    epoch: u8,
+    data: u8,
+}
+
+/// One writer swaps in an updated table while two readers load
+/// concurrently: no reader may ever observe a table whose data does not
+/// match its epoch, whichever side of the swap it lands on.
+#[derive(Clone)]
+struct CowSwap {
+    /// The published `Arc` pointer (modeled by value: readers holding a
+    /// clone of the old table keep it alive, exactly like `Arc`).
+    published: Table,
+    /// The writer's private copy-in-progress.
+    private: Option<Table>,
+    pcs: Vec<CowPc>,
+    /// Each reader's loaded pointer (its `Arc` clone).
+    loaded: Vec<Option<Table>>,
+    /// Each reader's final observation.
+    observed: Vec<Option<Table>>,
+}
+
+impl CowSwap {
+    fn new(readers: usize) -> CowSwap {
+        let mut pcs = vec![CowPc::Clone];
+        pcs.extend(std::iter::repeat_n(CowPc::Load, readers));
+        CowSwap {
+            published: Table { epoch: 1, data: 1 },
+            private: None,
+            pcs,
+            loaded: vec![None; readers + 1],
+            observed: vec![None; readers + 1],
+        }
+    }
+}
+
+impl Interleave for CowSwap {
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.pcs.len())
+            .filter(|&t| self.pcs[t] != CowPc::Done)
+            .collect()
+    }
+
+    fn step(&mut self, tid: usize) {
+        match self.pcs[tid] {
+            CowPc::Clone => {
+                self.private = Some(self.published);
+                self.pcs[tid] = CowPc::Mutate;
+            }
+            CowPc::Mutate => {
+                // The COW discipline: epoch and data advance together
+                // on the *private* copy, before publication.
+                if let Some(t) = self.private.as_mut() {
+                    t.epoch += 1;
+                    t.data = t.epoch;
+                }
+                self.pcs[tid] = CowPc::Publish;
+            }
+            CowPc::Publish => {
+                self.published = self.private.take().expect("mutated before publishing");
+                self.pcs[tid] = CowPc::Done;
+            }
+            CowPc::Load => {
+                self.loaded[tid] = Some(self.published);
+                self.pcs[tid] = CowPc::Read;
+            }
+            CowPc::Read => {
+                self.observed[tid] = self.loaded[tid];
+                self.pcs[tid] = CowPc::Done;
+            }
+            CowPc::Done => unreachable!("done threads are not runnable"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pcs.iter().all(|&pc| pc == CowPc::Done)
+    }
+
+    fn invariants(&self) -> Result<(), String> {
+        for (tid, obs) in self.observed.iter().enumerate() {
+            if let Some(t) = obs {
+                if t.data != t.epoch {
+                    return Err(format!(
+                        "reader {tid} observed epoch {} with data {}",
+                        t.epoch, t.data
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn cow_swap_readers_never_observe_a_torn_table() {
+    for readers in [1, 2] {
+        let report =
+            explore(&CowSwap::new(readers)).unwrap_or_else(|v| panic!("{readers} readers: {v}"));
+        assert_explored(&format!("cow swap {readers}r"), report);
+    }
+}
+
+#[test]
+fn cow_model_catches_in_place_mutation() {
+    /// The same writer mutating the *published* table in place instead
+    /// of a private copy — the bug the COW clone exists to prevent.
+    #[derive(Clone)]
+    struct InPlace(CowSwap);
+
+    impl Interleave for InPlace {
+        fn runnable(&self) -> Vec<usize> {
+            self.0.runnable()
+        }
+        fn step(&mut self, tid: usize) {
+            match self.0.pcs[tid] {
+                // BUG: skip the clone; bump epoch and data as two
+                // separate writes to the shared published table.
+                CowPc::Clone => {
+                    self.0.published.epoch += 1;
+                    self.0.pcs[tid] = CowPc::Mutate;
+                }
+                CowPc::Mutate => {
+                    self.0.published.data = self.0.published.epoch;
+                    self.0.pcs[tid] = CowPc::Done;
+                }
+                _ => self.0.step(tid),
+            }
+        }
+        fn done(&self) -> bool {
+            self.0.done()
+        }
+        fn invariants(&self) -> Result<(), String> {
+            self.0.invariants()
+        }
+    }
+
+    let err = explore(&InPlace(CowSwap::new(1)))
+        .expect_err("in-place mutation must show a reader a torn table");
+    assert!(err.message.contains("observed epoch"), "{err}");
+}

@@ -1,0 +1,190 @@
+//! Refactor-parity property tests: [`sp_sync::WorkQueue`] must
+//! reproduce the five inline atomic-cursor loops it replaced **bit for
+//! bit**.
+//!
+//! The reference implementations below are the pre-refactor loop
+//! shapes, kept verbatim (shared `AtomicUsize` cursor, per-worker
+//! `(chunk, outputs)` buffers, merge in chunk order): the flow-chunked
+//! scan that lived in `sp_core::TrafficEngine::run_map`, and the
+//! one-index-per-claim scan that lived in `sp_experiments::run_jobs`
+//! and `sp_net`'s grid/repair scans. Every property drives queue and
+//! reference over random inputs at thread counts {1, 2, 3, 8} and
+//! compares outputs exactly — f64 payloads by bit pattern, so `-0.0`
+//! vs `0.0` or NaN-payload drift would fail, not pass by `==`.
+
+use proptest::prelude::*;
+use sp_sync::WorkQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread counts every property is held at (the set the refactor's
+/// call sites actually use: serial, small, odd, and oversubscribed).
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// The pre-refactor chunked cursor loop, verbatim: workers claim
+/// `chunk`-sized index ranges off an atomic cursor, map them with a
+/// worker-local state, and the chunks reassemble in index order.
+fn inline_reference<S, T, G, F>(
+    threads: usize,
+    chunk: usize,
+    count: usize,
+    init: G,
+    work: F,
+) -> Vec<T>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let chunks = count.div_ceil(chunk);
+    let workers = threads.min(chunks);
+    if workers <= 1 {
+        let mut state = init();
+        return (0..count).map(|i| work(&mut state, i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut merged: Vec<Option<Vec<T>>> = (0..chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(count);
+                        let mut out = Vec::with_capacity(hi - lo);
+                        for i in lo..hi {
+                            out.push(work(&mut state, i));
+                        }
+                        mine.push((c, out));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, out) in h.join().expect("reference worker panicked") {
+                merged[c] = Some(out);
+            }
+        }
+    });
+    merged
+        .into_iter()
+        .flat_map(|c| c.expect("every chunk claimed"))
+        .collect()
+}
+
+/// A deterministic, index-dependent f64 whose bit pattern is sensitive
+/// to any change in evaluation: transcendental mixing of the input
+/// value and index.
+fn payload(x: f64, i: usize) -> f64 {
+    (x * (i as f64 + 0.5)).sin() * 1e6 + (i as f64).sqrt()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `run` (one index per claim — the sweep-runner / repair-scan
+    /// shape) equals both the serial map and the inline reference loop
+    /// at every thread count, bit for bit.
+    #[test]
+    fn run_matches_inline_reference(
+        inputs in prop::collection::vec(-1e3f64..1e3, 0..200),
+    ) {
+        let n = inputs.len();
+        let work = |i: usize| payload(inputs[i], i);
+        let serial: Vec<f64> = (0..n).map(work).collect();
+        for threads in THREADS {
+            let reference = inline_reference(threads, 1, n, || (), |_, i| work(i));
+            let queued = WorkQueue::new().run(threads, n, work);
+            prop_assert_eq!(bits(&reference), bits(&serial), "reference vs serial, {} threads", threads);
+            prop_assert_eq!(bits(&queued), bits(&serial), "queue vs serial, {} threads", threads);
+        }
+    }
+
+    /// `run_with` under flow-style chunking (the `TrafficEngine`
+    /// shape, worker-local scratch buffer included) equals the inline
+    /// reference loop for every chunk size, bit for bit.
+    #[test]
+    fn chunked_run_with_matches_inline_reference(
+        inputs in prop::collection::vec(-1e3f64..1e3, 0..200),
+        chunk in 1usize..=96,
+    ) {
+        let n = inputs.len();
+        // Scratch-buffer work: fill a reusable worker-local buffer per
+        // unit and fold it — the shape of routing into a warm
+        // RouteBuffer. Output depends only on the index, never on
+        // which worker's buffer computed it.
+        let work = |buf: &mut Vec<f64>, i: usize| {
+            buf.clear();
+            for k in 0..(i % 7) + 1 {
+                buf.push(payload(inputs[i], k));
+            }
+            buf.iter().sum::<f64>()
+        };
+        let serial: Vec<f64> = {
+            let mut buf = Vec::new();
+            (0..n).map(|i| work(&mut buf, i)).collect()
+        };
+        for threads in THREADS {
+            let reference = inline_reference(threads, chunk, n, Vec::new, work);
+            let queued = WorkQueue::chunked(chunk).run_with(threads, n, Vec::new, work);
+            prop_assert_eq!(bits(&reference), bits(&serial), "reference vs serial, {} threads, chunk {}", threads, chunk);
+            prop_assert_eq!(bits(&queued), bits(&serial), "queue vs serial, {} threads, chunk {}", threads, chunk);
+        }
+    }
+
+    /// `run_owned` over pre-split `&mut` slices (the simulation
+    /// engine's frontier shape) leaves the underlying array and the
+    /// collected outputs identical to serial execution.
+    #[test]
+    fn run_owned_slices_match_serial(
+        inputs in prop::collection::vec(0u64..1_000_000, 0..200),
+        split in 1usize..=32,
+    ) {
+        let transform = |x: u64, k: usize| x.wrapping_mul(2654435761).rotate_left((k % 64) as u32);
+        // Serial: transform in place, record one checksum per slice.
+        let mut serial_data = inputs.clone();
+        let mut serial_sums = Vec::new();
+        for chunk in serial_data.chunks_mut(split) {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = transform(*x, k);
+            }
+            serial_sums.push(chunk.iter().fold(0u64, |a, &x| a ^ x.wrapping_add(0x9e3779b9)));
+        }
+        for threads in THREADS {
+            let mut data = inputs.clone();
+            let chunks: Vec<&mut [u64]> = data.chunks_mut(split).collect();
+            let sums = WorkQueue::new().run_owned(threads, chunks, |chunk| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = transform(*x, k);
+                }
+                chunk.iter().fold(0u64, |a, &x| a ^ x.wrapping_add(0x9e3779b9))
+            });
+            prop_assert_eq!(&sums, &serial_sums, "checksums diverged at {} threads", threads);
+            prop_assert_eq!(&data, &serial_data, "in-place mutation diverged at {} threads", threads);
+        }
+    }
+
+    /// Claim granularity is invisible: any chunk size produces the
+    /// same output vector as chunk size 1.
+    #[test]
+    fn chunk_size_never_changes_output(
+        n in 0usize..300,
+        chunk in 1usize..=64,
+        threads in prop::sample::select(THREADS.to_vec()),
+    ) {
+        let work = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let fine = WorkQueue::new().run(threads, n, work);
+        let coarse = WorkQueue::chunked(chunk).run(threads, n, work);
+        prop_assert_eq!(fine, coarse);
+    }
+}
