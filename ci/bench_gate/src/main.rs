@@ -4,8 +4,8 @@
 //! Usage:
 //!
 //! ```sh
-//! bench_gate [--tolerance 0.25] [--slack 0.002] \
-//!     [--history <dir> --branch <name>] \
+//! bench_gate [--tolerance 0.25] [--slack 0.002] [--latency-slack 0.000025] \
+//!     [--allow-missing] [--history <dir> --branch <name>] \
 //!     <baseline.json> <current.json> [<baseline2.json> <current2.json> ...]
 //! ```
 //!
@@ -21,9 +21,23 @@
 //! `tolerance` (default 0.25, i.e. 25%) absorbs machine-relative drift;
 //! `slack` (default 2 ms, absolute seconds) keeps microsecond-scale
 //! metrics — whose stddev rivals their median — from tripping the gate
-//! on scheduler noise. Informational fields (`*_samples`, `*_stddev`,
+//! on scheduler noise. **Percentile metrics** (`*_p50_seconds`,
+//! `*_p95_seconds`, `*_p99_seconds` — per-event tail latencies, e.g.
+//! the `service_latency` rows) use `latency-slack` (default 25 µs)
+//! instead: a per-query tail lives three orders of magnitude below the
+//! wall-clock metrics, so the 2 ms slack would swallow any real tail
+//! regression whole (a doubled p99 would still read "within
+//! tolerance"), while 25 µs still absorbs scheduler jitter on the
+//! single-digit-microsecond p50s. Informational fields (`*_samples`, `*_stddev`,
 //! `speedup*`, thread counts) are never gated. Exit code is non-zero
 //! when any metric regresses, so the CI job fails loudly.
+//!
+//! A metric present in the baseline but **absent from the fresh run**
+//! is a named `MISSING` gate failure (exit 1) pointing at the row and
+//! key — a bench writer that silently dropped a metric must not pass.
+//! `--allow-missing` downgrades those findings to warnings for the one
+//! legitimate case: a PR that deliberately retires a metric, gated
+//! against a baseline that still carries it.
 //!
 //! ## Per-branch baseline history
 //!
@@ -259,17 +273,56 @@ struct Finding {
     row: String,
     metric: String,
     baseline: f64,
-    current: f64,
+    /// `None` when the metric is in the baseline but absent from the
+    /// fresh run.
+    current: Option<f64>,
     regressed: bool,
 }
 
-/// Compares one parsed baseline/current artifact pair.
-fn compare(
-    baseline: &Value,
-    current: &Value,
-    tol: f64,
+/// The gate's thresholds and escape hatches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Gate {
+    /// Relative headroom every gated metric gets (0.25 = +25%).
+    tolerance: f64,
+    /// Absolute headroom (seconds / bytes-per-node) for wall-clock
+    /// medians and memory metrics.
     slack: f64,
-) -> Result<Vec<Finding>, String> {
+    /// Absolute headroom (seconds) for per-event percentile metrics
+    /// (`*_p50/_p95/_p99_seconds`), which live at microsecond scale.
+    latency_slack: f64,
+    /// Downgrade baseline-metric-missing-from-current findings from
+    /// gate failures to warnings.
+    allow_missing: bool,
+}
+
+impl Gate {
+    fn new(tolerance: f64, slack: f64) -> Gate {
+        Gate {
+            tolerance,
+            slack,
+            latency_slack: 0.000025,
+            allow_missing: false,
+        }
+    }
+
+    /// The absolute headroom for metric key `k`.
+    fn slack_for(&self, k: &str) -> f64 {
+        if is_percentile_metric(k) {
+            self.latency_slack
+        } else {
+            self.slack
+        }
+    }
+}
+
+/// True for the per-event tail-latency keys the `--latency-slack`
+/// floor applies to.
+fn is_percentile_metric(key: &str) -> bool {
+    key.ends_with("_p50_seconds") || key.ends_with("_p95_seconds") || key.ends_with("_p99_seconds")
+}
+
+/// Compares one parsed baseline/current artifact pair.
+fn compare(baseline: &Value, current: &Value, gate: &Gate) -> Result<Vec<Finding>, String> {
     let (b, c) = (
         baseline.as_object().ok_or("baseline is not an object")?,
         current.as_object().ok_or("current is not an object")?,
@@ -336,16 +389,26 @@ fn compare(
             let base = v
                 .as_number()
                 .ok_or_else(|| format!("{row_tag}: baseline '{k}' is not a number"))?;
-            let cur = cr
-                .get(k)
-                .and_then(Value::as_number)
-                .ok_or_else(|| format!("{row_tag}: current is missing metric '{k}'"))?;
+            // A gated metric the fresh run no longer reports is a
+            // first-class finding, not a parse error: the gate names
+            // the row and key, fails (unless --allow-missing), and
+            // still prints every other verdict.
+            let cur = match cr.get(k) {
+                Some(v) => Some(
+                    v.as_number()
+                        .ok_or_else(|| format!("{row_tag}: current '{k}' is not a number"))?,
+                ),
+                None => None,
+            };
             findings.push(Finding {
                 row: row_tag.clone(),
                 metric: k.clone(),
                 baseline: base,
                 current: cur,
-                regressed: cur > base * (1.0 + tol) + slack,
+                regressed: match cur {
+                    Some(cur) => cur > base * (1.0 + gate.tolerance) + gate.slack_for(k),
+                    None => !gate.allow_missing,
+                },
             });
         }
     }
@@ -418,8 +481,7 @@ fn update_history(dir: &Path, branch: &str, currents: &[&String]) -> Result<(), 
 }
 
 fn run(args: &[String]) -> Result<Vec<Finding>, String> {
-    let mut tol = 0.25;
-    let mut slack = 0.002;
+    let mut gate = Gate::new(0.25, 0.002);
     let mut history: Option<PathBuf> = None;
     let mut branch: Option<String> = None;
     let mut paths: Vec<&String> = Vec::new();
@@ -427,17 +489,24 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tolerance" => {
-                tol = it
+                gate.tolerance = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("--tolerance needs a number")?
             }
             "--slack" => {
-                slack = it
+                gate.slack = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("--slack needs a number (seconds)")?
             }
+            "--latency-slack" => {
+                gate.latency_slack = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--latency-slack needs a number (seconds)")?
+            }
+            "--allow-missing" => gate.allow_missing = true,
             "--history" => {
                 history = Some(PathBuf::from(
                     it.next().ok_or("--history needs a directory")?,
@@ -449,7 +518,7 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
     }
     if paths.is_empty() || !paths.len().is_multiple_of(2) {
         return Err(
-            "usage: bench_gate [--tolerance T] [--slack S] [--history DIR --branch NAME] <baseline.json> <current.json> ..."
+            "usage: bench_gate [--tolerance T] [--slack S] [--latency-slack S] [--allow-missing] [--history DIR --branch NAME] <baseline.json> <current.json> ..."
                 .to_owned(),
         );
     }
@@ -464,7 +533,7 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
             |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
         let committed = Parser::parse(&read(pair[0])?).map_err(|e| format!("{}: {e}", pair[0]))?;
         let cur = Parser::parse(&read(pair[1])?).map_err(|e| format!("{}: {e}", pair[1]))?;
-        let committed_findings = compare(&committed, &cur, tol, slack)?;
+        let committed_findings = compare(&committed, &cur, &gate)?;
         // The rolling baseline: this branch's, else the default
         // branch's (a fresh branch inherits main's bar).
         let rolling_path = history.as_ref().and_then(|(dir, branch)| {
@@ -497,7 +566,7 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
         // deleting cache entries by hand.
         let rolling_findings = Parser::parse(&read(&rp)?)
             .map_err(|e| format!("{rp}: {e}"))
-            .and_then(|rolling| compare(&rolling, &cur, tol, slack));
+            .and_then(|rolling| compare(&rolling, &cur, &gate));
         let mut rolling_findings = match rolling_findings {
             Ok(f)
                 if f.len() == committed_findings.len()
@@ -548,15 +617,24 @@ fn main() -> ExitCode {
         Ok(findings) => {
             let mut failed = 0usize;
             for f in &findings {
+                let Some(cur) = f.current else {
+                    let verdict = if f.regressed { "MISSING" } else { "missing-ok" };
+                    println!(
+                        "{verdict:>9}  {} {}: {:.6}s -> (absent from current run)",
+                        f.row, f.metric, f.baseline
+                    );
+                    failed += usize::from(f.regressed);
+                    continue;
+                };
                 let ratio = if f.baseline > 0.0 {
-                    f.current / f.baseline
+                    cur / f.baseline
                 } else {
                     f64::INFINITY
                 };
                 let verdict = if f.regressed { "REGRESSED" } else { "ok" };
                 println!(
                     "{verdict:>9}  {} {}: {:.6}s -> {:.6}s ({ratio:.2}x)",
-                    f.row, f.metric, f.baseline, f.current
+                    f.row, f.metric, f.baseline, cur
                 );
                 failed += usize::from(f.regressed);
             }
@@ -619,7 +697,7 @@ mod tests {
     fn unchanged_medians_pass() {
         let base = Parser::parse(BASE).unwrap();
         let cur = with_time(&[("fast", 0.1), ("slow", 0.5)]);
-        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        let f = compare(&base, &cur, &Gate::new(0.25, 0.002)).unwrap();
         assert_eq!(f.len(), 2);
         assert!(f.iter().all(|x| !x.regressed));
     }
@@ -628,7 +706,7 @@ mod tests {
     fn synthetic_2x_slowdown_fails() {
         let base = Parser::parse(BASE).unwrap();
         let cur = with_time(&[("fast", 0.2), ("slow", 1.0)]);
-        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        let f = compare(&base, &cur, &Gate::new(0.25, 0.002)).unwrap();
         assert!(
             f.iter().all(|x| x.regressed),
             "2x slowdown must trip the gate"
@@ -641,9 +719,9 @@ mod tests {
         // with 25% tolerance alone it would regress.
         let base = with_time(&[("fast", 0.000001)]);
         let cur = with_time(&[("fast", 0.001)]);
-        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        let f = compare(&base, &cur, &Gate::new(0.25, 0.002)).unwrap();
         assert!(!f[0].regressed);
-        let f = compare(&base, &cur, 0.25, 0.0).unwrap();
+        let f = compare(&base, &cur, &Gate::new(0.25, 0.0)).unwrap();
         assert!(f[0].regressed);
     }
 
@@ -652,32 +730,131 @@ mod tests {
         let base = with_time(&[("slow", 0.5)]);
         let ok = with_time(&[("slow", 0.624)]); // 0.5 * 1.25 + slack > this
         let bad = with_time(&[("slow", 0.628)]);
-        assert!(!compare(&base, &ok, 0.25, 0.002).unwrap()[0].regressed);
-        assert!(compare(&base, &bad, 0.25, 0.002).unwrap()[0].regressed);
+        assert!(!compare(&base, &ok, &Gate::new(0.25, 0.002)).unwrap()[0].regressed);
+        assert!(compare(&base, &bad, &Gate::new(0.25, 0.002)).unwrap()[0].regressed);
     }
 
     #[test]
     fn renamed_row_is_an_error_not_a_pass() {
         let base = with_time(&[("fast", 0.1)]);
         let cur = with_time(&[("other", 0.1)]);
-        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+        assert!(compare(&base, &cur, &Gate::new(0.25, 0.002)).is_err());
     }
 
     #[test]
     fn row_count_mismatch_is_an_error() {
         let base = with_time(&[("fast", 0.1)]);
         let cur = with_time(&[("fast", 0.1), ("extra", 0.1)]);
-        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+        assert!(compare(&base, &cur, &Gate::new(0.25, 0.002)).is_err());
     }
 
     #[test]
-    fn missing_metric_in_current_is_an_error() {
+    fn missing_metric_in_current_is_a_named_gate_failure() {
+        // A bench writer that silently dropped a metric must fail the
+        // gate with a finding naming the row and key — not pass, and
+        // not die as an opaque parse-level error that hides the rest
+        // of the report.
         let base = with_time(&[("fast", 0.1)]);
         let cur = Parser::parse(
             "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"n\": 100}]}",
         )
         .unwrap();
-        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+        let f = compare(&base, &cur, &Gate::new(0.25, 0.002)).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].metric, "time_seconds");
+        assert_eq!(f[0].current, None);
+        assert!(f[0].regressed, "a vanished metric must fail the gate");
+        assert!(
+            f[0].row.contains("fast"),
+            "finding names the row: {}",
+            f[0].row
+        );
+    }
+
+    #[test]
+    fn allow_missing_downgrades_vanished_metrics_only() {
+        let base = with_time(&[("fast", 0.1)]);
+        let cur = Parser::parse(
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"n\": 100}]}",
+        )
+        .unwrap();
+        let allow = Gate {
+            allow_missing: true,
+            ..Gate::new(0.25, 0.002)
+        };
+        let f = compare(&base, &cur, &allow).unwrap();
+        assert_eq!((f[0].current, f[0].regressed), (None, false));
+        // The escape hatch never excuses a real slowdown.
+        let slow = with_time(&[("fast", 0.9)]);
+        let f = compare(&base, &slow, &allow).unwrap();
+        assert!(
+            f[0].regressed,
+            "--allow-missing must not forgive regressions"
+        );
+    }
+
+    #[test]
+    fn allow_missing_flag_reaches_the_gate_through_run() {
+        let work = temp_dir("allowmissing");
+        let committed = write_artifact(&work, "base.json", 0.1);
+        let gutted = work.join("cur.json");
+        std::fs::write(
+            &gutted,
+            "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"n\": 100}]}",
+        )
+        .unwrap();
+        let cur = gutted.to_string_lossy().into_owned();
+        // Without the flag: a failing MISSING finding (exit 1 path).
+        let f = run(&[committed.clone(), cur.clone()]).unwrap();
+        assert!(f[0].regressed && f[0].current.is_none());
+        // With it: the same finding, downgraded.
+        let f = run(&["--allow-missing".into(), committed, cur]).unwrap();
+        assert!(!f[0].regressed && f[0].current.is_none());
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    #[test]
+    fn percentile_metrics_are_gated_with_the_latency_slack() {
+        let row = |p50: f64, p99: f64| {
+            Parser::parse(&format!(
+                "{{\"benchmark\": \"demo\", \"results\": [{{\"case\": \"churn\", \"run_seconds\": 0.4, \"query_p50_seconds\": {p50:.9}, \"query_p99_seconds\": {p99:.9}}}]}}"
+            ))
+            .unwrap()
+        };
+        // Microsecond-scale tails: a 2x p99 regression (144 µs -> 288
+        // µs) must trip the gate even though it is far inside the 2 ms
+        // wall-clock slack that gates run_seconds.
+        let base = row(0.000006, 0.000144);
+        let f = compare(&base, &row(0.000006, 0.000288), &Gate::new(0.25, 0.002)).unwrap();
+        let p99 = f.iter().find(|x| x.metric == "query_p99_seconds").unwrap();
+        assert!(p99.regressed, "2x p99 regression must trip the gate");
+        assert!(
+            f.iter().filter(|x| x.regressed).count() == 1,
+            "only the p99 regressed: {f:?}"
+        );
+        // Sub-latency-slack jitter on a tiny p50 never trips.
+        let f = compare(&base, &row(0.000030, 0.000144), &Gate::new(0.25, 0.002)).unwrap();
+        assert!(
+            f.iter().all(|x| !x.regressed),
+            "25 µs floor absorbs micro-jitter"
+        );
+        // And --latency-slack widens the floor like --slack does.
+        let wide = Gate {
+            latency_slack: 0.001,
+            ..Gate::new(0.25, 0.002)
+        };
+        let f = compare(&base, &row(0.000006, 0.000288), &wide).unwrap();
+        assert!(f.iter().all(|x| !x.regressed));
+    }
+
+    #[test]
+    fn percentile_key_detection_is_suffix_exact() {
+        assert!(is_percentile_metric("query_p50_seconds"));
+        assert!(is_percentile_metric("query_p95_seconds"));
+        assert!(is_percentile_metric("query_p99_seconds"));
+        assert!(!is_percentile_metric("run_seconds"));
+        assert!(!is_percentile_metric("p99_stddev"));
+        assert!(!is_percentile_metric("query_p90_seconds"));
     }
 
     #[test]
@@ -711,7 +888,7 @@ mod tests {
             "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"time_seconds\": \"NaN\"}]}";
         let base = Parser::parse(stringly).unwrap();
         let cur = with_time(&[("fast", 0.1)]);
-        let err = compare(&base, &cur, 0.25, 0.002).unwrap_err();
+        let err = compare(&base, &cur, &Gate::new(0.25, 0.002)).unwrap_err();
         assert!(err.contains("time_seconds"), "got: {err}");
     }
 
@@ -724,7 +901,7 @@ mod tests {
             "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"fast\", \"time_seconds\": 0.1}]}";
         let base = Parser::parse(no_samples).unwrap();
         let cur = with_time(&[("fast", 0.3)]);
-        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        let f = compare(&base, &cur, &Gate::new(0.25, 0.002)).unwrap();
         assert_eq!(f.len(), 1, "the median is still gated");
         assert!(f[0].regressed, "3x slowdown still trips without samples");
     }
@@ -733,7 +910,7 @@ mod tests {
     fn missing_results_array_is_an_error() {
         let empty = Parser::parse("{\"benchmark\": \"demo\"}").unwrap();
         let cur = with_time(&[("fast", 0.1)]);
-        let err = compare(&empty, &cur, 0.25, 0.002).unwrap_err();
+        let err = compare(&empty, &cur, &Gate::new(0.25, 0.002)).unwrap_err();
         assert!(err.contains("results"), "got: {err}");
     }
 
@@ -741,7 +918,7 @@ mod tests {
     fn benchmark_name_mismatch_is_an_error() {
         let base = Parser::parse("{\"benchmark\": \"a\", \"results\": []}").unwrap();
         let cur = Parser::parse("{\"benchmark\": \"b\", \"results\": []}").unwrap();
-        assert!(compare(&base, &cur, 0.25, 0.002).is_err());
+        assert!(compare(&base, &cur, &Gate::new(0.25, 0.002)).is_err());
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -875,10 +1052,10 @@ mod tests {
             .unwrap()
         };
         let base = row(80.0);
-        let f = compare(&base, &row(82.0), 0.25, 0.002).unwrap();
+        let f = compare(&base, &row(82.0), &Gate::new(0.25, 0.002)).unwrap();
         assert_eq!(f.len(), 2, "seconds + bytes must both be gated");
         assert!(f.iter().all(|x| !x.regressed));
-        let f = compare(&base, &row(160.0), 0.25, 0.002).unwrap();
+        let f = compare(&base, &row(160.0), &Gate::new(0.25, 0.002)).unwrap();
         assert!(
             f.iter()
                 .any(|x| x.metric == "csr_bytes_per_node" && x.regressed),
@@ -927,7 +1104,7 @@ mod tests {
             "{\"benchmark\": \"demo\", \"results\": [{\"case\": \"p\", \"threads\": 8, \"time_seconds\": 0.05, \"speedup\": 4.0}]}",
         )
         .unwrap();
-        let f = compare(&base, &cur, 0.25, 0.002).unwrap();
+        let f = compare(&base, &cur, &Gate::new(0.25, 0.002)).unwrap();
         assert_eq!(f.len(), 1);
         assert!(!f[0].regressed);
     }

@@ -60,6 +60,63 @@ impl SampleStats {
     }
 }
 
+/// Tail-latency percentiles of a per-event sample population, in
+/// seconds — what the `service_latency` bench records for per-query
+/// serving latency. Unlike [`SampleStats`] (repeat-samples of one
+/// routine, gated on the median), these summarize *every* event in a
+/// sustained stream, so the p95/p99 capture the tail a median hides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of events summarized.
+    pub count: usize,
+    /// Median (50th percentile) seconds.
+    pub p50: f64,
+    /// 95th-percentile seconds.
+    pub p95: f64,
+    /// 99th-percentile seconds.
+    pub p99: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes raw per-event seconds (any order; sorted internally).
+    pub fn of(samples: &[f64]) -> LatencyStats {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        LatencyStats {
+            count: sorted.len(),
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+        }
+    }
+
+    /// The `"<prefix>_latency_count": n, "<prefix>_p50_seconds": …,
+    /// "<prefix>_p95_seconds": …, "<prefix>_p99_seconds": …` JSON
+    /// fragment for one latency population. The `*_p50/p95/p99_seconds`
+    /// keys are gated by `ci/bench_gate` like every other `*_seconds`
+    /// metric, with the tighter `--latency-slack` absolute floor
+    /// (percentiles live at microsecond scale, far below the wall-clock
+    /// slack). Nine decimals keep nanosecond resolution in the
+    /// artifact.
+    pub fn json_fields(&self, prefix: &str) -> String {
+        format!(
+            "\"{prefix}_latency_count\": {}, \"{prefix}_p50_seconds\": {:.9}, \"{prefix}_p95_seconds\": {:.9}, \"{prefix}_p99_seconds\": {:.9}",
+            self.count, self.p50, self.p95, self.p99
+        )
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** sample slice:
+/// the smallest element such that at least `q` of the population is at
+/// or below it. Empty input yields 0.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// The `"<prefix>csr_bytes_per_node": …, "<prefix>total_bytes_per_node": …,
 /// "<prefix>legacy_bytes_per_node": …, "<prefix>adjacency_compression": …`
 /// JSON fragment for one [`sp_net::TopologyFootprint`] — the memory
@@ -138,6 +195,39 @@ mod tests {
         // The CSR arena must undercut the per-node-Vec layout.
         let f = net.memory_footprint();
         assert!(f.adjacency_bytes_per_node() < f.legacy_adjacency_bytes_per_node());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_input() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn latency_stats_sort_before_ranking() {
+        let mut backwards: Vec<f64> = (1..=200).rev().map(|i| i as f64 * 1e-6).collect();
+        let l = LatencyStats::of(&backwards);
+        assert_eq!(l.count, 200);
+        assert!((l.p50 - 100e-6).abs() < 1e-12);
+        assert!((l.p95 - 190e-6).abs() < 1e-12);
+        assert!((l.p99 - 198e-6).abs() < 1e-12);
+        backwards.clear();
+        assert_eq!(LatencyStats::of(&backwards).p99, 0.0);
+    }
+
+    #[test]
+    fn latency_json_fields_carry_nanosecond_resolution() {
+        let l = LatencyStats::of(&[2e-6, 1e-6, 3e-6, 4e-6]);
+        assert_eq!(
+            l.json_fields("query"),
+            "\"query_latency_count\": 4, \"query_p50_seconds\": 0.000002000, \
+             \"query_p95_seconds\": 0.000004000, \"query_p99_seconds\": 0.000004000"
+        );
     }
 
     #[test]

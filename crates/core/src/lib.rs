@@ -15,7 +15,10 @@
 //!   either-hand rule of §4;
 //! * [`LgfRouter`] (Algorithm 1), [`SlgfRouter`] (the earlier work \[7\])
 //!   and [`Slgf2Router`] (Algorithm 3) — all exposing the common
-//!   [`Routing`] trait used by the benchmark harness.
+//!   [`Routing`] trait used by the benchmark harness;
+//! * [`RoutingService`] — the serving shape: an epoch-versioned
+//!   snapshot owner answering sustained query streams while mobility
+//!   churns the topology underneath (see [`service`]).
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub mod maintenance;
 pub mod packet;
 pub mod regions;
 pub mod router;
+pub mod service;
 pub mod shape;
 pub mod slgf;
 pub mod slgf2;
@@ -69,6 +73,10 @@ pub use regions::{choose_hand, hand_order, Hand, RegionSplit};
 pub use router::{
     closer_than_entry, default_ttl, greedy_pick, perimeter_sweep, set_phase, walk, walk_into,
     zone_candidates, zone_type, HopPolicy, RouteBuffer, RouteRef, Routing,
+};
+pub use service::{
+    RoutingService, ServiceAnswer, ServiceBatch, ServiceSession, ServiceSnapshot,
+    SERVICE_THREADS_ENV,
 };
 pub use shape::{greedy_region, ShapeEstimate, ShapeMap};
 pub use slgf::SlgfRouter;

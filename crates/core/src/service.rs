@@ -1,0 +1,503 @@
+//! Routing as a service: the epoch-snapshot [`RoutingService`].
+//!
+//! Everything before this module is batch-and-discard: the harness
+//! builds a [`Network`], routes a batch through
+//! [`crate::TrafficEngine`], and throws both away. A deployment serving
+//! a million users is the opposite shape — a **long-lived** process
+//! answering a sustained query stream *while the topology churns* under
+//! node mobility. This module is that serving shape:
+//!
+//! * [`RoutingService`] owns an epoch-versioned [`ServiceSnapshot`]
+//!   (topology + safety information) behind an
+//!   [`sp_sync::EpochCell`]: mobility updates build the **next**
+//!   snapshot off to the side ([`Network::next_snapshot`] +
+//!   [`SafetyInfo::build`]) and publish it with one `Arc` swap, so
+//!   readers never wait on a rebuild;
+//! * [`ServiceSession`] is the per-worker reader: it pins a snapshot,
+//!   reuses one [`RouteBuffer`] (generation-stamped visited set, warm
+//!   path/phase vectors) across queries, and re-pins only when the
+//!   service's epoch counter moved — the steady-state query path is
+//!   one atomic load plus the route walk, no locks, no allocation;
+//! * every [`ServiceAnswer`] is stamped with the epoch it was computed
+//!   against, so consistency is checkable end to end: an answer's
+//!   epoch never exceeds [`RoutingService::epoch`], and its path is
+//!   valid against exactly that epoch's adjacency (property-tested in
+//!   `tests/service_consistency.rs`).
+//!
+//! [`RoutingService::run_batch`] serves whole query batches through the
+//! shared [`sp_sync::WorkQueue`], pinning one snapshot for the batch —
+//! answers merge in query order and are bit-identical to serial
+//! execution at any thread count, exactly like [`crate::TrafficEngine`].
+//!
+//! The `service_latency` bench drives this module with worker threads
+//! querying under a background churner and gates sustained
+//! queries/sec plus p50/p95/p99 per-query latency in CI
+//! (`BENCH_service.json`).
+
+use crate::{RouteBuffer, RouteOutcome, RouteResult, Routing, SafetyInfo, Slgf2Router};
+use sp_geom::Point;
+use sp_net::{Network, NodeId};
+use sp_sync::{EpochCell, Pinned, WorkQueue};
+
+/// The thread-count environment knob read by [`RoutingService::new`].
+pub const SERVICE_THREADS_ENV: &str = "SP_SERVICE_THREADS";
+
+/// Queries per work-queue claim in [`RoutingService::run_batch`] —
+/// same granularity trade-off as the traffic engine's flow chunks.
+const QUERY_CHUNK: usize = 64;
+
+/// One immutable epoch of the served world: the topology and the
+/// safety information SLGF2 routes with, built together so a query can
+/// never see a network from one epoch and labels from another.
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    net: Network,
+    info: SafetyInfo,
+}
+
+impl ServiceSnapshot {
+    /// Builds the snapshot for `net`: labels the network and derives
+    /// the shape estimates ([`SafetyInfo::build`]). This is the
+    /// expensive step mobility pays **off to the side**, before the
+    /// `Arc` swap makes the snapshot visible.
+    pub fn build(net: Network) -> ServiceSnapshot {
+        let info = SafetyInfo::build(&net);
+        ServiceSnapshot { net, info }
+    }
+
+    /// The epoch's topology.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The epoch's safety information.
+    pub fn info(&self) -> &SafetyInfo {
+        &self.info
+    }
+
+    /// The epoch's router: SLGF2 (Algorithm 3) over this snapshot's
+    /// safety information. Construction is a copy of four words — built
+    /// per query without cost.
+    pub fn router(&self) -> Slgf2Router<'_> {
+        Slgf2Router::new(&self.info)
+    }
+}
+
+/// Everything the service records about one answered query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceAnswer {
+    /// The epoch of the snapshot this answer was computed against.
+    /// Never exceeds [`RoutingService::epoch`] at any point after the
+    /// answer is produced.
+    pub epoch: u64,
+    /// The query's source.
+    pub src: NodeId,
+    /// The query's destination.
+    pub dst: NodeId,
+    /// Terminal status of the route.
+    pub outcome: RouteOutcome,
+    /// Hops walked.
+    pub hops: usize,
+    /// Euclidean path length walked.
+    pub length: f64,
+    /// Perimeter-phase entries.
+    pub perimeter_entries: usize,
+    /// Backup-phase entries.
+    pub backup_entries: usize,
+}
+
+impl ServiceAnswer {
+    /// True when the query's packet reached its destination.
+    pub fn delivered(&self) -> bool {
+        self.outcome == RouteOutcome::Delivered
+    }
+}
+
+/// One served batch: per-query answers in query order (bit-identical
+/// to serial execution at any thread count) plus the epoch the whole
+/// batch was pinned to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBatch {
+    /// The epoch every answer in this batch was computed against.
+    pub epoch: u64,
+    /// One answer per input query, in input order.
+    pub answers: Vec<ServiceAnswer>,
+}
+
+/// The long-lived routing service: an epoch-versioned topology owner
+/// answering queries while mobility churns underneath.
+///
+/// ```
+/// use sp_core::RoutingService;
+/// use sp_net::{deploy::DeploymentConfig, Network, NodeId};
+///
+/// let cfg = DeploymentConfig::paper_default(300);
+/// let net = Network::from_positions(cfg.deploy_uniform(7), cfg.radius, cfg.area);
+/// let service = RoutingService::new(net);
+///
+/// let mut session = service.session();
+/// let a = session.route(NodeId(0), NodeId(299));
+/// assert_eq!(a.epoch, 0);
+///
+/// // Mobility: build epoch 1 off to the side, publish, keep serving.
+/// let p = service.snapshot().value.network().position(NodeId(5));
+/// let moved = service.apply_moves(&[(NodeId(5), sp_geom::Point::new(p.x + 1.0, p.y))]);
+/// assert_eq!(moved, 1);
+/// assert_eq!(session.route(NodeId(0), NodeId(299)).epoch, 1);
+/// ```
+#[derive(Debug)]
+pub struct RoutingService {
+    cell: EpochCell<ServiceSnapshot>,
+    threads: usize,
+}
+
+impl RoutingService {
+    /// A service over `net` at epoch 0, with the default thread policy
+    /// for batches: `SP_SERVICE_THREADS` when set to a positive
+    /// integer, otherwise available parallelism.
+    pub fn new(net: Network) -> RoutingService {
+        RoutingService::from_snapshot(ServiceSnapshot::build(net))
+    }
+
+    /// A service over an already-built epoch-0 snapshot.
+    pub fn from_snapshot(snapshot: ServiceSnapshot) -> RoutingService {
+        RoutingService {
+            cell: EpochCell::new(snapshot),
+            threads: sp_sync::configured_threads_for(SERVICE_THREADS_ENV),
+        }
+    }
+
+    /// Pins the batch worker count (1 = serial; same answers either
+    /// way).
+    pub fn with_threads(mut self, threads: usize) -> RoutingService {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured batch worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The current epoch — one atomic load. Monotonic; every
+    /// [`ServiceAnswer::epoch`] ever produced is `<=` this.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Pins the current snapshot: the `(epoch, Arc)` pair, consistent
+    /// by construction. Holding the pin keeps the snapshot alive across
+    /// any number of later publishes.
+    pub fn snapshot(&self) -> Pinned<ServiceSnapshot> {
+        self.cell.load()
+    }
+
+    /// Applies a mobility tick: builds the next topology off to the
+    /// side ([`Network::next_snapshot`]), relabels it, publishes the
+    /// new epoch with one `Arc` swap, and returns the new epoch number.
+    /// Readers pinned to earlier epochs are never blocked and never see
+    /// a half-built snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any moved id is out of range.
+    pub fn apply_moves(&self, moves: &[(NodeId, Point)]) -> u64 {
+        let current = self.cell.load();
+        let next = current.value.network().next_snapshot(moves);
+        self.cell.publish(ServiceSnapshot::build(next))
+    }
+
+    /// Publishes a fully rebuilt topology as the next epoch (the
+    /// non-incremental handoff — e.g. a re-deployment). Returns the new
+    /// epoch number.
+    pub fn publish(&self, net: Network) -> u64 {
+        self.cell.publish(ServiceSnapshot::build(net))
+    }
+
+    /// A new reader session pinned to the current snapshot. Sessions
+    /// are cheap; give each worker thread its own and it will reuse one
+    /// warm [`RouteBuffer`] across every query it serves.
+    pub fn session(&self) -> ServiceSession<'_> {
+        let pinned = self.cell.load();
+        let cap = pinned.value.network().len();
+        ServiceSession {
+            service: self,
+            pinned,
+            buf: RouteBuffer::with_capacity(cap),
+        }
+    }
+
+    /// Serves a whole query batch against **one** pinned snapshot,
+    /// sharded over the shared work queue: answers come back in query
+    /// order and are bit-identical to serial execution at any thread
+    /// count (the consistency property tests enforce this). The batch
+    /// pins its snapshot once at entry, so a publish racing the batch
+    /// affects the *next* batch, never tears this one.
+    pub fn run_batch(&self, queries: &[(NodeId, NodeId)]) -> ServiceBatch {
+        let pinned = self.cell.load();
+        let snap = &*pinned.value;
+        let answers = WorkQueue::chunked(QUERY_CHUNK).run_with(
+            self.threads,
+            queries.len(),
+            || RouteBuffer::with_capacity(snap.network().len()),
+            |buf, i| {
+                let (src, dst) = queries[i];
+                answer(snap, pinned.epoch, src, dst, buf)
+            },
+        );
+        ServiceBatch {
+            epoch: pinned.epoch,
+            answers,
+        }
+    }
+}
+
+/// Routes one query against `snap` and stamps `epoch` on the answer.
+fn answer(
+    snap: &ServiceSnapshot,
+    epoch: u64,
+    src: NodeId,
+    dst: NodeId,
+    buf: &mut RouteBuffer,
+) -> ServiceAnswer {
+    let r = snap.router().route_into(snap.network(), src, dst, buf);
+    ServiceAnswer {
+        epoch,
+        src,
+        dst,
+        outcome: r.outcome,
+        hops: r.hops(),
+        length: r.length(snap.network()),
+        perimeter_entries: r.perimeter_entries,
+        backup_entries: r.backup_entries,
+    }
+}
+
+/// A per-worker reader of the service: one pinned snapshot, one reused
+/// [`RouteBuffer`]. The steady-state query path — epoch unchanged — is
+/// a single atomic load plus the route walk; when the service
+/// published, the next query transparently re-pins first.
+#[derive(Debug)]
+pub struct ServiceSession<'s> {
+    service: &'s RoutingService,
+    pinned: Pinned<ServiceSnapshot>,
+    buf: RouteBuffer,
+}
+
+impl ServiceSession<'_> {
+    /// The epoch this session currently serves from.
+    pub fn epoch(&self) -> u64 {
+        self.pinned.epoch
+    }
+
+    /// The pinned snapshot this session currently serves from.
+    pub fn snapshot(&self) -> &ServiceSnapshot {
+        &self.pinned.value
+    }
+
+    /// Re-pins to the current snapshot if the service published since
+    /// the last pin. Returns `true` when the pin moved. Called
+    /// automatically by [`ServiceSession::route`]; exposed for callers
+    /// that want several queries against one consistent epoch
+    /// ([`ServiceSession::route_pinned`]).
+    pub fn refresh(&mut self) -> bool {
+        if self.service.epoch() == self.pinned.epoch {
+            return false;
+        }
+        self.pinned = self.service.snapshot();
+        true
+    }
+
+    /// Answers one query against the **current** epoch (re-pinning
+    /// first if the service published since the last query).
+    pub fn route(&mut self, src: NodeId, dst: NodeId) -> ServiceAnswer {
+        self.refresh();
+        self.route_pinned(src, dst)
+    }
+
+    /// Answers one query against the epoch already pinned, without
+    /// checking for a newer one — the building block for multi-query
+    /// consistency (pin once via [`ServiceSession::refresh`], then ask
+    /// related queries against one world).
+    pub fn route_pinned(&mut self, src: NodeId, dst: NodeId) -> ServiceAnswer {
+        answer(
+            &self.pinned.value,
+            self.pinned.epoch,
+            src,
+            dst,
+            &mut self.buf,
+        )
+    }
+
+    /// [`ServiceSession::route`] returning the full owned trace next
+    /// to the epoch stamp — what the consistency tests validate paths
+    /// with.
+    pub fn route_traced(&mut self, src: NodeId, dst: NodeId) -> (u64, RouteResult) {
+        self.refresh();
+        let snap = &*self.pinned.value;
+        let r = snap
+            .router()
+            .route_into(snap.network(), src, dst, &mut self.buf);
+        (self.pinned.epoch, r.to_result())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_net::deploy::DeploymentConfig;
+
+    fn prepared(n: usize, seed: u64) -> Network {
+        let cfg = DeploymentConfig::paper_default(n);
+        Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area)
+    }
+
+    fn some_queries(net: &Network, count: usize) -> Vec<(NodeId, NodeId)> {
+        let comp = net.largest_component();
+        (0..count)
+            .map(|k| {
+                (
+                    comp[(k * 53) % comp.len()],
+                    comp[(k * 101 + 17) % comp.len()],
+                )
+            })
+            .filter(|(s, d)| s != d)
+            .collect()
+    }
+
+    /// A small deterministic jitter batch: every 7th node shifts a
+    /// little, staying inside the area.
+    fn jitter(net: &Network, magnitude: f64) -> Vec<(NodeId, Point)> {
+        net.node_ids()
+            .filter(|u| u.index() % 7 == 0)
+            .map(|u| {
+                let p = net.position(u);
+                let q = Point::new(
+                    (p.x + magnitude).min(net.area().max().x),
+                    (p.y + magnitude * 0.5).min(net.area().max().y),
+                );
+                (u, q)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fresh_service_serves_epoch_zero() {
+        let net = prepared(200, 3);
+        let service = RoutingService::new(net);
+        assert_eq!(service.epoch(), 0);
+        let mut session = service.session();
+        for (s, d) in some_queries(service.snapshot().value.network(), 10) {
+            let a = session.route(s, d);
+            assert_eq!(a.epoch, 0);
+            assert_eq!((a.src, a.dst), (s, d));
+        }
+    }
+
+    #[test]
+    fn session_answers_match_the_offline_router() {
+        let net = prepared(300, 5);
+        let queries = some_queries(&net, 25);
+        let service = RoutingService::new(net.clone());
+        let info = SafetyInfo::build(&net);
+        let router = Slgf2Router::new(&info);
+        let mut session = service.session();
+        for (s, d) in queries {
+            let a = session.route(s, d);
+            let offline = router.route(&net, s, d);
+            assert_eq!(a.outcome, offline.outcome, "{s}->{d}");
+            assert_eq!(a.hops, offline.hops(), "{s}->{d}");
+            assert_eq!(a.length, offline.length(&net), "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn publish_rolls_the_epoch_and_sessions_follow() {
+        let net = prepared(250, 7);
+        let service = RoutingService::new(net);
+        let mut session = service.session();
+        let (s, d) = some_queries(session.snapshot().network(), 1)[0];
+        assert_eq!(session.route(s, d).epoch, 0);
+
+        let moves = jitter(session.snapshot().network(), 2.0);
+        assert!(!moves.is_empty());
+        assert_eq!(service.apply_moves(&moves), 1);
+        assert_eq!(service.epoch(), 1);
+
+        // The stale session transparently re-pins on its next query.
+        assert_eq!(session.epoch(), 0);
+        let a = session.route(s, d);
+        assert_eq!(a.epoch, 1);
+        assert_eq!(session.epoch(), 1);
+    }
+
+    #[test]
+    fn pinned_routing_stays_on_its_epoch_across_publishes() {
+        let net = prepared(250, 9);
+        let service = RoutingService::new(net);
+        let mut session = service.session();
+        let queries = some_queries(session.snapshot().network(), 8);
+        let moves = jitter(session.snapshot().network(), 3.0);
+        service.apply_moves(&moves);
+        // route_pinned never refreshes: all answers stay at epoch 0
+        // even though the service moved on.
+        for &(s, d) in &queries {
+            assert_eq!(session.route_pinned(s, d).epoch, 0);
+        }
+        assert_eq!(service.epoch(), 1);
+        assert!(session.refresh());
+        assert_eq!(session.route_pinned(queries[0].0, queries[0].1).epoch, 1);
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_across_thread_counts() {
+        let net = prepared(350, 11);
+        let queries = some_queries(&net, 150);
+        let service = RoutingService::new(net);
+        let serial = service.with_threads(1);
+        let want = serial.run_batch(&queries);
+        assert_eq!(want.answers.len(), queries.len());
+        for threads in [2, 3, 8] {
+            let service = RoutingService::from_snapshot(serial.snapshot().value.as_ref().clone())
+                .with_threads(threads);
+            let got = service.run_batch(&queries);
+            assert_eq!(want.answers, got.answers, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_answers_agree_with_session_answers() {
+        let net = prepared(300, 13);
+        let queries = some_queries(&net, 40);
+        let service = RoutingService::new(net).with_threads(2);
+        let batch = service.run_batch(&queries);
+        let mut session = service.session();
+        for (i, &(s, d)) in queries.iter().enumerate() {
+            assert_eq!(batch.answers[i], session.route(s, d), "query {i}");
+        }
+    }
+
+    #[test]
+    fn answers_never_outrun_the_service_epoch() {
+        let net = prepared(200, 17);
+        let service = RoutingService::new(net);
+        let mut session = service.session();
+        let queries = some_queries(session.snapshot().network(), 6);
+        for round in 0..4u64 {
+            for &(s, d) in &queries {
+                let a = session.route(s, d);
+                assert!(a.epoch <= service.epoch());
+                assert_eq!(a.epoch, round);
+            }
+            let moves = jitter(session.snapshot().network(), 1.5);
+            service.apply_moves(&moves);
+        }
+    }
+
+    #[test]
+    fn thread_knob_floors_at_one() {
+        let net = prepared(60, 1);
+        let service = RoutingService::new(net).with_threads(0);
+        assert_eq!(service.threads(), 1);
+    }
+}

@@ -172,8 +172,8 @@ impl Scenario {
     {
         // Panic only after the lock guard is released, so a rejected
         // registration cannot poison the registry for other threads.
-        Scenario::try_register(name, generate).unwrap_or_else(|e| panic!("{e}"))
         // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
+        Scenario::try_register(name, generate).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Registers a new scenario, reporting name collisions as `Err`

@@ -476,6 +476,23 @@ impl Network {
         self.apply_moves_threaded(moves, Network::repair_threads(moves.len()));
     }
 
+    /// The off-to-the-side mobility handoff for epoch-versioned
+    /// serving: clones this snapshot and applies `moves` to the clone
+    /// ([`Network::apply_moves`]), leaving `self` untouched — readers
+    /// keep routing on the old topology for as long as they hold it
+    /// while the next epoch builds beside them. The position table's
+    /// `Arc` copy-on-write sharing means the clone pays for the CSR
+    /// arena but not a second position copy until a move touches it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn next_snapshot(&self, moves: &[(NodeId, Point)]) -> Network {
+        let mut next = self.clone();
+        next.apply_moves(moves);
+        next
+    }
+
     /// [`Network::apply_moves`] with a pinned repair thread count.
     /// Every count produces identical adjacency (property-tested); the
     /// knob only trades wall-clock on large mover batches.

@@ -132,8 +132,8 @@ impl RandomWaypoint {
     /// # Panics
     ///
     /// Panics if `dt` is negative.
+    // sp-analyze: allow(index, motions/positions are sized to the node count and i ranges over motions.len())
     pub fn step(&mut self, dt: f64) {
-        // sp-analyze: allow(index, motions/positions are sized to the node count and i ranges over motions.len())
         assert!(dt >= 0.0, "time must not run backward");
         self.elapsed += dt;
         for i in 0..self.motions.len() {

@@ -187,8 +187,8 @@ impl SpatialIndex {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
+    // sp-analyze: allow(index, cell indices come from cell_of over the clamped grid; id is a live bounds-checked node)
     pub fn move_point(&mut self, id: NodeId, new_pos: Point) {
-        // sp-analyze: allow(index, cell indices come from cell_of over the clamped grid; id is a live bounds-checked node)
         let old_cell = self.cell_of(self.positions.get(id.index()));
         let new_cell = self.cell_of(new_pos);
         Arc::make_mut(&mut self.positions).set(id.index(), new_pos);

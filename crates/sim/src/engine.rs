@@ -310,8 +310,8 @@ where
 {
     /// Executes one round. Returns `true` while the system is still
     /// active (messages delivered or failures applied this round).
+    // sp-analyze: allow(index, all indices are u32 node ids bounded by the construction-time node count; per-node arrays share that length)
     pub fn step(&mut self) -> bool {
-        // sp-analyze: allow(index, all indices are u32 node ids bounded by the construction-time node count; per-node arrays share that length)
         self.init();
         self.due_scratch.clear();
         self.due_scratch

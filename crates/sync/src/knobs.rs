@@ -48,6 +48,18 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         default: "available parallelism",
     },
     EnvKnob {
+        name: "SP_SERVICE_THREADS",
+        summary: "Worker threads for `RoutingService` query batches and the \
+                  `service_latency` bench's session workers (sp-core).",
+        default: "available parallelism",
+    },
+    EnvKnob {
+        name: "SP_SERVICE_CHURN",
+        summary: "Movers per background epoch publish in the `service_latency` \
+                  bench's churn thread.",
+        default: "100",
+    },
+    EnvKnob {
         name: "SP_BENCH_SCALE",
         summary: "Set to `large` to include the million-node bench rows \
                   (`construct_1m`, `local_1m`) in sp-bench runs.",

@@ -14,6 +14,10 @@
 //! * [`configured_threads_for`] — the one thread-count policy behind
 //!   every `SP_*_THREADS` knob (explicit env pin, else
 //!   [`std::thread::available_parallelism`]).
+//! * [`EpochCell`] — the epoch-versioned `Arc` snapshot slot behind
+//!   `sp_core`'s `RoutingService`: writers publish fully-formed values
+//!   (fill-then-publish), readers pin `(epoch, Arc)` pairs wait-free in
+//!   the steady state.
 //! * [`knobs`] — the declared registry of every `SP_*` environment
 //!   variable the workspace reads. `sp-analyze` fails CI when a knob
 //!   is read outside this registry or missing from the README.
@@ -26,8 +30,10 @@
 //! rest of the workspace.
 
 pub mod check;
+mod epoch;
 pub mod knobs;
 mod queue;
 
+pub use epoch::{EpochCell, Pinned};
 pub use knobs::{configured_threads_for, env_flag, env_var};
 pub use queue::WorkQueue;

@@ -1,4 +1,4 @@
-//! Exhaustive interleaving checks for the workspace's three lock-free
+//! Exhaustive interleaving checks for the workspace's four lock-free
 //! protocols, driven by the [`sp_sync::check`] mini-loom.
 //!
 //! Each model mirrors one real protocol at the granularity of its
@@ -13,6 +13,11 @@
 //! 3. [`CowSwap`] — the epoch-versioned `Arc` copy-on-write position
 //!    table: a writer builds a private copy and publishes it with one
 //!    atomic pointer swap while readers load concurrently.
+//! 4. [`EpochSwap`] — [`sp_sync::EpochCell`]'s publish protocol behind
+//!    `sp_core`'s `RoutingService`: fill the snapshot off to the side,
+//!    then bump the epoch counter and swap the slot inside the write
+//!    critical section, while readers pin `(epoch, Arc)` pairs and
+//!    probe the counter wait-free.
 //!
 //! The explorer walks **every** schedule of 2–3 modeled threads and
 //! checks the invariants at every reachable state, so a pass here is a
@@ -571,4 +576,305 @@ fn cow_model_catches_in_place_mutation() {
     let err = explore(&InPlace(CowSwap::new(1)))
         .expect_err("in-place mutation must show a reader a torn table");
     assert!(err.message.contains("observed epoch"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Model 4: the EpochCell fill -> bump -> swap publish protocol.
+// ---------------------------------------------------------------------
+
+/// A modeled snapshot value: its intended epoch id and whether the
+/// writer finished building it. Publishing an unfilled value is the
+/// fill-then-publish violation the protocol exists to prevent.
+#[derive(Clone, Copy, PartialEq)]
+struct Snap {
+    id: u8,
+    filled: bool,
+}
+
+/// Writer program counter for [`EpochSwap`]. The real `publish` holds
+/// the write lock across the counter bump and the slot swap; the model
+/// keeps them separate steps with the lock flag raised, so the
+/// wait-free counter probe (which takes no lock) can interleave between
+/// them but a pinning load cannot.
+#[derive(Clone, Copy, PartialEq)]
+enum WriterPc {
+    /// Allocate the next snapshot off to the side (not yet filled).
+    Alloc,
+    /// Finish building it — after this, and only after, it may publish.
+    Fill,
+    /// Take the write lock.
+    Acquire,
+    /// Advance the epoch counter (atomic store, lock held).
+    Bump,
+    /// Swap the slot pointer (lock still held).
+    Swap,
+    /// Drop the write lock.
+    Release,
+    Done,
+}
+
+/// Reader program counter: pin the `(epoch, value)` pair under the
+/// read lock, then probe the counter wait-free — the exact steady-state
+/// sequence of a `ServiceSession`.
+#[derive(Clone, Copy, PartialEq)]
+enum ReaderPc {
+    /// `EpochCell::load`: read counter + slot together (read-locked).
+    Load,
+    /// `EpochCell::epoch`: the lock-free staleness probe.
+    Probe,
+    Done,
+}
+
+/// One writer publishes epoch 2 while readers pin and probe. Invariants
+/// at every reachable state:
+///
+/// * a pinned snapshot is always fully built (fill-then-publish);
+/// * a pinned pair is internally consistent (`value.id == epoch`);
+/// * a counter probed *after* pinning is never behind the pinned stamp
+///   (`answer.epoch <= service.epoch()`, the service invariant).
+#[derive(Clone)]
+struct EpochSwap {
+    counter: u8,
+    slot: Snap,
+    private: Option<Snap>,
+    write_locked: bool,
+    writer_pc: WriterPc,
+    reader_pcs: Vec<ReaderPc>,
+    pinned: Vec<Option<(u8, Snap)>>,
+    probed: Vec<Option<u8>>,
+}
+
+impl EpochSwap {
+    fn new(readers: usize) -> EpochSwap {
+        EpochSwap {
+            counter: 1,
+            slot: Snap {
+                id: 1,
+                filled: true,
+            },
+            private: None,
+            write_locked: false,
+            writer_pc: WriterPc::Alloc,
+            reader_pcs: vec![ReaderPc::Load; readers],
+            pinned: vec![None; readers],
+            probed: vec![None; readers],
+        }
+    }
+
+    fn step_reader(&mut self, r: usize) {
+        match self.reader_pcs[r] {
+            ReaderPc::Load => {
+                self.pinned[r] = Some((self.counter, self.slot));
+                self.reader_pcs[r] = ReaderPc::Probe;
+            }
+            ReaderPc::Probe => {
+                self.probed[r] = Some(self.counter);
+                self.reader_pcs[r] = ReaderPc::Done;
+            }
+            ReaderPc::Done => unreachable!("done readers are not runnable"),
+        }
+    }
+
+    fn check_observations(&self) -> Result<(), String> {
+        for (r, pin) in self.pinned.iter().enumerate() {
+            let Some((stamp, snap)) = pin else { continue };
+            if !snap.filled {
+                return Err(format!("reader {r} pinned a half-built snapshot"));
+            }
+            if snap.id != *stamp {
+                return Err(format!(
+                    "reader {r} pinned snapshot {} stamped epoch {stamp}",
+                    snap.id
+                ));
+            }
+            if let Some(probe) = self.probed[r] {
+                if probe < *stamp {
+                    return Err(format!(
+                        "reader {r}: pinned stamp {stamp} ran ahead of probed counter {probe}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Interleave for EpochSwap {
+    fn runnable(&self) -> Vec<usize> {
+        let mut r = Vec::new();
+        if self.writer_pc != WriterPc::Done {
+            r.push(0);
+        }
+        for (i, &pc) in self.reader_pcs.iter().enumerate() {
+            // A pinning load blocks on the write lock; the probe never
+            // does.
+            let blocked = pc == ReaderPc::Load && self.write_locked;
+            if pc != ReaderPc::Done && !blocked {
+                r.push(i + 1);
+            }
+        }
+        r
+    }
+
+    fn step(&mut self, tid: usize) {
+        if tid > 0 {
+            return self.step_reader(tid - 1);
+        }
+        match self.writer_pc {
+            WriterPc::Alloc => {
+                self.private = Some(Snap {
+                    id: 2,
+                    filled: false,
+                });
+                self.writer_pc = WriterPc::Fill;
+            }
+            WriterPc::Fill => {
+                if let Some(s) = self.private.as_mut() {
+                    s.filled = true;
+                }
+                self.writer_pc = WriterPc::Acquire;
+            }
+            WriterPc::Acquire => {
+                self.write_locked = true;
+                self.writer_pc = WriterPc::Bump;
+            }
+            WriterPc::Bump => {
+                self.counter += 1;
+                self.writer_pc = WriterPc::Swap;
+            }
+            WriterPc::Swap => {
+                self.slot = self.private.take().expect("allocated before swapping");
+                self.writer_pc = WriterPc::Release;
+            }
+            WriterPc::Release => {
+                self.write_locked = false;
+                self.writer_pc = WriterPc::Done;
+            }
+            WriterPc::Done => unreachable!("a done writer is not runnable"),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.writer_pc == WriterPc::Done && self.reader_pcs.iter().all(|&pc| pc == ReaderPc::Done)
+    }
+
+    fn invariants(&self) -> Result<(), String> {
+        self.check_observations()
+    }
+}
+
+#[test]
+fn epoch_cell_publish_never_exposes_torn_or_future_snapshots() {
+    for readers in [1, 2] {
+        let report =
+            explore(&EpochSwap::new(readers)).unwrap_or_else(|v| panic!("{readers} readers: {v}"));
+        assert_explored(&format!("epoch swap {readers}r"), report);
+    }
+}
+
+#[test]
+fn epoch_model_catches_publish_before_fill() {
+    /// The same writer publishing first and filling the snapshot last —
+    /// the bug the fill-then-publish discipline (build the whole
+    /// `Network` + `SafetyInfo` before `EpochCell::publish`) prevents.
+    #[derive(Clone)]
+    struct PublishBeforeFill(EpochSwap);
+
+    impl Interleave for PublishBeforeFill {
+        fn runnable(&self) -> Vec<usize> {
+            self.0.runnable()
+        }
+        fn step(&mut self, tid: usize) {
+            if tid > 0 {
+                return self.0.step_reader(tid - 1);
+            }
+            match self.0.writer_pc {
+                // BUG: swap the unfilled snapshot in and fill it only
+                // after the lock is gone — readers in between pin a
+                // half-built value.
+                WriterPc::Alloc => {
+                    self.0.private = Some(Snap {
+                        id: 2,
+                        filled: false,
+                    });
+                    self.0.writer_pc = WriterPc::Acquire;
+                }
+                WriterPc::Release => {
+                    self.0.write_locked = false;
+                    self.0.writer_pc = WriterPc::Fill;
+                }
+                WriterPc::Fill => {
+                    self.0.slot.filled = true;
+                    self.0.writer_pc = WriterPc::Done;
+                }
+                _ => self.0.step(tid),
+            }
+        }
+        fn done(&self) -> bool {
+            self.0.done()
+        }
+        fn invariants(&self) -> Result<(), String> {
+            self.0.invariants()
+        }
+    }
+
+    let err = explore(&PublishBeforeFill(EpochSwap::new(1)))
+        .expect_err("publishing before filling must expose a half-built snapshot");
+    assert!(err.message.contains("half-built"), "{err}");
+}
+
+#[test]
+fn epoch_model_catches_swap_before_bump() {
+    /// The same writer swapping the slot *before* bumping the counter —
+    /// with the pinning load modeled lock-free (two separate reads), a
+    /// reader can pin the new snapshot while the counter still reads
+    /// the old epoch, breaking `answer.epoch <= service.epoch()`. This
+    /// is why `EpochCell::publish` bumps first and `load` reads the
+    /// pair under the lock.
+    #[derive(Clone)]
+    struct SwapBeforeBump(EpochSwap);
+
+    impl Interleave for SwapBeforeBump {
+        fn runnable(&self) -> Vec<usize> {
+            // BUG (part 2): loads ignore the write lock, as if `load`
+            // were two independent atomic reads.
+            let mut r = Vec::new();
+            if self.0.writer_pc != WriterPc::Done {
+                r.push(0);
+            }
+            for (i, &pc) in self.0.reader_pcs.iter().enumerate() {
+                if pc != ReaderPc::Done {
+                    r.push(i + 1);
+                }
+            }
+            r
+        }
+        fn step(&mut self, tid: usize) {
+            if tid > 0 {
+                return self.0.step_reader(tid - 1);
+            }
+            match self.0.writer_pc {
+                // BUG (part 1): slot swap precedes the counter bump.
+                WriterPc::Bump => {
+                    self.0.slot = self.0.private.take().expect("allocated before swapping");
+                    self.0.writer_pc = WriterPc::Swap;
+                }
+                WriterPc::Swap => {
+                    self.0.counter += 1;
+                    self.0.writer_pc = WriterPc::Release;
+                }
+                _ => self.0.step(tid),
+            }
+        }
+        fn done(&self) -> bool {
+            self.0.done()
+        }
+        fn invariants(&self) -> Result<(), String> {
+            self.0.invariants()
+        }
+    }
+
+    let err = explore(&SwapBeforeBump(EpochSwap::new(1)))
+        .expect_err("swapping before bumping must let a stamp outrun the counter");
+    assert!(err.message.contains("stamped epoch"), "{err}");
 }

@@ -46,7 +46,8 @@ pub mod prelude {
     pub use sp_baselines::{GfRouter, GfgRouter, HoleAtlas, Slgf2FaceRouter};
     pub use sp_core::{
         construct_distributed, explain_route, Hand, InfoMaintainer, LgfRouter, RouteOutcome,
-        RoutePhase, RouteResult, Routing, SafetyInfo, SafetyTuple, Slgf2Router, SlgfRouter,
+        RoutePhase, RouteResult, Routing, RoutingService, SafetyInfo, SafetyTuple, ServiceAnswer,
+        Slgf2Router, SlgfRouter,
     };
     pub use sp_geom::{Point, Quadrant, Rect};
     pub use sp_net::{
