@@ -1,0 +1,191 @@
+//! Chaos resilience: what failure injection costs the stack, in the
+//! three currencies the chaos engine exists to measure.
+//!
+//! * **Delivery** — `chaos_delivery`: a streaming lifetime workload
+//!   (`run_lifetime_with_chaos`) under the `SP_CHAOS_SPEC` recipe vs
+//!   the identical clean run. Reports the chaotic `delivery_ratio`
+//!   (delivered / attempted) next to the clean one, plus the wall
+//!   median for both runs.
+//! * **Re-stabilization** — `chaos_construction`: the distributed
+//!   construction engine (`construct_with_chaos`) with the recipe's
+//!   strikes landing mid-protocol. `restabilize_rounds` is the extra
+//!   rounds the chaotic run needs to quiesce beyond the clean
+//!   construction on the same network; `chaos_extra_messages` the
+//!   extra transmissions.
+//! * **Recovery** — `chaos_recovery`: the incremental maintenance
+//!   path (`InfoMaintainer::kill_many` + per-node `revive`) absorbing
+//!   a correlated regional outage and the subsequent rejoin.
+//!   `messages_per_recovery` is repair-worklist entries per victim —
+//!   the maintenance engine's unit of protocol work.
+//!
+//! Medians (`*_seconds`) are gated by `ci/bench_gate` against the
+//! committed BENCH_chaos.json; the ratio/round/message keys are
+//! informational. Knob: `SP_CHAOS_SPEC` swaps the injected recipe.
+//!
+//! Run with: `cargo bench -p sp-bench --bench chaos_resilience`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp_bench::SampleStats;
+use sp_core::{construct_with_chaos, construct_with_threads, InfoMaintainer};
+use sp_experiments::{run_lifetime, run_lifetime_with_chaos, ChaosRecipe, Scheme, StreamingConfig};
+use sp_net::edge_nodes::edge_node_mask;
+use sp_net::{deploy::DeploymentConfig, Network};
+use sp_sim::FailurePlan;
+use std::time::Instant;
+
+const NODES: usize = 1_000;
+const RUNS: usize = 5;
+const SEED: u64 = 0xc4a0;
+
+/// The injected recipe: `SP_CHAOS_SPEC`, defaulting to a correlated
+/// regional outage at round 5 on top of 1% lossy links.
+fn chaos_spec() -> String {
+    sp_sync::env_var("SP_CHAOS_SPEC")
+        .filter(|v| !v.trim().is_empty())
+        .unwrap_or_else(|| "region:r=0.15@round5+drop:p=0.01".to_string())
+}
+
+fn bench_net() -> Network {
+    let cfg = DeploymentConfig::paper_density(NODES);
+    Network::from_positions(cfg.deploy_uniform(SEED), cfg.radius, cfg.area)
+}
+
+/// Times `f` `RUNS` times, returning the wall stats and the last value.
+fn timed<R>(mut f: impl FnMut() -> R) -> (SampleStats, R) {
+    let mut walls = Vec::with_capacity(RUNS);
+    let mut last = None;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        last = Some(f());
+        walls.push(t.elapsed().as_secs_f64());
+    }
+    // sp-analyze: allow(panic, RUNS >= 1 so the loop always stores a value)
+    (SampleStats::of(&walls), last.expect("RUNS >= 1"))
+}
+
+/// Row 1: streaming delivery under chaos vs the identical clean run.
+fn delivery_row(net: &Network, spec: &str) -> String {
+    let plan = ChaosRecipe::parse(spec)
+        // sp-analyze: allow(panic, the spec was validated before any row ran)
+        .expect("validated spec")
+        .build(net, SEED);
+    let cfg = StreamingConfig::default_for_lifetime();
+    let (clean_wall, clean) = timed(|| run_lifetime(net, Scheme::Slgf2, &cfg, SEED));
+    let (wall, chaotic) = timed(|| run_lifetime_with_chaos(net, Scheme::Slgf2, &cfg, &plan, SEED));
+    let ratio = |r: &sp_experiments::LifetimeReport| {
+        let attempted = r.packets_delivered + r.packets_lost;
+        if attempted == 0 {
+            0.0
+        } else {
+            r.packets_delivered as f64 / attempted as f64
+        }
+    };
+    assert!(
+        ratio(&chaotic) <= ratio(&clean) + 1e-9,
+        "chaos must not improve delivery"
+    );
+    format!(
+        "    {{\"case\": \"chaos_delivery\", \"scheme\": \"SLGF2\", \"nodes\": {NODES}, \"runs\": {RUNS}, \"spec\": \"{spec}\", \"delivery_ratio\": {:.4}, \"clean_delivery_ratio\": {:.4}, \"rounds\": {}, {}, {}}}",
+        ratio(&chaotic),
+        ratio(&clean),
+        chaotic.rounds,
+        wall.json_fields("run"),
+        clean_wall.json_fields("clean_run"),
+    )
+}
+
+/// Row 2: distributed construction with mid-protocol strikes.
+fn construction_row(net: &Network, spec: &str) -> String {
+    let plan = ChaosRecipe::parse(spec)
+        // sp-analyze: allow(panic, the spec was validated before any row ran)
+        .expect("validated spec")
+        .build(net, SEED);
+    let pinned = edge_node_mask(net, net.radius());
+    let threads = sp_sync::configured_threads_for("SP_SIM_THREADS");
+    let (clean_wall, clean) = timed(|| {
+        construct_with_threads(net, pinned.clone(), FailurePlan::new(), threads)
+            // sp-analyze: allow(panic, a bench cannot proceed past a failed construction)
+            .expect("clean construction")
+    });
+    let (wall, chaotic) = timed(|| {
+        construct_with_chaos(net, pinned.clone(), plan.clone(), threads)
+            // sp-analyze: allow(panic, a bench cannot proceed past a failed construction)
+            .expect("chaotic construction")
+    });
+    assert!(chaotic.stats.quiesced, "chaotic construction must quiesce");
+    let extra_rounds = chaotic.stats.rounds.saturating_sub(clean.stats.rounds);
+    let extra_msgs = chaotic
+        .stats
+        .transmissions()
+        .saturating_sub(clean.stats.transmissions());
+    format!(
+        "    {{\"case\": \"chaos_construction\", \"nodes\": {NODES}, \"runs\": {RUNS}, \"spec\": \"{spec}\", \"restabilize_rounds\": {extra_rounds}, \"chaos_extra_messages\": {extra_msgs}, {}, {}}}",
+        wall.json_fields("run"),
+        clean_wall.json_fields("clean_run"),
+    )
+}
+
+/// Row 3: incremental maintenance absorbing a regional outage + rejoin.
+fn recovery_row(net: &Network) -> String {
+    let victims: Vec<_> = ChaosRecipe::parse("region:r=0.15@round1")
+        // sp-analyze: allow(panic, static spec validated by the chaos grammar tests)
+        .expect("static region spec")
+        .build(net, SEED)
+        .kills()
+        .entries()
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .collect();
+    assert!(!victims.is_empty(), "the outage region must hit someone");
+    let (wall, work) = timed(|| {
+        let mut maint = InfoMaintainer::new(net.clone());
+        let report = maint.kill_many(&victims);
+        for &v in &victims {
+            maint.revive(v);
+        }
+        report.work_items
+    });
+    format!(
+        "    {{\"case\": \"chaos_recovery\", \"nodes\": {NODES}, \"runs\": {RUNS}, \"victims\": {}, \"messages_per_recovery\": {:.1}, {}}}",
+        victims.len(),
+        work as f64 / victims.len() as f64,
+        wall.json_fields("run"),
+    )
+}
+
+fn chaos_benches(c: &mut Criterion) {
+    let net = bench_net();
+    let spec = chaos_spec();
+    ChaosRecipe::parse(&spec)
+        // sp-analyze: allow(panic, a bench with an unparseable knob value must fail loudly)
+        .unwrap_or_else(|e| panic!("SP_CHAOS_SPEC {spec:?}: {e}"));
+
+    let rows = [
+        delivery_row(&net, &spec),
+        construction_row(&net, &spec),
+        recovery_row(&net),
+    ];
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"chaos_resilience\",\n  \"unit\": \"seconds (median over samples)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    std::fs::write(out, &json).expect("write BENCH_chaos.json");
+    eprintln!("wrote {out}");
+
+    let plan = ChaosRecipe::parse(&spec)
+        // sp-analyze: allow(panic, validated above)
+        .expect("validated spec")
+        .build(&net, SEED);
+    let cfg = StreamingConfig::default_for_lifetime();
+    let mut group = c.benchmark_group("chaos_resilience");
+    group.sample_size(10);
+    group.bench_function("lifetime_under_chaos", |b| {
+        b.iter(|| run_lifetime_with_chaos(&net, Scheme::Slgf2, &cfg, &plan, SEED).packets_delivered)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, chaos_benches);
+criterion_main!(benches);

@@ -20,7 +20,8 @@ use crate::{SafetyInfo, SafetyMap, SafetyTuple, ShapeEstimate, ShapeMap};
 use sp_geom::{ccw_order_in_quadrant, Point, Quadrant, Rect};
 use sp_net::{edge_nodes::edge_node_mask, Network, NodeId};
 use sp_sim::{
-    AsyncConfig, AsyncEngine, AsyncStats, Ctx, Engine, FailurePlan, NodeProcess, SimError, SimStats,
+    AsyncConfig, AsyncEngine, AsyncStats, ChaosPlan, Ctx, Engine, FailurePlan, NodeProcess,
+    SimError, SimStats,
 };
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -260,6 +261,30 @@ impl NodeProcess for LabelingProcess {
         }
         self.recompute_and_announce(ctx);
     }
+
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_, Announce>) {
+        // A flapped node restarts Algorithm 2 from its initial state:
+        // everything it cached went stale while it was down. Sequence
+        // numbers keep counting up so neighbors do not discard the fresh
+        // announcements as stale replays of pre-failure ones.
+        self.tuple = SafetyTuple::all_safe();
+        self.chains = [None; 4];
+        self.neighbor_view.clear();
+        self.dead.clear();
+        self.last_sent = None;
+        self.recompute_and_announce(ctx);
+    }
+
+    fn on_neighbor_recovered(&mut self, ctx: &mut Ctx<'_, Announce>, recovered: NodeId) {
+        self.dead.retain(|&v| v != recovered);
+        self.neighbor_view.remove(&recovered);
+        // Re-announce unconditionally: the rejoined node cleared its
+        // view and needs our current state to re-derive its labels.
+        // (Labels stay monotone here — a rejoin can only be credited
+        // after the recovered node re-announces safe quadrants itself.)
+        self.last_sent = None;
+        self.recompute_and_announce(ctx);
+    }
 }
 
 /// Outcome of a distributed construction run.
@@ -309,6 +334,35 @@ pub fn construct_with_threads(
     engine.set_failure_plan(failures);
     engine.set_threads(threads);
     let stats = engine.run_until_quiescent(4 * net.len() + 16)?;
+    Ok(ConstructionRun {
+        info: assemble(net, engine.nodes(), pinned, stats.rounds),
+        stats,
+    })
+}
+
+/// [`construct_with_threads`] driven by a [`ChaosPlan`] instead of a
+/// bare [`FailurePlan`]: regional kills, flapping revivals, partition
+/// cut windows, and lossy links all perturb the construction protocol.
+/// A quiet plan (no events, `drop_p == 0`, no jitter) is bit-identical
+/// to [`construct_with_threads`] — the chaos property tests enforce it.
+///
+/// # Errors
+///
+/// Returns [`SimError::RoundLimitExceeded`] if the protocol fails to
+/// quiesce within `4·|V| + 16` rounds past the last scheduled chaos
+/// event.
+pub fn construct_with_chaos(
+    net: &Network,
+    pinned: Vec<bool>,
+    chaos: ChaosPlan,
+    threads: usize,
+) -> Result<ConstructionRun, SimError> {
+    assert_eq!(pinned.len(), net.len(), "pinned mask must cover all nodes");
+    let budget = chaos.last_round().unwrap_or(0) + 4 * net.len() + 16;
+    let mut engine = Engine::new(net, |id| LabelingProcess::new(pinned[id.index()]));
+    engine.set_chaos_plan(chaos);
+    engine.set_threads(threads);
+    let stats = engine.run_until_quiescent(budget)?;
     Ok(ConstructionRun {
         info: assemble(net, engine.nodes(), pinned, stats.rounds),
         stats,
@@ -611,6 +665,49 @@ mod tests {
                 central.tuple(NodeId::new(new_idx)),
                 "post-failure tuple mismatch at old node {old_idx}"
             );
+        }
+    }
+
+    #[test]
+    fn quiet_chaos_construction_is_bit_identical() {
+        let cfg = DeploymentConfig::paper_default(200);
+        let net = Network::from_positions(cfg.deploy_uniform(11), cfg.radius, cfg.area);
+        let pinned = edge_node_mask(&net, net.radius());
+        let plain = construct_with_threads(&net, pinned.clone(), FailurePlan::new(), 1).unwrap();
+        let quiet = construct_with_chaos(&net, pinned, ChaosPlan::new().with_seed(99), 1).unwrap();
+        assert_eq!(plain.stats, quiet.stats);
+        for u in net.node_ids() {
+            assert_eq!(plain.info.tuple(u), quiet.info.tuple(u), "tuple at {u}");
+        }
+    }
+
+    #[test]
+    fn flapped_construction_reconverges_conservatively() {
+        let cfg = DeploymentConfig::paper_default(200);
+        let net = Network::from_positions(cfg.deploy_uniform(8), cfg.radius, cfg.area);
+        let pinned = edge_node_mask(&net, net.radius());
+        let victim = net
+            .node_ids()
+            .max_by_key(|&u| net.degree(u))
+            .expect("nonempty");
+        let mut chaos = ChaosPlan::new();
+        chaos.kill_at(2, victim);
+        chaos.revive_at(6, victim);
+        let run = construct_with_chaos(&net, pinned.clone(), chaos, 1).unwrap();
+        assert!(run.stats.quiesced, "flap run quiesces");
+
+        // Labels are monotone: the flapped run may only be *more*
+        // conservative than the pristine construction, never less.
+        let pristine = SafetyInfo::build_with_pinned(&net, pinned);
+        for u in net.node_ids() {
+            for q in Quadrant::ALL {
+                if run.info.is_safe(u, q) {
+                    assert!(
+                        pristine.is_safe(u, q),
+                        "flap run claims safe({u}, {q}) the pristine labels deny"
+                    );
+                }
+            }
         }
     }
 }

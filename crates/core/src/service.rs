@@ -37,6 +37,7 @@
 use crate::{RouteBuffer, RouteOutcome, RouteResult, Routing, SafetyInfo, Slgf2Router};
 use sp_geom::Point;
 use sp_net::{Network, NodeId};
+use sp_sim::ChaosPlan;
 use sp_sync::{EpochCell, Pinned, WorkQueue};
 
 /// The thread-count environment knob read by [`RoutingService::new`].
@@ -212,6 +213,30 @@ impl RoutingService {
     /// epoch number.
     pub fn publish(&self, net: Network) -> u64 {
         self.cell.publish(ServiceSnapshot::build(net))
+    }
+
+    /// Applies a chaos tick: degrades the **pristine** `base` topology
+    /// to the plan's state as of `round` — cumulative kills minus
+    /// revivals ([`ChaosPlan::dead_as_of`]) plus every link crossing a
+    /// cut active that round — relabels it off to the side, and
+    /// publishes the new epoch. Returns the new epoch number.
+    ///
+    /// The caller supplies `base` (rather than the service degrading
+    /// its own current snapshot) because chaos is not monotone: a
+    /// flapped node's edges must come *back* on revival, and the
+    /// current snapshot no longer has them. Quiet plans still publish —
+    /// an undamaged epoch, bit-identical to `publish(base.clone())`.
+    pub fn apply_chaos(&self, base: &Network, chaos: &ChaosPlan, round: usize) -> u64 {
+        let dead = chaos.dead_as_of(round);
+        let mut degraded = base.without_nodes(&dead);
+        let mut cut_edges = Vec::new();
+        for cut in chaos.cuts().iter().filter(|c| c.active_at(round)) {
+            cut_edges.extend(degraded.edges_crossing(cut.a, cut.b));
+        }
+        if !cut_edges.is_empty() {
+            degraded = degraded.without_edges(&cut_edges);
+        }
+        self.cell.publish(ServiceSnapshot::build(degraded))
     }
 
     /// A new reader session pinned to the current snapshot. Sessions
@@ -499,5 +524,57 @@ mod tests {
         let net = prepared(60, 1);
         let service = RoutingService::new(net).with_threads(0);
         assert_eq!(service.threads(), 1);
+    }
+
+    #[test]
+    fn apply_chaos_publishes_degraded_then_recovered_epochs() {
+        let base = prepared(150, 23);
+        let victim = base.largest_component()[0];
+        let mut chaos = ChaosPlan::new();
+        chaos.kill_at(1, victim);
+        chaos.revive_at(3, victim);
+        let service = RoutingService::new(base.clone());
+
+        let e1 = service.apply_chaos(&base, &chaos, 1);
+        assert_eq!(e1, 1);
+        let down = service.snapshot();
+        assert_eq!(down.value.network().degree(victim), 0, "victim isolated");
+
+        // After the revival round the degraded topology heals: the
+        // pristine base is re-degraded from scratch, so the flapped
+        // node's edges come back.
+        let e2 = service.apply_chaos(&base, &chaos, 3);
+        assert_eq!(e2, 2);
+        let up = service.snapshot();
+        assert_eq!(
+            up.value.network().degree(victim),
+            base.degree(victim),
+            "edges restored on revival"
+        );
+    }
+
+    #[test]
+    fn quiet_chaos_epoch_matches_plain_publish() {
+        let base = prepared(80, 5);
+        let service = RoutingService::new(base.clone());
+        service.apply_chaos(&base, &ChaosPlan::new(), 0);
+        let chaotic = service.snapshot();
+        let plain = RoutingService::new(base.clone());
+        plain.publish(base);
+        let reference = plain.snapshot();
+        assert_eq!(
+            chaotic.value.network().len(),
+            reference.value.network().len(),
+            "a quiet plan publishes the same topology"
+        );
+        let queries = some_queries(reference.value.network(), 8);
+        let mut a = service.session();
+        let mut b = plain.session();
+        for &(s, d) in &queries {
+            let (ra, rb) = (a.route(s, d), b.route(s, d));
+            assert_eq!(ra.outcome, rb.outcome);
+            assert_eq!(ra.hops, rb.hops);
+            assert_eq!(ra.length, rb.length);
+        }
     }
 }

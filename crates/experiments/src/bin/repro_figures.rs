@@ -22,9 +22,9 @@ use std::collections::BTreeSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const ALL_FIGURES: [&str; 22] = [
+const ALL_FIGURES: [&str; 23] = [
     "5a", "5b", "6a", "6b", "7a", "7b", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
-    "a10", "a11", "a12", "a13", "a14", "a15", "a16",
+    "a10", "a11", "a12", "a13", "a14", "a15", "a16", "a17",
 ];
 
 fn main() {
@@ -236,6 +236,17 @@ fn main() {
                     cfg.node_counts = vec![400, 600, 800];
                 }
                 vec![figures::async_cost_figure(&cfg, instances)]
+            }
+            "a17" => {
+                eprintln!("running delivery-vs-chaos family...");
+                let instances = if quick { 2 } else { 10 };
+                let n = if quick { 300 } else { 500 };
+                figures::chaos_delivery_family(
+                    Scenario::Ia,
+                    n,
+                    instances,
+                    &figures::CHAOS_FAMILY_SCHEMES,
+                )
             }
             "a16" => {
                 // Full mode climbs to 10⁶ nodes with fewer nets at the

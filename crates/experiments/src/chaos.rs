@@ -1,0 +1,581 @@
+//! The open chaos-class registry and the `chaos=` recipe grammar.
+//!
+//! A **chaos class** is a registered generator that turns a parameter
+//! list plus a deployed topology into a [`ChaosPlan`] fragment — the
+//! experiments-side mirror of the scheme and scenario registries, so a
+//! failure model registered at runtime is immediately addressable from
+//! a spec string with no parser changes. The built-ins cover the four
+//! failure families of the chaos engine:
+//!
+//! | class       | spec clause                  | effect |
+//! |-------------|------------------------------|--------|
+//! | `region`    | `region:r=0.15@round5`       | correlated outage: kills every node inside a seeded random disk of radius `r · min(width, height)` at the given round |
+//! | `partition` | `partition:len=5@round3`     | severs every link crossing a seeded random chord of the area for `len` rounds |
+//! | `drop`      | `drop:p=0.01,jitter=2`       | per-link-delivery packet loss with probability `p`, plus up to `jitter` units of extra per-hop delay in the async engine |
+//! | `flap`      | `flap:n=2,down=4@round2`     | kills `n` seeded random nodes at the round and revives them `down` rounds later |
+//!
+//! Clauses compose with `+` ([`ChaosPlan::merge`] semantics), so
+//! `chaos=region:r=0.15@round5+drop:p=0.01` is a regional outage *and*
+//! a lossy network in one plan:
+//!
+//! ```
+//! use sp_experiments::ChaosRecipe;
+//! use sp_net::{DeploymentConfig, Network};
+//!
+//! let recipe = ChaosRecipe::parse("region:r=0.2@round3+drop:p=0.05").unwrap();
+//! let cfg = DeploymentConfig::paper_default(300);
+//! let net = Network::from_positions(cfg.deploy_uniform(7), cfg.radius, cfg.area);
+//! let plan = recipe.build(&net, 7);
+//! assert!(!plan.kills_due_at(3).is_empty(), "the disk killed someone");
+//! assert!((plan.drop_p() - 0.05).abs() < 1e-12);
+//! // Same seed, same plan — chaos is replayable by construction.
+//! assert_eq!(plan.kills_due_at(3), recipe.build(&net, 7).kills_due_at(3));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sp_geom::Point;
+use sp_net::Network;
+use sp_sim::{ChaosPlan, CutWindow};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Salt folded into every recipe seed so chaos RNG streams never
+/// collide with deployment or flow sampling streams.
+const CHAOS_SEED_SALT: u64 = 0xc4a0_0bad_cafe;
+
+/// Everything a chaos generator may observe while building its plan
+/// fragment: the deployed topology, a pre-salted seed unique to the
+/// clause, the clause's `@round` anchor, and its `k=v` parameters.
+pub struct ChaosArgs<'a> {
+    /// The topology the failures will strike.
+    pub net: &'a Network,
+    /// Deterministic seed, already salted per clause position.
+    pub seed: u64,
+    /// The `@roundN` anchor of the clause (0 when unspecified).
+    pub round: usize,
+    params: &'a [(String, f64)],
+}
+
+impl ChaosArgs<'_> {
+    /// The clause parameter `key`, or `default` when absent.
+    pub fn param(&self, key: &str, default: f64) -> f64 {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(default)
+    }
+}
+
+/// Builds one plan fragment from the clause arguments.
+pub type ChaosBuild = Arc<dyn Fn(&ChaosArgs<'_>) -> ChaosPlan + Send + Sync>;
+
+struct ChaosEntry {
+    name: String,
+    build: ChaosBuild,
+}
+
+/// The process-wide table mapping [`ChaosClass`] handles to names and
+/// plan generators — the chaos-side mirror of
+/// [`crate::ScenarioRegistry`].
+pub struct ChaosRegistry {
+    entries: Vec<ChaosEntry>,
+}
+
+impl ChaosRegistry {
+    /// Names of every registered class, in registration order.
+    pub fn names() -> Vec<String> {
+        read_registry()
+            .entries
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Number of registered classes.
+    pub fn len() -> usize {
+        read_registry().entries.len()
+    }
+
+    /// The built-in chaos classes. This function is the only place a
+    /// built-in class is declared; the `ChaosClass` constants below are
+    /// fixed indices into this table (in registration order).
+    fn builtin() -> ChaosRegistry {
+        let mut reg = ChaosRegistry {
+            entries: Vec::new(),
+        };
+        // === The chaos-class registration table ===============[order matters]
+        reg.add("region", region_outage); // ChaosClass::Region
+        reg.add("partition", partition_cut); // ChaosClass::Partition
+        reg.add("drop", lossy_links); // ChaosClass::Drop
+        reg.add("flap", flapping_nodes); // ChaosClass::Flap
+                                         // ======================================================================
+        reg
+    }
+
+    fn add<F>(&mut self, name: &str, build: F) -> ChaosClass
+    where
+        F: Fn(&ChaosArgs<'_>) -> ChaosPlan + Send + Sync + 'static,
+    {
+        self.try_add(name.to_owned(), Arc::new(build))
+            .unwrap_or_else(|e| panic!("{e}")) // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
+    }
+
+    fn try_add(&mut self, name: String, build: ChaosBuild) -> Result<ChaosClass, String> {
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(format!("chaos class {name:?} registered twice"));
+        }
+        if self.entries.len() >= u16::MAX as usize {
+            return Err("chaos registry full".to_owned());
+        }
+        self.entries.push(ChaosEntry { name, build });
+        Ok(ChaosClass((self.entries.len() - 1) as u16))
+    }
+}
+
+/// Reads the global registry, recovering from a poisoned lock — the
+/// registry is append-only, so a panic mid-registration cannot leave a
+/// torn entry behind.
+fn read_registry() -> std::sync::RwLockReadGuard<'static, ChaosRegistry> {
+    registry()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn registry() -> &'static RwLock<ChaosRegistry> {
+    static GLOBAL: OnceLock<RwLock<ChaosRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(ChaosRegistry::builtin()))
+}
+
+/// A handle to one registered chaos class — `Copy`, order-stable, and
+/// cheap to compare, exactly like [`crate::Scheme`] and
+/// [`crate::Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChaosClass(u16);
+
+#[allow(non_upper_case_globals)] // named like the enum variants they replace
+impl ChaosClass {
+    /// Correlated regional outage: a seeded random disk of nodes dies.
+    pub const Region: ChaosClass = ChaosClass(0);
+    /// Network partition: a seeded random chord severs crossing links
+    /// for a round window.
+    pub const Partition: ChaosClass = ChaosClass(1);
+    /// Lossy links: probabilistic per-link-delivery packet drop.
+    pub const Drop: ChaosClass = ChaosClass(2);
+    /// Flapping nodes: killed at the anchor round, revived later.
+    pub const Flap: ChaosClass = ChaosClass(3);
+
+    /// Registers a new chaos class under `name` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered; use
+    /// [`ChaosClass::try_register`] to handle the collision instead.
+    pub fn register<F>(name: impl Into<String>, build: F) -> ChaosClass
+    where
+        F: Fn(&ChaosArgs<'_>) -> ChaosPlan + Send + Sync + 'static,
+    {
+        // sp-analyze: allow(panic, documented panicking variant; try_ siblings recover instead)
+        ChaosClass::try_register(name, build).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers a new chaos class, reporting name collisions as `Err`
+    /// instead of panicking.
+    pub fn try_register<F>(name: impl Into<String>, build: F) -> Result<ChaosClass, String>
+    where
+        F: Fn(&ChaosArgs<'_>) -> ChaosPlan + Send + Sync + 'static,
+    {
+        registry()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .try_add(name.into(), Arc::new(build))
+    }
+
+    /// Looks a class up by its registered name.
+    pub fn by_name(name: &str) -> Option<ChaosClass> {
+        let reg = read_registry();
+        reg.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| ChaosClass(i as u16))
+    }
+
+    /// Every currently registered class, in registration order.
+    pub fn all() -> Vec<ChaosClass> {
+        let reg = read_registry();
+        (0..reg.entries.len() as u16).map(ChaosClass).collect()
+    }
+
+    /// Registered name, e.g. `"region"`.
+    pub fn name(&self) -> String {
+        read_registry().entries[self.0 as usize].name.clone()
+    }
+
+    /// Builds this class's plan fragment.
+    pub fn build(&self, args: &ChaosArgs<'_>) -> ChaosPlan {
+        // Clone the shared builder out so user code runs with the
+        // registry lock released (a builder may itself register).
+        let build = Arc::clone(&read_registry().entries[self.0 as usize].build);
+        build(args)
+    }
+}
+
+impl std::fmt::Display for ChaosClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&read_registry().entries[self.0 as usize].name)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in generators.
+
+/// `region:r=0.15@roundN`: kills every node within a disk of radius
+/// `r · min(width, height)` around a seeded random center.
+fn region_outage(args: &ChaosArgs<'_>) -> ChaosPlan {
+    let r = args.param("r", 0.15);
+    assert!(
+        (0.0..=1.0).contains(&r),
+        "region radius fraction {r} not in [0, 1]"
+    );
+    let area = args.net.area();
+    let radius = r * area.width().min(area.height());
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let center = Point::new(
+        rng.random_range(area.min().x..=area.max().x),
+        rng.random_range(area.min().y..=area.max().y),
+    );
+    let mut plan = ChaosPlan::new().with_seed(args.seed);
+    for u in args.net.node_ids() {
+        if args.net.position(u).distance(center) <= radius {
+            plan.kill_at(args.round, u);
+        }
+    }
+    plan
+}
+
+/// `partition:len=5@roundN`: severs every link crossing a seeded random
+/// chord (vertical or horizontal, through the middle half of the area)
+/// for `len` rounds starting at the anchor.
+fn partition_cut(args: &ChaosArgs<'_>) -> ChaosPlan {
+    let len = args.param("len", 5.0).max(1.0) as usize;
+    let area = args.net.area();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let vertical = rng.random_bool(0.5);
+    // Stay in the middle half so the cut actually crosses the network
+    // instead of clipping a corner.
+    let frac = rng.random_range(0.25..=0.75);
+    let (a, b) = if vertical {
+        let x = area.min().x + frac * area.width();
+        (
+            Point::new(x, area.min().y - 1.0),
+            Point::new(x, area.max().y + 1.0),
+        )
+    } else {
+        let y = area.min().y + frac * area.height();
+        (
+            Point::new(area.min().x - 1.0, y),
+            Point::new(area.max().x + 1.0, y),
+        )
+    };
+    let mut plan = ChaosPlan::new().with_seed(args.seed);
+    plan.add_cut(CutWindow {
+        a,
+        b,
+        from_round: args.round,
+        until_round: args.round + len,
+    });
+    plan
+}
+
+/// `drop:p=0.01,jitter=2`: per-link-delivery loss probability, plus a
+/// per-hop delay jitter bound honored by the async engine's heap.
+fn lossy_links(args: &ChaosArgs<'_>) -> ChaosPlan {
+    ChaosPlan::new()
+        .with_seed(args.seed)
+        .with_drop(args.param("p", 0.01))
+        .with_jitter(args.param("jitter", 0.0))
+}
+
+/// `flap:n=1,down=5@roundN`: kills `n` seeded random nodes at the
+/// anchor round and revives them `down` rounds later.
+fn flapping_nodes(args: &ChaosArgs<'_>) -> ChaosPlan {
+    let n = (args.param("n", 1.0).max(0.0) as usize).min(args.net.len());
+    let down = args.param("down", 5.0).max(1.0) as usize;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut ids: Vec<u32> = (0..args.net.len() as u32).collect();
+    let mut plan = ChaosPlan::new().with_seed(args.seed);
+    for _ in 0..n {
+        let i = rng.random_range(0..ids.len());
+        let victim = sp_net::NodeId(ids.swap_remove(i));
+        plan.kill_at(args.round, victim);
+        plan.revive_at(args.round + down, victim);
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------
+// The recipe: parsed clause list.
+
+/// One parsed `name[:k=v,…][@roundN]` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosClause {
+    /// The class handle the name resolved to.
+    pub class: ChaosClass,
+    /// `k=v` parameters in clause order.
+    pub params: Vec<(String, f64)>,
+    /// The `@roundN` anchor (0 when unspecified).
+    pub round: usize,
+}
+
+/// A parsed `chaos=` recipe: an ordered clause list, buildable into one
+/// merged [`ChaosPlan`] per network instance. Plans are deterministic
+/// in `(recipe, topology, seed)` — rerunning a sweep replays the exact
+/// same failures.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosRecipe {
+    /// The clauses, in spec order.
+    pub clauses: Vec<ChaosClause>,
+}
+
+impl ChaosRecipe {
+    /// Parses `name[:k=v,…][@roundN]` clauses joined by `+`, e.g.
+    /// `region:r=0.15@round5+drop:p=0.01`.
+    pub fn parse(value: &str) -> Result<ChaosRecipe, String> {
+        let mut clauses = Vec::new();
+        for tok in value.split('+') {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                return Err(format!("chaos {value:?}: empty clause"));
+            }
+            let (head, round) = match tok.split_once('@') {
+                Some((head, anchor)) => {
+                    let n = anchor
+                        .strip_prefix("round")
+                        .and_then(|n| n.parse::<usize>().ok())
+                        .ok_or_else(|| {
+                            format!("chaos clause {tok:?}: anchor {anchor:?} is not roundN")
+                        })?;
+                    (head, n)
+                }
+                None => (tok, 0),
+            };
+            let (name, params_str) = match head.split_once(':') {
+                Some((name, rest)) => (name.trim(), Some(rest)),
+                None => (head.trim(), None),
+            };
+            let class = ChaosClass::by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown chaos class {name:?} (registered: {})",
+                    ChaosRegistry::names().join(", ")
+                )
+            })?;
+            let mut params = Vec::new();
+            if let Some(ps) = params_str {
+                for kv in ps.split(',') {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("chaos clause {tok:?}: {kv:?} is not k=v"))?;
+                    let v: f64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("chaos clause {tok:?}: {v:?} is not a number"))?;
+                    params.push((k.trim().to_owned(), v));
+                }
+            }
+            clauses.push(ChaosClause {
+                class,
+                params,
+                round,
+            });
+        }
+        Ok(ChaosRecipe { clauses })
+    }
+
+    /// True when no clauses were given — builds quiet plans.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Builds the merged plan for one network instance. Each clause
+    /// gets its own salted RNG stream (position-dependent), so
+    /// reordering clauses changes the draw streams but a fixed recipe
+    /// replays exactly.
+    pub fn build(&self, net: &Network, seed: u64) -> ChaosPlan {
+        let mut plan = ChaosPlan::new().with_seed(seed ^ CHAOS_SEED_SALT);
+        for (idx, clause) in self.clauses.iter().enumerate() {
+            let args = ChaosArgs {
+                net,
+                seed: seed
+                    ^ CHAOS_SEED_SALT
+                    ^ ((idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                round: clause.round,
+                params: &clause.params,
+            };
+            plan.merge(&clause.class.build(&args));
+        }
+        plan
+    }
+
+    /// The canonical spec form, e.g. `region:r=0.15@round5+drop:p=0.01`.
+    pub fn spec_string(&self) -> String {
+        self.clauses
+            .iter()
+            .map(|c| {
+                let mut s = c.class.name();
+                if !c.params.is_empty() {
+                    s.push(':');
+                    s.push_str(
+                        &c.params
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    );
+                }
+                if c.round > 0 {
+                    s.push_str(&format!("@round{}", c.round));
+                }
+                s
+            })
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+impl std::fmt::Display for ChaosRecipe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_net::DeploymentConfig;
+
+    fn net(n: usize, seed: u64) -> Network {
+        let cfg = DeploymentConfig::paper_default(n);
+        Network::from_positions(cfg.deploy_uniform(seed), cfg.radius, cfg.area)
+    }
+
+    #[test]
+    fn builtins_are_registered_in_table_order() {
+        assert_eq!(ChaosClass::Region.name(), "region");
+        assert_eq!(ChaosClass::Partition.name(), "partition");
+        assert_eq!(ChaosClass::Drop.name(), "drop");
+        assert_eq!(ChaosClass::Flap.name(), "flap");
+        assert_eq!(ChaosClass::by_name("drop"), Some(ChaosClass::Drop));
+        assert_eq!(ChaosClass::by_name("meteor"), None);
+        assert!(ChaosRegistry::len() >= 4);
+    }
+
+    #[test]
+    fn recipe_grammar_round_trips() {
+        let r =
+            ChaosRecipe::parse("region:r=0.2@round5+drop:p=0.01+flap:n=2,down=4@round2").unwrap();
+        assert_eq!(r.clauses.len(), 3);
+        assert_eq!(r.clauses[0].class, ChaosClass::Region);
+        assert_eq!(r.clauses[0].round, 5);
+        assert_eq!(r.clauses[0].params, vec![("r".to_owned(), 0.2)]);
+        assert_eq!(r.clauses[1].round, 0);
+        assert_eq!(r.clauses[2].params.len(), 2);
+        assert_eq!(
+            r.spec_string(),
+            "region:r=0.2@round5+drop:p=0.01+flap:n=2,down=4@round2"
+        );
+        assert_eq!(ChaosRecipe::parse(&r.spec_string()).unwrap(), r);
+    }
+
+    #[test]
+    fn drop_clause_carries_loss_and_jitter() {
+        let net = net(100, 1);
+        let plan = ChaosRecipe::parse("drop:p=0.02,jitter=1.5")
+            .unwrap()
+            .build(&net, 9);
+        assert!((plan.drop_p() - 0.02).abs() < 1e-12);
+        assert!((plan.jitter() - 1.5).abs() < 1e-12);
+        // Jitter defaults off, keeping a pure drop clause quiet at p=0.
+        let quiet = ChaosRecipe::parse("drop:p=0").unwrap().build(&net, 9);
+        assert!(quiet.is_quiet(), "p=0 with no jitter schedules nothing");
+    }
+
+    #[test]
+    fn parse_errors_name_the_clause() {
+        for (spec, needle) in [
+            ("meteor:x=1", "unknown chaos class"),
+            ("region@r5", "not roundN"),
+            ("drop:p", "not k=v"),
+            ("drop:p=zebra", "not a number"),
+            ("+drop:p=0.1", "empty clause"),
+        ] {
+            let err = ChaosRecipe::parse(spec).expect_err(spec);
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn region_kills_a_disk_deterministically() {
+        let net = net(400, 3);
+        let recipe = ChaosRecipe::parse("region:r=0.25@round2").unwrap();
+        let plan = recipe.build(&net, 3);
+        let killed = plan.kills_due_at(2);
+        assert!(!killed.is_empty(), "a quarter-area disk hits someone");
+        assert!(killed.len() < net.len(), "but not everyone");
+        assert_eq!(killed, recipe.build(&net, 3).kills_due_at(2));
+        // A different seed moves the disk.
+        assert_ne!(killed, recipe.build(&net, 4).kills_due_at(2));
+    }
+
+    #[test]
+    fn partition_cut_severs_some_links() {
+        let net = net(400, 5);
+        let plan = ChaosRecipe::parse("partition:len=3@round1")
+            .unwrap()
+            .build(&net, 5);
+        assert_eq!(plan.cuts().len(), 1);
+        assert!(plan.links_perturbed_at(1));
+        assert!(plan.links_perturbed_at(3));
+        assert!(!plan.links_perturbed_at(4), "window closed");
+        let severed = net
+            .edges()
+            .filter(|&(u, v)| plan.severed_at(1, net.position(u), net.position(v)))
+            .count();
+        assert!(severed > 0, "a mid-area chord crosses links");
+    }
+
+    #[test]
+    fn flap_schedules_matching_kill_and_revival() {
+        let net = net(300, 9);
+        let plan = ChaosRecipe::parse("flap:n=3,down=4@round2")
+            .unwrap()
+            .build(&net, 9);
+        assert_eq!(plan.kills_due_at(2).len(), 3);
+        assert_eq!(plan.revivals_due_at(6), plan.kills_due_at(2));
+        assert_eq!(plan.dead_as_of(5), plan.kills_due_at(2).to_vec());
+        assert!(plan.dead_as_of(6).is_empty(), "everyone came back");
+    }
+
+    #[test]
+    fn empty_recipe_builds_a_quiet_plan() {
+        let net = net(200, 1);
+        let plan = ChaosRecipe::default().build(&net, 1);
+        assert!(plan.is_quiet());
+    }
+
+    #[test]
+    fn runtime_registration_is_spec_addressable() {
+        let class = ChaosClass::register("TEST-everything-dies", |args| {
+            let mut plan = sp_sim::ChaosPlan::new().with_seed(args.seed);
+            for u in args.net.node_ids() {
+                plan.kill_at(args.round, u);
+            }
+            plan
+        });
+        assert_eq!(ChaosClass::by_name("TEST-everything-dies"), Some(class));
+        let net = net(50, 2);
+        let plan = ChaosRecipe::parse("TEST-everything-dies@round1")
+            .unwrap()
+            .build(&net, 2);
+        assert_eq!(plan.kills_due_at(1).len(), 50);
+    }
+}

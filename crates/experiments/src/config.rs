@@ -12,7 +12,7 @@
 //! built-ins, and any registered scenario (clustered, corridor,
 //! city-block, or a runtime registration) sweeps identically.
 
-use crate::Scenario;
+use crate::{ChaosRecipe, MobilityRecipe, Scenario};
 use sp_net::deploy::DeploymentConfig;
 
 /// A full figure sweep: node counts × seeded network instances.
@@ -34,6 +34,15 @@ pub struct SweepConfig {
     pub deployment: Scenario,
     /// Base seed; instance seeds derive deterministically from it.
     pub base_seed: u64,
+    /// Chaos recipe applied to every instance (the `chaos=` spec
+    /// clause): failures strike before routing, so delivery degrades
+    /// under the recipe's outages/partitions/drops. `None` routes the
+    /// pristine topology.
+    pub chaos: Option<ChaosRecipe>,
+    /// Mobility recipe perturbing every deployed instance before
+    /// routing (the `mobility=` spec clause). Composes with `chaos`:
+    /// motion first, failures strike the moved topology.
+    pub mobility: Option<MobilityRecipe>,
 }
 
 impl SweepConfig {
@@ -46,6 +55,8 @@ impl SweepConfig {
             flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 0x5eed_0001,
+            chaos: None,
+            mobility: None,
         }
     }
 
@@ -67,6 +78,8 @@ impl SweepConfig {
             flows_per_network: 0,
             deployment,
             base_seed: 0x5eed_0002,
+            chaos: None,
+            mobility: None,
         }
     }
 

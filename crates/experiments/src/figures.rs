@@ -5,9 +5,9 @@
 //! length**; each figure has an IA panel (a) and an FA panel (b). The
 //! ablation figures (A1–A6 of `DESIGN.md`) extend the evaluation.
 
-use crate::{Scenario, Scheme, SweepConfig, SweepResults};
+use crate::{ChaosRecipe, PreparedNetwork, Scenario, Scheme, SweepConfig, SweepResults};
 use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
+use rand::{seq::SliceRandom, RngExt, SeedableRng};
 use sp_core::{construct_distributed, Routing, SafetyInfo, Slgf2Router};
 use sp_metrics::{Figure, Series};
 use sp_net::Network;
@@ -631,6 +631,180 @@ pub fn failure_robustness_figure(
     fig
 }
 
+/// The six schemes of the A17 delivery-vs-chaos family: the paper's
+/// four, the GFG planar baseline, and the SLGF2+face hybrid.
+pub const CHAOS_FAMILY_SCHEMES: [Scheme; 6] = [
+    Scheme::Gf,
+    Scheme::Lgf,
+    Scheme::Slgf,
+    Scheme::Slgf2,
+    Scheme::Gfg,
+    Scheme::Slgf2Face,
+];
+
+/// A17: the delivery-vs-chaos figure family — one panel per built-in
+/// chaos class, chaos intensity on x, per-scheme delivery ratio on y.
+///
+/// Each panel climbs an intensity ladder of `chaos=` spec strings
+/// (radius of the regional outage, number of partition cuts, link drop
+/// probability, flapped node count), deploys `instances` seeded
+/// networks per rung, degrades each at the class's evaluation round,
+/// and routes one random connected pair per scheme. Flapping is
+/// evaluated **mid-outage** (at the kill round, before the scheduled
+/// rejoin); the other classes at the chaos observation round — so the
+/// flap panel shows the transient hole and the region panel the
+/// permanent one. Pairs whose endpoint the chaos killed count as
+/// undelivered: under chaos, topology failures *are* service failures.
+pub fn chaos_delivery_family(
+    scenario: Scenario,
+    node_count: usize,
+    instances: usize,
+    schemes: &[Scheme],
+) -> Vec<Figure> {
+    // (panel tag, x label, ladder of (x, chaos spec), evaluate mid-outage)
+    type Panel = (
+        &'static str,
+        &'static str,
+        Vec<(f64, Option<&'static str>)>,
+        bool,
+    );
+    let panels: [Panel; 4] = [
+        (
+            "A17a delivery vs regional outage",
+            "outage radius (% of area side)",
+            vec![
+                (0.0, None),
+                (5.0, Some("region:r=0.05@round1")),
+                (10.0, Some("region:r=0.1@round1")),
+                (20.0, Some("region:r=0.2@round1")),
+                (30.0, Some("region:r=0.3@round1")),
+            ],
+            false,
+        ),
+        (
+            "A17b delivery vs partition cuts",
+            "active cuts",
+            vec![
+                (0.0, None),
+                (1.0, Some("partition")),
+                (2.0, Some("partition+partition")),
+                (3.0, Some("partition+partition+partition")),
+            ],
+            false,
+        ),
+        (
+            "A17c delivery vs lossy links",
+            "drop probability (%)",
+            vec![
+                (0.0, None),
+                (0.5, Some("drop:p=0.005")),
+                (1.0, Some("drop:p=0.01")),
+                (2.0, Some("drop:p=0.02")),
+                (5.0, Some("drop:p=0.05")),
+            ],
+            false,
+        ),
+        (
+            "A17d delivery vs flapping nodes (mid-outage)",
+            "flapped nodes",
+            vec![
+                (0.0, None),
+                (4.0, Some("flap:n=4")),
+                (8.0, Some("flap:n=8")),
+                (16.0, Some("flap:n=16")),
+            ],
+            true,
+        ),
+    ];
+    let dc = sp_net::deploy::DeploymentConfig::paper_default(node_count);
+    let names = Scheme::display_names(schemes);
+    panels
+        .into_iter()
+        .map(|(tag, x_label, ladder, mid_outage)| {
+            let mut fig = Figure::new(
+                format!("{tag} ({} model, n={node_count})", scenario.tag()),
+                x_label,
+                "delivery ratio",
+            );
+            let mut delivered = vec![Vec::new(); schemes.len()]; // per scheme: per rung count
+            let mut attempts = Vec::new();
+            for &(x, spec) in &ladder {
+                let recipe = spec.map(|s| {
+                    ChaosRecipe::parse(s).expect("A17 ladder specs are well-formed")
+                    // sp-analyze: allow(panic, static spec strings validated by the chaos grammar tests)
+                });
+                let mut ok = vec![0usize; schemes.len()];
+                let mut total = 0usize;
+                for k in 0..instances {
+                    let seed = 0xa17_0000 + k as u64;
+                    let net =
+                        Network::from_positions(scenario.deploy(&dc, seed), dc.radius, dc.area);
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a0);
+                    let Some((s, d)) = crate::random_connected_pair(&net, &mut rng) else {
+                        continue;
+                    };
+                    total += 1;
+                    let (degraded, drop_p, endpoint_dead) = match &recipe {
+                        None => (net.clone(), 0.0, false),
+                        Some(recipe) => {
+                            let plan = recipe.build(&net, seed);
+                            let round = if mid_outage {
+                                plan.kills().last_round().unwrap_or(0)
+                            } else {
+                                plan.last_round().unwrap_or(0).max(
+                                    plan.cuts().iter().map(|c| c.from_round).max().unwrap_or(0),
+                                )
+                            };
+                            let dead = plan.dead_as_of(round);
+                            let endpoint_dead = dead.contains(&s) || dead.contains(&d);
+                            let mut degraded = net.without_nodes(&dead);
+                            let mut cut_edges = Vec::new();
+                            for cut in plan.cuts().iter().filter(|c| c.active_at(round)) {
+                                cut_edges.extend(degraded.edges_crossing(cut.a, cut.b));
+                            }
+                            if !cut_edges.is_empty() {
+                                degraded = degraded.without_edges(&cut_edges);
+                            }
+                            (degraded, plan.drop_p(), endpoint_dead)
+                        }
+                    };
+                    if endpoint_dead {
+                        continue; // attempt counted, nobody delivers
+                    }
+                    let prepared = PreparedNetwork::new(degraded);
+                    let ctx = prepared.ctx();
+                    let mut drops =
+                        (drop_p > 0.0).then(|| StdRng::seed_from_u64(seed ^ 0xd20b_5eed));
+                    for (i, &scheme) in schemes.iter().enumerate() {
+                        let route = scheme.build(&ctx).route(&prepared.net, s, d);
+                        let mut good = route.delivered();
+                        if let (true, Some(drops)) = (good, drops.as_mut()) {
+                            good = !(0..route.hops()).any(|_| drops.random_bool(drop_p));
+                        }
+                        if good {
+                            ok[i] += 1;
+                        }
+                    }
+                }
+                for (i, &n) in ok.iter().enumerate() {
+                    delivered[i].push((x, n));
+                }
+                attempts.push(total);
+            }
+            for ((scheme_ok, name), _) in delivered.iter().zip(&names).zip(schemes) {
+                let mut series = Series::new(name.to_string());
+                for (rung, &(x, n)) in scheme_ok.iter().enumerate() {
+                    if attempts[rung] > 0 {
+                        series.push(x, n as f64 / attempts[rung] as f64);
+                    }
+                }
+                fig.push_series(series);
+            }
+            fig
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,8 +818,36 @@ mod tests {
             flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 99,
+            chaos: None,
+            mobility: None,
         };
         run_sweep(&cfg, &Scheme::PAPER_SET)
+    }
+
+    #[test]
+    fn chaos_family_renders_every_panel_and_scheme() {
+        let figs = chaos_delivery_family(Scenario::Ia, 300, 2, &CHAOS_FAMILY_SCHEMES);
+        assert_eq!(figs.len(), 4, "one panel per built-in chaos class");
+        for fig in &figs {
+            assert_eq!(fig.series.len(), 6, "{}", fig.title);
+            for s in &fig.series {
+                assert!(!s.points.is_empty(), "{}: {} is empty", fig.title, s.label);
+                // The rate-0 rung routes the pristine topology.
+                assert_eq!(s.points[0].0, 0.0, "{}", fig.title);
+                for &(_, y) in &s.points {
+                    assert!((0.0..=1.0).contains(&y), "{}: ratio {y}", fig.title);
+                }
+            }
+        }
+        // Chaos only hurts: the heaviest regional outage delivers no
+        // more than the pristine rung (every scheme, both endpoints
+        // alive or the attempt already counts as lost).
+        let region = &figs[0];
+        for s in &region.series {
+            let base = s.points[0].1;
+            let worst = s.points.last().unwrap().1;
+            assert!(worst <= base + 1e-9, "{}: {worst} > {base}", s.label);
+        }
     }
 
     #[test]
@@ -681,6 +883,8 @@ mod tests {
             flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 5,
+            chaos: None,
+            mobility: None,
         };
         let fig = construction_cost_figure(&cfg, 1);
         assert_eq!(fig.series.len(), 3);
@@ -724,6 +928,8 @@ mod tests {
             flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 11,
+            chaos: None,
+            mobility: None,
         };
         let fig = async_cost_figure(&cfg, 2);
         assert_eq!(fig.series.len(), 2);
@@ -770,6 +976,8 @@ mod tests {
             flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 23,
+            chaos: None,
+            mobility: None,
         };
         let res = run_sweep(&cfg, &Scheme::EXTENDED_SET);
         let f6 = fig6(&res);

@@ -44,8 +44,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod figures;
+pub mod mobility_model;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
@@ -53,7 +55,11 @@ pub mod scheme;
 pub mod spec;
 pub mod workload;
 
+pub use chaos::{ChaosArgs, ChaosBuild, ChaosClass, ChaosClause, ChaosRecipe, ChaosRegistry};
 pub use config::SweepConfig;
+pub use mobility_model::{
+    MobilityArgs, MobilityBuild, MobilityModel, MobilityRecipe, MobilityRegistry,
+};
 pub use runner::{
     random_connected_pair, run_instance, run_sweep, RouteRecord, SchemePoint, SweepPoint,
     SweepResults, SWEEP_THREADS_ENV,
@@ -64,4 +70,6 @@ pub use scheme::{
     PreparedNetwork, RouterContext, Scheme, SchemeBuild, SchemeFamily, SchemeRegistry,
 };
 pub use spec::{SpecError, SweepSpec};
-pub use workload::{lifetime_figure, run_lifetime, LifetimeReport, StreamingConfig};
+pub use workload::{
+    lifetime_figure, run_lifetime, run_lifetime_with_chaos, LifetimeReport, StreamingConfig,
+};

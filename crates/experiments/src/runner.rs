@@ -14,6 +14,7 @@ use rand::{RngExt, SeedableRng};
 use sp_core::TrafficEngine;
 use sp_metrics::Summary;
 use sp_net::{interference_count, Network, NodeId, RadioModel};
+use sp_sim::ChaosPlan;
 use sp_sync::WorkQueue;
 use std::sync::Arc;
 
@@ -266,6 +267,14 @@ fn run_jobs(
 /// [`TrafficEngine`] — reused per-worker route buffers, metrics folded
 /// off the borrowed traces, no per-packet allocation. Records keep the
 /// historical flow-major order: all schemes for flow 0, then flow 1, …
+///
+/// When the config carries a [`crate::MobilityRecipe`] the deployed
+/// positions are perturbed before the network is built; when it carries
+/// a [`crate::ChaosRecipe`] the instance is **degraded at the chaos
+/// observation round** (every scheduled outage struck, active partition
+/// cuts severed) before routing, and each delivered route then survives
+/// a per-hop lossy-link draw at the plan's drop probability. With both
+/// fields `None` this function is bit-identical to the pristine runner.
 pub fn run_instance(
     cfg: &SweepConfig,
     schemes: &[Scheme],
@@ -273,8 +282,17 @@ pub fn run_instance(
     seed: u64,
 ) -> Vec<RouteRecord> {
     let dc = cfg.deployment_config(node_count);
-    let positions = cfg.deployment.deploy(&dc, seed);
-    let net = Network::from_positions(positions, dc.radius, dc.area);
+    let mut positions = cfg.deployment.deploy(&dc, seed);
+    if let Some(mobility) = &cfg.mobility {
+        positions = mobility.perturb(&positions, &dc, seed);
+    }
+    let mut net = Network::from_positions(positions, dc.radius, dc.area);
+    let mut drop_p = 0.0;
+    if let Some(recipe) = &cfg.chaos {
+        let plan = recipe.build(&net, seed);
+        net = degrade_at_observation_round(&net, &plan);
+        drop_p = plan.drop_p();
+    }
     let prepared = PreparedNetwork::new(net);
     let ctx = prepared.ctx();
     // Resolve each scheme's router once per instance — the registry
@@ -343,7 +361,44 @@ pub fn run_instance(
             out.push(recs[i]);
         }
     }
+    if drop_p > 0.0 {
+        // Lossy links: a delivered route survives only if every hop
+        // beats an independent drop draw. The RNG is created only on
+        // this branch (its own salted stream) so `chaos=None` sweeps
+        // never construct it — the rate-0 bit-identity guarantee.
+        let mut drops = StdRng::seed_from_u64(seed ^ 0xd20b_5eed);
+        for r in &mut out {
+            if r.delivered {
+                let lost = (0..r.hops).any(|_| drops.random_bool(drop_p));
+                if lost {
+                    r.delivered = false;
+                }
+            }
+        }
+    }
     out
+}
+
+/// Applies a [`ChaosPlan`] to a freshly built instance at the plan's
+/// **observation round**: the latest round any scheduled kill, revival,
+/// or partition window opens. Routing then sees the topology as the
+/// survivors do — every outage struck, flapped nodes in their final
+/// state, and links crossing any cut still active at that round severed.
+fn degrade_at_observation_round(net: &Network, plan: &ChaosPlan) -> Network {
+    let round = plan
+        .last_round()
+        .unwrap_or(0)
+        .max(plan.cuts().iter().map(|c| c.from_round).max().unwrap_or(0));
+    let dead = plan.dead_as_of(round);
+    let mut degraded = net.without_nodes(&dead);
+    let mut cut_edges = Vec::new();
+    for cut in plan.cuts().iter().filter(|c| c.active_at(round)) {
+        cut_edges.extend(degraded.edges_crossing(cut.a, cut.b));
+    }
+    if !cut_edges.is_empty() {
+        degraded = degraded.without_edges(&cut_edges);
+    }
+    degraded
 }
 
 /// Draws a random distinct pair from the largest connected component.
@@ -379,6 +434,8 @@ mod tests {
             flows_per_network: 0,
             deployment: scenario,
             base_seed: 7,
+            chaos: None,
+            mobility: None,
         }
     }
 
@@ -407,6 +464,58 @@ mod tests {
             assert_eq!(pa.schemes[0].hops, pb.schemes[0].hops);
             assert_eq!(pa.schemes[0].delivered, pb.schemes[0].delivered);
         }
+    }
+
+    #[test]
+    fn rate_zero_chaos_is_bit_identical_to_no_chaos() {
+        let plain = tiny_sweep(Scenario::Ia);
+        let mut quiet = plain.clone();
+        // A parsed recipe whose plan schedules nothing and drops nothing:
+        // the sweep must not be able to tell it apart from `chaos=None`.
+        quiet.chaos = Some(crate::ChaosRecipe::parse("drop:p=0").unwrap());
+        let seed = plain.instance_seed(0, 0);
+        let a = run_instance(&plain, &Scheme::PAPER_SET, 400, seed);
+        let b = run_instance(&quiet, &Scheme::PAPER_SET, 400, seed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lossy_links_at_probability_one_deliver_nothing() {
+        let mut cfg = tiny_sweep(Scenario::Ia);
+        cfg.chaos = Some(crate::ChaosRecipe::parse("drop:p=1").unwrap());
+        let recs = run_instance(&cfg, &Scheme::PAPER_SET, 400, cfg.instance_seed(0, 0));
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| !r.delivered));
+    }
+
+    #[test]
+    fn chaos_sweeps_are_deterministic_and_degrade_delivery() {
+        let mut cfg = tiny_sweep(Scenario::Ia);
+        cfg.chaos = Some(crate::ChaosRecipe::parse("region:r=0.3@round1+drop:p=0.05").unwrap());
+        let a = run_sweep(&cfg, &[Scheme::Gf]);
+        let b = run_sweep(&cfg, &[Scheme::Gf]);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.schemes[0].delivered, pb.schemes[0].delivered);
+            assert_eq!(pa.schemes[0].hops, pb.schemes[0].hops);
+        }
+        let pristine = run_sweep(&tiny_sweep(Scenario::Ia), &[Scheme::Gf]);
+        let chaotic: usize = a.points.iter().map(|p| p.schemes[0].delivered).sum();
+        let clean: usize = pristine.points.iter().map(|p| p.schemes[0].delivered).sum();
+        assert!(
+            chaotic <= clean,
+            "a regional outage plus lossy links must not improve delivery ({chaotic} > {clean})"
+        );
+    }
+
+    #[test]
+    fn mobility_moves_the_instance_deterministically() {
+        let mut cfg = tiny_sweep(Scenario::Ia);
+        cfg.mobility = Some(crate::MobilityRecipe::parse("waypoint:speed=2,ticks=5").unwrap());
+        let seed = cfg.instance_seed(0, 0);
+        let moved = run_instance(&cfg, &[Scheme::Slgf2], 400, seed);
+        assert_eq!(moved, run_instance(&cfg, &[Scheme::Slgf2], 400, seed));
+        let still = run_instance(&tiny_sweep(Scenario::Ia), &[Scheme::Slgf2], 400, seed);
+        assert_ne!(moved, still, "five ticks of waypoint motion reroutes");
     }
 
     #[test]

@@ -8,19 +8,25 @@
 //!
 //! | key        | value                                            | default |
 //! |------------|--------------------------------------------------|---------|
-//! | `scenario` | a registered scenario name (`IA`, `FA`, …)       | `IA`    |
+//! | `scenario` | a registered scenario name (`IA`, `FA`, …) or a weighted blend `IA:0.7+clustered:0.3` | `IA`    |
 //! | `nodes`    | `lo..hi:step` (inclusive), a comma list, or one value | the paper's `400..800:50` |
 //! | `nets`     | networks per node count                          | `100`   |
 //! | `pairs`    | source/destination pairs per network             | `1`     |
 //! | `flows`    | concurrent flows per network, routed as one batched `TrafficEngine` pass per scheme (supersedes `pairs`) | unset |
 //! | `seed`     | base seed (decimal or `0x…`)                     | the paper sweeps' seed |
 //! | `schemes`  | `+`-separated scheme names; `PAPER`, `EXTENDED`, and `ALL` expand to the corresponding sets | `PAPER` |
+//! | `chaos`    | a `+`-joined [`ChaosRecipe`], e.g. `region:r=0.15@round5+drop:p=0.01` | none |
+//! | `mobility` | a [`MobilityRecipe`], e.g. `waypoint:speed=2`    | none    |
 //!
-//! Scenario and scheme names resolve through the **open registries**,
-//! so a scenario or scheme family registered at runtime is immediately
-//! addressable from a spec with no parser changes.
+//! Scenario, scheme, chaos-class, and mobility-model names all resolve
+//! through the **open registries**, so anything registered at runtime is
+//! immediately addressable from a spec with no parser changes. A
+//! scenario **blend** like `IA:0.7+clustered:0.3` deploys each
+//! component's weighted share of the nodes into the same area and is
+//! registered under the blend string itself, so the blend becomes an
+//! ordinary named scenario on first use.
 
-use crate::{run_sweep, Scenario, Scheme, SweepConfig, SweepResults};
+use crate::{run_sweep, ChaosRecipe, MobilityRecipe, Scenario, Scheme, SweepConfig, SweepResults};
 
 /// A parse or resolution failure, with the offending clause quoted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,14 +66,7 @@ impl SweepSpec {
                 .ok_or_else(|| SpecError(format!("clause {clause:?} is not key=value")))?;
             let (key, value) = (key.trim(), value.trim());
             match key {
-                "scenario" => {
-                    config.deployment = Scenario::by_name(value).ok_or_else(|| {
-                        SpecError(format!(
-                            "unknown scenario {value:?} (registered: {})",
-                            crate::ScenarioRegistry::names().join(", ")
-                        ))
-                    })?;
-                }
+                "scenario" => config.deployment = parse_scenario(value)?,
                 "nodes" => config.node_counts = parse_nodes(value)?,
                 "nets" => config.networks_per_point = parse_count(key, value)?,
                 "pairs" => config.pairs_per_network = parse_count(key, value)?,
@@ -77,9 +76,13 @@ impl SweepSpec {
                         .ok_or_else(|| SpecError(format!("seed {value:?} is not a number")))?;
                 }
                 "schemes" => schemes = parse_schemes(value)?,
+                "chaos" => config.chaos = Some(ChaosRecipe::parse(value).map_err(SpecError)?),
+                "mobility" => {
+                    config.mobility = Some(MobilityRecipe::parse(value).map_err(SpecError)?);
+                }
                 other => {
                     return Err(SpecError(format!(
-                    "unknown key {other:?} (expected scenario/nodes/nets/pairs/flows/seed/schemes)"
+                    "unknown key {other:?} (expected scenario/nodes/nets/pairs/flows/seed/schemes/chaos/mobility)"
                 )))
                 }
             }
@@ -94,6 +97,90 @@ impl SweepSpec {
     pub fn run(&self) -> SweepResults {
         run_sweep(&self.config, &self.schemes)
     }
+}
+
+/// A scenario name, or a weighted blend `IA:0.7+clustered:0.3`.
+///
+/// A blend deploys each component's weighted share of the node count
+/// into the same area (weights normalised, shares rounded so they sum
+/// exactly to the count) and registers the synthesised generator under
+/// the blend string itself — so the first parse mints a scenario and
+/// every later parse resolves it by name like any other.
+fn parse_scenario(value: &str) -> Result<Scenario, SpecError> {
+    if let Some(s) = Scenario::by_name(value) {
+        return Ok(s);
+    }
+    if !value.contains('+') {
+        return Err(SpecError(format!(
+            "unknown scenario {value:?} (registered: {})",
+            crate::ScenarioRegistry::names().join(", ")
+        )));
+    }
+    let mut parts: Vec<(Scenario, f64)> = Vec::new();
+    for tok in value.split('+') {
+        let tok = tok.trim();
+        let (name, weight) = tok.split_once(':').ok_or_else(|| {
+            SpecError(format!(
+                "scenario blend {value:?}: {tok:?} is not name:weight"
+            ))
+        })?;
+        let scenario = Scenario::by_name(name.trim()).ok_or_else(|| {
+            SpecError(format!(
+                "unknown scenario {name:?} (registered: {})",
+                crate::ScenarioRegistry::names().join(", ")
+            ))
+        })?;
+        let weight: f64 = weight
+            .trim()
+            .parse()
+            .ok()
+            .filter(|w: &f64| w.is_finite() && *w > 0.0)
+            .ok_or_else(|| {
+                SpecError(format!(
+                    "scenario blend {value:?}: weight {weight:?} is not a positive number"
+                ))
+            })?;
+        parts.push((scenario, weight));
+    }
+    let total: f64 = parts.iter().map(|&(_, w)| w).sum();
+    for (_, w) in &mut parts {
+        *w /= total;
+    }
+    let blend = parts.clone();
+    let generate = move |cfg: &sp_net::deploy::DeploymentConfig, seed: u64| {
+        let n = cfg.node_count;
+        let mut out = Vec::with_capacity(n);
+        // Cumulative rounding: shares sum exactly to n, each within one
+        // node of its weighted target.
+        let (mut cum, mut taken) = (0.0f64, 0usize);
+        for (i, &(scenario, w)) in blend.iter().enumerate() {
+            cum += w;
+            let target = if i + 1 == blend.len() {
+                n
+            } else {
+                (cum * n as f64).round() as usize
+            };
+            let share = target.saturating_sub(taken);
+            taken = target.max(taken);
+            if share == 0 {
+                continue;
+            }
+            let sub = sp_net::deploy::DeploymentConfig {
+                node_count: share,
+                ..*cfg
+            };
+            let salt = (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            out.extend(scenario.deploy(&sub, seed ^ salt));
+        }
+        out
+    };
+    // First parse mints the scenario; a concurrent parse of the same
+    // blend loses the registration race and resolves by name instead.
+    Scenario::try_register(value, generate)
+        .or_else(|_| {
+            Scenario::by_name(value).ok_or_else(|| "blend registration collided".to_owned())
+        })
+        .map_err(SpecError)
 }
 
 /// `lo..hi:step` (both ends inclusive), a comma list, or one value.
@@ -285,10 +372,54 @@ mod tests {
             ("seed=zebra", "not a number"),
             ("bogus=1", "unknown key"),
             ("scenario", "not key=value"),
+            ("scenario=IA:0.7+nowhere:0.3", "unknown scenario"),
+            ("scenario=IA:0.7+clustered", "not name:weight"),
+            ("scenario=IA:0+clustered:1", "not a positive number"),
+            ("chaos=meteor", "unknown chaos class"),
+            ("chaos=drop:p", "not k=v"),
+            ("mobility=teleport", "unknown mobility model"),
+            ("mobility=waypoint:speed=x", "not a number"),
         ] {
             let err = SweepSpec::parse(spec).expect_err(spec);
             assert!(err.to_string().contains(needle), "{spec}: {err}");
         }
+    }
+
+    #[test]
+    fn chaos_and_mobility_clauses_resolve_through_their_registries() {
+        let spec =
+            SweepSpec::parse("chaos=region:r=0.15@round5+drop:p=0.01;mobility=waypoint:speed=2")
+                .unwrap();
+        let chaos = spec.config.chaos.expect("chaos clause parsed");
+        assert_eq!(chaos.spec_string(), "region:r=0.15@round5+drop:p=0.01");
+        let mobility = spec.config.mobility.expect("mobility clause parsed");
+        assert_eq!(mobility.spec_string(), "waypoint:speed=2");
+        // Unset keys stay pristine — the rate-0 bit-identity baseline.
+        let plain = SweepSpec::parse("").unwrap();
+        assert_eq!(plain.config.chaos, None);
+        assert_eq!(plain.config.mobility, None);
+    }
+
+    #[test]
+    fn scenario_blends_mint_a_named_scenario() {
+        let spec = SweepSpec::parse("scenario=IA:0.7+clustered:0.3;nodes=400").unwrap();
+        let blend = spec.config.deployment;
+        assert_eq!(blend.name(), "IA:0.7+clustered:0.3");
+        // Re-parsing resolves the already-minted scenario by name.
+        let again = SweepSpec::parse("scenario=IA:0.7+clustered:0.3").unwrap();
+        assert_eq!(again.config.deployment, blend);
+        // Shares sum exactly to the node count and replay per seed.
+        let cfg = spec.config.deployment_config(401);
+        let pts = blend.deploy(&cfg, 7);
+        assert_eq!(pts.len(), 401);
+        assert_eq!(pts, blend.deploy(&cfg, 7));
+        for p in &pts {
+            assert!(cfg.area.contains(*p), "{p} escaped the area");
+        }
+        // The uniform 70% share makes the blend differ from pure
+        // clustering, and the clustered 30% from pure uniform.
+        assert_ne!(pts, Scenario::Ia.deploy(&cfg, 7));
+        assert_ne!(pts, Scenario::Clustered.deploy(&cfg, 7));
     }
 
     #[test]

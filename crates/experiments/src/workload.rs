@@ -17,6 +17,7 @@ use sp_baselines::{GfRouter, GfgRouter};
 use sp_core::{InfoMaintainer, RouteBuffer, Routing};
 use sp_metrics::{Figure, Series};
 use sp_net::{radio::EnergyLedger, Network, RadioModel};
+use sp_sim::ChaosPlan;
 
 /// Configuration of one streaming-lifetime run.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +78,30 @@ pub fn run_lifetime(
     cfg: &StreamingConfig,
     seed: u64,
 ) -> LifetimeReport {
+    run_lifetime_with_chaos(net, scheme, cfg, &ChaosPlan::new(), seed)
+}
+
+/// [`run_lifetime`] under an injected [`ChaosPlan`].
+///
+/// Chaos rounds are streaming rounds: kills and revivals due at round
+/// `r` strike at the top of round `r` (revivals repair through
+/// [`InfoMaintainer::revive`], so a flapped relay rejoins the ghost
+/// topology), partition cuts sever crossing links for exactly their
+/// window, and each delivered packet then survives independent per-hop
+/// lossy-link draws at the plan's drop probability — a dropped packet
+/// still charges the ledger for the hops it walked. A chaos kill of a
+/// flow endpoint ends the run like a depletion death would: the
+/// streaming service is interrupted either way.
+///
+/// A quiet plan draws no chaos randomness and schedules nothing, so
+/// this function is bit-identical to [`run_lifetime`] at chaos rate 0.
+pub fn run_lifetime_with_chaos(
+    net: &Network,
+    scheme: Scheme,
+    cfg: &StreamingConfig,
+    chaos: &ChaosPlan,
+    seed: u64,
+) -> LifetimeReport {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x11fe);
     let comp = net.largest_component();
     let mut flows = Vec::with_capacity(cfg.flows);
@@ -87,6 +112,10 @@ pub fn run_lifetime(
             flows.push((s, d));
         }
     }
+
+    let drop_p = chaos.drop_p();
+    // Lazily constructed so rate-0 runs never touch chaos randomness.
+    let mut drops = (drop_p > 0.0).then(|| StdRng::seed_from_u64(chaos.seed() ^ 0xd20b_5eed));
 
     let mut maint = InfoMaintainer::new(net.clone());
     let mut ledger = EnergyLedger::new(net.len(), cfg.node_energy_nj, RadioModel::first_order());
@@ -105,6 +134,12 @@ pub fn run_lifetime(
     let mut buf = RouteBuffer::with_capacity(net.len());
     let mut round = 0usize;
     let mut flow_idx = 0usize;
+    // Whether the round counter should advance when `flow_idx` wraps —
+    // false right after a chaos strike forced a new epoch at the top of
+    // a round, so the freshly built epoch streams that same round.
+    let mut advance_round = true;
+    let cut_state =
+        |round: usize| -> Vec<bool> { chaos.cuts().iter().map(|c| c.active_at(round)).collect() };
     if flows.is_empty() {
         report.rounds = cfg.max_rounds;
     } else {
@@ -113,7 +148,19 @@ pub fn run_lifetime(
             // degraded snapshot, the incrementally-repaired safety
             // information, the rebuilt recovery structures, and — once,
             // not per packet — the scheme's router via the registry.
-            let topo = maint.network().clone();
+            let mut topo = maint.network().clone();
+            // Sever the links crossing every partition cut active this
+            // round; the epoch is rebuilt when the active set changes.
+            let epoch_cuts = cut_state(round);
+            let mut cut_edges = Vec::new();
+            for (cut, &on) in chaos.cuts().iter().zip(&epoch_cuts) {
+                if on {
+                    cut_edges.extend(topo.edges_crossing(cut.a, cut.b));
+                }
+            }
+            if !cut_edges.is_empty() {
+                topo = topo.without_edges(&cut_edges);
+            }
             let info = maint.info();
             let gf = GfRouter::new(&topo);
             let gfg = GfgRouter::new(&topo);
@@ -126,11 +173,32 @@ pub fn run_lifetime(
             let router = scheme.build(&ctx);
             loop {
                 if flow_idx == 0 {
-                    if round == cfg.max_rounds {
-                        break 'epochs;
+                    if advance_round {
+                        if round == cfg.max_rounds {
+                            break 'epochs;
+                        }
+                        round += 1;
+                        report.rounds = round;
+                        // Chaos strikes at the top of the round: node
+                        // events repair the maintainer, a cut window
+                        // opening or closing re-derives the topology.
+                        let kills = chaos.kills_due_at(round);
+                        let revivals = chaos.revivals_due_at(round);
+                        if !kills.is_empty() || !revivals.is_empty() {
+                            let kills = kills.to_vec();
+                            maint.kill_many(&kills);
+                            for &v in revivals {
+                                maint.revive(v);
+                            }
+                            advance_round = false;
+                            continue 'epochs;
+                        }
+                        if cut_state(round) != epoch_cuts {
+                            advance_round = false;
+                            continue 'epochs;
+                        }
                     }
-                    round += 1;
-                    report.rounds = round;
+                    advance_round = true;
                 }
                 let (s, d) = flows[flow_idx];
                 if maint.is_dead(s) || maint.is_dead(d) {
@@ -141,12 +209,37 @@ pub fn run_lifetime(
                 if !route.delivered() {
                     report.packets_lost += 1;
                     if !topo.connected(s, d) {
+                        // A pair severed only by an active cut window is
+                        // a transient partition — the flow resumes when
+                        // the window closes. The run ends only when the
+                        // ghost topology itself is severed.
+                        if maint.network().connected(s, d) {
+                            continue;
+                        }
                         break 'epochs; // flow physically severed
                     }
                     continue;
                 }
-                report.packets_delivered += 1;
-                let newly_dead = ledger.charge_path(&topo, route.path, cfg.packet_bits);
+                // Lossy links: the packet dies on the first hop that
+                // loses its draw, charging only the hops it walked.
+                let walked = match &mut drops {
+                    Some(drops) => {
+                        let hops = route.path.len().saturating_sub(1);
+                        (0..hops).find(|_| drops.random_bool(drop_p))
+                    }
+                    None => None,
+                };
+                let charged_path = match walked {
+                    Some(h) => {
+                        report.packets_lost += 1;
+                        &route.path[..h + 2]
+                    }
+                    None => {
+                        report.packets_delivered += 1;
+                        route.path
+                    }
+                };
+                let newly_dead = ledger.charge_path(&topo, charged_path, cfg.packet_bits);
                 if !newly_dead.is_empty() {
                     for v in newly_dead {
                         maint.kill(v);
@@ -247,6 +340,107 @@ mod tests {
         assert_eq!(report.rounds, 50);
         assert_eq!(report.nodes_depleted, 0);
         assert_eq!(report.packets_delivered + report.packets_lost, 50);
+    }
+
+    #[test]
+    fn quiet_chaos_lifetime_is_bit_identical() {
+        let dc = DeploymentConfig::paper_default(250);
+        let net = Network::from_positions(dc.deploy_uniform(6), dc.radius, dc.area);
+        let plain = run_lifetime(&net, Scheme::Slgf2, &small_cfg(), 9);
+        let quiet = ChaosPlan::new().with_seed(123);
+        let chaotic = run_lifetime_with_chaos(&net, Scheme::Slgf2, &small_cfg(), &quiet, 9);
+        assert_eq!(plain, chaotic);
+    }
+
+    #[test]
+    fn lossy_lifetime_at_probability_one_delivers_nothing() {
+        let dc = DeploymentConfig::paper_default(250);
+        let net = Network::from_positions(dc.deploy_uniform(6), dc.radius, dc.area);
+        let cfg = StreamingConfig {
+            flows: 1,
+            packet_bits: 16.0,
+            node_energy_nj: 1.0e12,
+            max_rounds: 20,
+        };
+        let plan = ChaosPlan::new().with_seed(1).with_drop(1.0);
+        let report = run_lifetime_with_chaos(&net, Scheme::Slgf2, &cfg, &plan, 6);
+        assert_eq!(report.packets_delivered, 0);
+        assert_eq!(report.packets_lost, 20, "every round's packet drops");
+        assert!(report.energy_spent > 0.0, "dropped hops still cost energy");
+    }
+
+    #[test]
+    fn chaos_kill_of_a_flow_endpoint_ends_the_lifetime() {
+        let dc = DeploymentConfig::paper_default(250);
+        let net = Network::from_positions(dc.deploy_uniform(7), dc.radius, dc.area);
+        let cfg = StreamingConfig {
+            flows: 1,
+            packet_bits: 16.0,
+            node_energy_nj: 1.0e12,
+            max_rounds: 50,
+        };
+        // Replay the flow draw to learn the source endpoint.
+        let mut rng = StdRng::seed_from_u64(11 ^ 0x11fe);
+        let comp = net.largest_component();
+        let (s, _d) = loop {
+            let s = comp[rng.random_range(0..comp.len())];
+            let d = comp[rng.random_range(0..comp.len())];
+            if s != d {
+                break (s, d);
+            }
+        };
+        let mut plan = ChaosPlan::new().with_seed(2);
+        plan.kill_at(3, s);
+        let report = run_lifetime_with_chaos(&net, Scheme::Slgf2, &cfg, &plan, 11);
+        assert_eq!(report.rounds, 3, "the outage interrupts the stream");
+        assert_eq!(report.packets_delivered, 2);
+        // The same plan with a revival before the strike round is moot —
+        // but a flapped *relay* keeps the run alive to the cap.
+        let relay = comp
+            .iter()
+            .copied()
+            .find(|&v| v != s && v != _d)
+            .expect("250 nodes has a non-endpoint");
+        let mut flap = ChaosPlan::new().with_seed(3);
+        flap.kill_at(2, relay);
+        flap.revive_at(5, relay);
+        let flapped = run_lifetime_with_chaos(&net, Scheme::Slgf2, &cfg, &flap, 11);
+        assert_eq!(flapped.rounds, 50, "a flapped relay does not end the run");
+        assert_eq!(
+            flapped,
+            run_lifetime_with_chaos(&net, Scheme::Slgf2, &cfg, &flap, 11),
+            "chaos lifetimes replay per seed"
+        );
+    }
+
+    #[test]
+    fn partition_window_suppresses_delivery_while_open() {
+        // A net spanning the area, cut vertically through the middle
+        // for rounds 2..=4: flows crossing the cut lose those rounds.
+        let dc = DeploymentConfig::paper_default(300);
+        let net = Network::from_positions(dc.deploy_uniform(8), dc.radius, dc.area);
+        let cfg = StreamingConfig {
+            flows: 2,
+            packet_bits: 16.0,
+            node_energy_nj: 1.0e12,
+            max_rounds: 12,
+        };
+        let mut plan = ChaosPlan::new().with_seed(4);
+        plan.add_cut(sp_sim::CutWindow {
+            a: sp_geom::Point::new(100.0, -10.0),
+            b: sp_geom::Point::new(100.0, 210.0),
+            from_round: 2,
+            until_round: 5,
+        });
+        let cut = run_lifetime_with_chaos(&net, Scheme::Slgf2, &cfg, &plan, 13);
+        let clean = run_lifetime(&net, Scheme::Slgf2, &cfg, 13);
+        assert!(
+            cut.packets_delivered <= clean.packets_delivered,
+            "severing links must not improve delivery ({} > {})",
+            cut.packets_delivered,
+            clean.packets_delivered
+        );
+        assert_eq!(cut.rounds, 12, "the window closes and streaming resumes");
     }
 
     #[test]

@@ -12,6 +12,8 @@ fn mini(kind: Scenario, seed: u64) -> SweepConfig {
         flows_per_network: 0,
         deployment: kind,
         base_seed: seed,
+        chaos: None,
+        mobility: None,
     }
 }
 
@@ -92,6 +94,8 @@ fn slgf2_beats_lgf_on_fa_deployments() {
         flows_per_network: 0,
         deployment: Scenario::Fa,
         base_seed: 29,
+        chaos: None,
+        mobility: None,
     };
     let schemes = [Scheme::Lgf, Scheme::Slgf2];
     let mut lgf_hops = 0usize;
@@ -165,6 +169,8 @@ fn interference_grows_with_density() {
         flows_per_network: 0,
         deployment: Scenario::Ia,
         base_seed: 31,
+        chaos: None,
+        mobility: None,
     };
     let res = run_sweep(&cfg, &Scheme::PAPER_SET);
     let fi = figures::interference_figure(&res);

@@ -201,6 +201,30 @@ impl CsrAdjacency {
         CsrAdjacency { offsets, edges }
     }
 
+    /// A copy with the listed undirected edges removed. `cut` must hold
+    /// normalized `(min, max)` pairs in sorted order; both directed
+    /// entries of each listed edge disappear, everything else is kept.
+    pub fn without_edges(&self, cut: &[(NodeId, NodeId)]) -> CsrAdjacency {
+        debug_assert!(cut.windows(2).all(|w| w[0] < w[1]), "cut list sorted");
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        offsets.push(0u32);
+        for u in 0..n {
+            let (start, end) = self.range(u);
+            edges.extend(self.edges[start..end].iter().copied().filter(|v| {
+                let key = if u < v.index() {
+                    (NodeId::new(u), *v)
+                } else {
+                    (*v, NodeId::new(u))
+                };
+                cut.binary_search(&key).is_err()
+            }));
+            offsets.push(edges.len() as u32);
+        }
+        CsrAdjacency { offsets, edges }
+    }
+
     /// Relabels the adjacency under `remap`: internal node `k` takes
     /// the edges of external node `remap.to_external(k)`, with every
     /// neighbor id translated to internal and each range re-sorted.

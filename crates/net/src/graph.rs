@@ -7,7 +7,7 @@
 //! and connectivity queries used to filter valid source/destination pairs.
 
 use crate::{CsrAdjacency, CsrPatch, NodeId, NodeRemap, PositionTable, SpatialIndex};
-use sp_geom::{Point, Rect};
+use sp_geom::{Point, Rect, Segment};
 use sp_sync::WorkQueue;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -421,6 +421,37 @@ impl Network {
         }
         Network {
             adjacency: self.adjacency.without_nodes(&is_dead),
+            patch: CsrPatch::new(),
+            index: self.index.clone(),
+            radius: self.radius,
+            area: self.area,
+        }
+    }
+
+    /// Undirected edges whose segment crosses the segment `a`–`b`,
+    /// normalized `(min, max)` and sorted. This is the geometric core of
+    /// chaos-engine partitions: a cut line severs exactly the links that
+    /// cross it.
+    pub fn edges_crossing(&self, a: Point, b: Point) -> Vec<(NodeId, NodeId)> {
+        let cut = Segment::new(a, b);
+        self.edges()
+            .filter(|&(u, v)| Segment::new(self.position(u), self.position(v)).intersects(&cut))
+            .collect()
+    }
+
+    /// A copy of the network with the given undirected edges removed
+    /// (pairs in either order; duplicates tolerated). Nodes, ids, and
+    /// positions are untouched — only connectivity degrades. Used by the
+    /// chaos-engine partition experiments for cut-active snapshots.
+    pub fn without_edges(&self, cut: &[(NodeId, NodeId)]) -> Network {
+        let mut normalized: Vec<(NodeId, NodeId)> = cut
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        normalized.sort_unstable();
+        normalized.dedup();
+        Network {
+            adjacency: self.adjacency.without_edges(&normalized),
             patch: CsrPatch::new(),
             index: self.index.clone(),
             radius: self.radius,
@@ -886,6 +917,35 @@ mod tests {
         assert!(degraded.has_edge(NodeId(2), NodeId(3)));
         // The line is now split at node 1.
         assert!(!degraded.connected(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn edges_crossing_finds_exactly_the_cut_links() {
+        let net = line_net();
+        // A vertical line between x=10 and x=20 crosses only edge 1–2.
+        let crossed = net.edges_crossing(Point::new(15.0, -5.0), Point::new(15.0, 5.0));
+        assert_eq!(crossed, vec![(NodeId(1), NodeId(2))]);
+        // A line off to the side crosses nothing.
+        assert!(net
+            .edges_crossing(Point::new(200.0, 0.0), Point::new(200.0, 50.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn without_edges_degrades_connectivity_only() {
+        let net = line_net();
+        // Pass the pair reversed and duplicated; normalization handles both.
+        let degraded = net.without_edges(&[(NodeId(2), NodeId(1)), (NodeId(1), NodeId(2))]);
+        assert_eq!(degraded.len(), net.len());
+        assert!(!degraded.has_edge(NodeId(1), NodeId(2)));
+        assert!(degraded.has_edge(NodeId(0), NodeId(1)));
+        assert!(degraded.has_edge(NodeId(2), NodeId(3)));
+        assert!(!degraded.connected(NodeId(0), NodeId(3)));
+        assert_eq!(degraded.position(NodeId(2)), net.position(NodeId(2)));
+        // Composing the two: the cut line picks the edges, removal severs them.
+        let cut = net.edges_crossing(Point::new(15.0, -5.0), Point::new(15.0, 5.0));
+        let severed = net.without_edges(&cut);
+        assert!(!severed.connected(NodeId(0), NodeId(3)));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! statuses flip monotonically and recomputation is idempotent over the
 //! cached neighbor view.
 
-use crate::{Ctx, NodeProcess, SimError};
+use crate::{ChaosPlan, Ctx, NodeProcess, SimError};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sp_net::{Network, NodeId};
@@ -190,6 +190,11 @@ pub struct AsyncEngine<'n, P: NodeProcess> {
     /// so the pool stays tiny).
     outbox_pool: Vec<Vec<(Option<NodeId>, P::Msg)>>,
     rng: StdRng,
+    /// Link-chaos state: the plan's drop/jitter/cut classes, sampled
+    /// from a dedicated RNG so the base delay stream (`rng`) is
+    /// untouched — a quiet plan is bit-identical to no plan.
+    chaos: ChaosPlan,
+    chaos_rng: Option<StdRng>,
     cfg: AsyncConfig,
     stats: AsyncStats,
     seq: u64,
@@ -216,6 +221,8 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
             kill_scratch: Vec::new(),
             outbox_pool: Vec::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
+            chaos: ChaosPlan::new(),
+            chaos_rng: None,
             cfg,
             stats: AsyncStats::default(),
             seq: 0,
@@ -254,6 +261,27 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
         self.net
     }
 
+    /// Installs a chaos plan. The asynchronous engine honors the **link
+    /// classes**: per-copy Bernoulli drops, extra delay jitter (uniform
+    /// in `[0, jitter]`, added on top of the config's base delay), and
+    /// partition cuts — whose round window is interpreted in **virtual
+    /// time units** (`from_round <= now < until_round`). Node kills and
+    /// revivals are driven explicitly via [`AsyncEngine::kill_node`] /
+    /// [`AsyncEngine::revive_node`] since the engine has no round clock.
+    pub fn set_chaos_plan(&mut self, plan: ChaosPlan) {
+        self.chaos_rng = if plan.drop_p() > 0.0 || plan.jitter() > 0.0 {
+            Some(StdRng::seed_from_u64(plan.seed() ^ 0xc4a0_5eed))
+        } else {
+            None
+        };
+        self.chaos = plan;
+    }
+
+    /// The installed chaos plan (quiet by default).
+    pub fn chaos_plan(&self) -> &ChaosPlan {
+        &self.chaos
+    }
+
     fn sample_delay(&mut self) -> f64 {
         if self.cfg.min_delay == self.cfg.max_delay {
             self.cfg.min_delay
@@ -263,8 +291,39 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
         }
     }
 
+    /// Whether link chaos swallows a copy addressed `from -> to` right
+    /// now: an active cut severing the link, or a Bernoulli drop. Quiet
+    /// plans short-circuit without touching any RNG.
+    fn chaos_blocks(&mut self, from: NodeId, to: NodeId) -> bool {
+        let tick = self.now as usize;
+        if !self.chaos.links_perturbed_at(tick) {
+            return false;
+        }
+        if self
+            .chaos
+            .severed_at(tick, self.net.position(from), self.net.position(to))
+        {
+            return true;
+        }
+        let p = self.chaos.drop_p();
+        p > 0.0
+            && self
+                .chaos_rng
+                .as_mut()
+                .is_some_and(|rng| rng.random_bool(p))
+    }
+
     fn enqueue(&mut self, from: NodeId, to: NodeId, msg: Payload<P::Msg>) {
-        let delay = self.sample_delay();
+        if self.chaos_blocks(from, to) {
+            return;
+        }
+        let mut delay = self.sample_delay();
+        let jitter = self.chaos.jitter();
+        if jitter > 0.0 {
+            if let Some(rng) = self.chaos_rng.as_mut() {
+                delay += rng.random_range(0.0..jitter);
+            }
+        }
         self.seq += 1;
         self.queue.push(Event {
             time: self.now + delay,
@@ -337,6 +396,46 @@ impl<'n, P: NodeProcess> AsyncEngine<'n, P> {
                 outbox: self.outbox_pool.pop().unwrap_or_default(),
             };
             self.nodes[v.index()].on_neighbor_failed(&mut ctx, victim);
+            let mut outbox = ctx.outbox;
+            self.dispatch_outbox(v, &mut outbox);
+            self.outbox_pool.push(outbox);
+        }
+    }
+
+    /// Revives a previously-killed node (flapping recovery): the node
+    /// runs [`NodeProcess::on_rejoin`], then its live neighbors run
+    /// [`NodeProcess::on_neighbor_recovered`]. Reviving a live node is
+    /// a no-op.
+    pub fn revive_node(&mut self, node: NodeId) {
+        if self.alive[node.index()] {
+            return;
+        }
+        self.alive[node.index()] = true;
+        let mut ctx = Ctx {
+            id: node,
+            net: self.net,
+            alive: &self.alive,
+            outbox: self.outbox_pool.pop().unwrap_or_default(),
+        };
+        self.nodes[node.index()].on_rejoin(&mut ctx);
+        let mut outbox = ctx.outbox;
+        self.dispatch_outbox(node, &mut outbox);
+        self.outbox_pool.push(outbox);
+        self.kill_scratch.clear();
+        self.kill_scratch
+            .extend_from_slice(self.net.neighbors(node));
+        for k in 0..self.kill_scratch.len() {
+            let v = self.kill_scratch[k];
+            if !self.alive[v.index()] {
+                continue;
+            }
+            let mut ctx = Ctx {
+                id: v,
+                net: self.net,
+                alive: &self.alive,
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
+            };
+            self.nodes[v.index()].on_neighbor_recovered(&mut ctx, node);
             let mut outbox = ctx.outbox;
             self.dispatch_outbox(v, &mut outbox);
             self.outbox_pool.push(outbox);
@@ -629,6 +728,82 @@ mod tests {
             SimError::EventLimitExceeded { limit: total - 1 }
         );
         assert!(run(total).unwrap().quiesced);
+    }
+
+    #[test]
+    fn quiet_chaos_plan_is_bit_identical_to_no_plan() {
+        let net = line_net(12);
+        let run = |plan: Option<ChaosPlan>| {
+            let mut engine = AsyncEngine::new(&net, AsyncConfig::jittered(17), |id| Gossip {
+                value: id.index() as u64,
+            });
+            if let Some(plan) = plan {
+                engine.set_chaos_plan(plan);
+            }
+            let stats = engine.run_until_quiescent(100_000).unwrap();
+            let values: Vec<u64> = engine.nodes().iter().map(|n| n.value).collect();
+            (stats, values)
+        };
+        // A seeded but eventless plan must not perturb the delay stream.
+        assert_eq!(run(None), run(Some(ChaosPlan::new().with_seed(99))));
+    }
+
+    #[test]
+    fn async_drop_probability_one_swallows_every_copy() {
+        let net = line_net(6);
+        let mut engine = AsyncEngine::new(&net, AsyncConfig::jittered(3), |id| Gossip {
+            value: id.index() as u64,
+        });
+        engine.set_chaos_plan(ChaosPlan::new().with_seed(8).with_drop(1.0));
+        let stats = engine.run_until_quiescent(100_000).unwrap();
+        assert!(stats.quiesced);
+        assert_eq!(stats.deliveries, 0, "every copy drops at enqueue");
+        for (i, n) in engine.nodes().iter().enumerate() {
+            assert_eq!(n.value, i as u64, "nobody ever heard a neighbor");
+        }
+    }
+
+    #[test]
+    fn async_cut_window_severs_in_virtual_time() {
+        // A vertical cut through the middle of the line for the whole
+        // run: the halves converge independently.
+        let net = line_net(6);
+        let mut engine = AsyncEngine::new(&net, AsyncConfig::jittered(5), |id| Gossip {
+            value: id.index() as u64,
+        });
+        let mut plan = ChaosPlan::new().with_seed(2);
+        plan.add_cut(crate::CutWindow {
+            a: Point::new(25.0, -5.0),
+            b: Point::new(25.0, 15.0),
+            from_round: 0,
+            until_round: usize::MAX,
+        });
+        engine.set_chaos_plan(plan);
+        let stats = engine.run_until_quiescent(100_000).unwrap();
+        assert!(stats.quiesced);
+        // Left half (0..=2) gossips to 2; right half (3..=5) to 5.
+        let values: Vec<u64> = engine.nodes().iter().map(|n| n.value).collect();
+        assert_eq!(values, vec![2, 2, 2, 5, 5, 5]);
+    }
+
+    #[test]
+    fn async_jitter_changes_the_trace_but_not_convergence() {
+        let net = line_net(8);
+        let run = |jitter: f64| {
+            let mut engine = AsyncEngine::new(&net, AsyncConfig::jittered(11), |id| Gossip {
+                value: id.index() as u64,
+            });
+            if jitter > 0.0 {
+                engine.set_chaos_plan(ChaosPlan::new().with_seed(4).with_jitter(jitter));
+            }
+            let stats = engine.run_until_quiescent(100_000).unwrap();
+            assert!(stats.quiesced);
+            for n in engine.nodes() {
+                assert_eq!(n.value, 7);
+            }
+            stats.virtual_time
+        };
+        assert_ne!(run(0.0), run(3.0), "jitter stretches the schedule");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! engine survives as [`crate::LegacyEngine`] so benchmarks and
 //! equivalence tests can always compare against it.
 
-use crate::{Ctx, FailurePlan, NodeProcess, RoundLog, SimStats};
+use crate::{ChaosPlan, Ctx, FailurePlan, NodeProcess, RoundLog, SimStats};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use sp_net::{Network, NodeId};
 use sp_sync::WorkQueue;
 
@@ -152,6 +154,11 @@ pub struct Engine<'n, P: NodeProcess> {
     stats: SimStats,
     log: RoundLog,
     failures: FailurePlan,
+    chaos: ChaosPlan,
+    /// Dedicated RNG for chaos drop sampling. Created lazily by
+    /// [`Engine::set_chaos_plan`], so a chaos-free engine never owns an
+    /// RNG and the delivery path stays draw-free.
+    chaos_rng: Option<StdRng>,
     round: usize,
     initialized: bool,
 }
@@ -179,6 +186,8 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
             stats: SimStats::default(),
             log: RoundLog::new(),
             failures: FailurePlan::new(),
+            chaos: ChaosPlan::new(),
+            chaos_rng: None,
             round: 0,
             initialized: false,
         }
@@ -188,6 +197,25 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
     /// counted from the first [`Engine::step`] after initialization.
     pub fn set_failure_plan(&mut self, plan: FailurePlan) {
         self.failures = plan;
+    }
+
+    /// Installs a chaos plan (replacing any previous one): scheduled
+    /// kills and revivals, partition cut windows, and per-delivery
+    /// drops, all sampled from a dedicated RNG seeded by the plan — the
+    /// engine's own behavior at any thread count is unchanged by a
+    /// quiet plan ([`ChaosPlan::is_quiet`]).
+    pub fn set_chaos_plan(&mut self, plan: ChaosPlan) {
+        self.chaos_rng = if plan.drop_p() > 0.0 {
+            Some(StdRng::seed_from_u64(plan.seed() ^ 0xc4a0_5eed))
+        } else {
+            None
+        };
+        self.chaos = plan;
+    }
+
+    /// The installed chaos plan (quiet by default).
+    pub fn chaos_plan(&self) -> &ChaosPlan {
+        &self.chaos
     }
 
     /// Pins the number of worker threads the processing phase may use
@@ -262,6 +290,48 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
         }
     }
 
+    /// Revives a previously-killed node (flapping recovery): the node
+    /// runs [`NodeProcess::on_rejoin`], then its live neighbors run
+    /// [`NodeProcess::on_neighbor_recovered`] — the same local-repair
+    /// path `on_neighbor_failed` uses, in the other direction. Reviving
+    /// a live node is a no-op.
+    pub fn revive_node(&mut self, node: NodeId) {
+        if self.alive[node.index()] {
+            return;
+        }
+        self.alive[node.index()] = true;
+        debug_assert!(self.inboxes[node.index()].is_empty());
+        let mut ctx = Ctx {
+            id: node,
+            net: self.net,
+            alive: &self.alive,
+            outbox: self.outbox_pool.pop().unwrap_or_default(),
+        };
+        self.nodes[node.index()].on_rejoin(&mut ctx);
+        let mut outbox = ctx.outbox;
+        queue_outbox(&mut self.pending, &mut self.stats, node, &mut outbox);
+        self.outbox_pool.push(outbox);
+        self.neighbor_scratch.clear();
+        self.neighbor_scratch
+            .extend_from_slice(self.net.neighbors(node));
+        for k in 0..self.neighbor_scratch.len() {
+            let v = self.neighbor_scratch[k];
+            if !self.alive[v.index()] {
+                continue;
+            }
+            let mut ctx = Ctx {
+                id: v,
+                net: self.net,
+                alive: &self.alive,
+                outbox: self.outbox_pool.pop().unwrap_or_default(),
+            };
+            self.nodes[v.index()].on_neighbor_recovered(&mut ctx, node);
+            let mut outbox = ctx.outbox;
+            queue_outbox(&mut self.pending, &mut self.stats, v, &mut outbox);
+            self.outbox_pool.push(outbox);
+        }
+    }
+
     /// Runs [`NodeProcess::on_init`] on every live node. Called
     /// automatically by the run/step methods; calling it twice is a no-op.
     pub fn init(&mut self) {
@@ -297,6 +367,10 @@ impl<'n, P: NodeProcess> Engine<'n, P> {
                 .failures
                 .last_round()
                 .is_some_and(|last| last >= self.round)
+            || self
+                .chaos
+                .last_round()
+                .is_some_and(|last| last >= self.round)
     }
 }
 
@@ -313,23 +387,35 @@ where
     // sp-analyze: allow(index, all indices are u32 node ids bounded by the construction-time node count; per-node arrays share that length)
     pub fn step(&mut self) -> bool {
         self.init();
+        let chaos_round = self.round;
         self.due_scratch.clear();
         self.due_scratch
             .extend_from_slice(self.failures.due_at(self.round));
-        let had_failures = !self.due_scratch.is_empty();
+        self.due_scratch
+            .extend_from_slice(self.chaos.kills_due_at(self.round));
+        let mut had_events = !self.due_scratch.is_empty();
         for k in 0..self.due_scratch.len() {
             let v = self.due_scratch[k];
             self.kill_node(v);
         }
+        // Flapping recovery: revivals fire after this round's kills, so
+        // a node killed and revived at the same round ends up alive.
+        self.due_scratch.clear();
+        self.due_scratch
+            .extend_from_slice(self.chaos.revivals_due_at(self.round));
+        had_events |= !self.due_scratch.is_empty();
+        for k in 0..self.due_scratch.len() {
+            let v = self.due_scratch[k];
+            self.revive_node(v);
+        }
 
-        if self.pending.is_empty() && !had_failures {
-            // Idle round: if failures are still scheduled ahead, time
-            // must advance toward them; otherwise the system is
-            // quiescent.
-            if self
-                .failures
-                .last_round()
-                .is_some_and(|last| last > self.round)
+        if self.pending.is_empty() && !had_events {
+            // Idle round: if failures or chaos events are still
+            // scheduled ahead, time must advance toward them; otherwise
+            // the system is quiescent.
+            let future = |last: usize| last > chaos_round;
+            if self.failures.last_round().is_some_and(future)
+                || self.chaos.last_round().is_some_and(future)
             {
                 self.round += 1;
                 self.stats.rounds = self.round;
@@ -352,11 +438,35 @@ where
             "more than u32::MAX transmissions in one round"
         );
         let tx_this_round = self.delivering.len();
+        // Link chaos gates the delivery path only when the plan is
+        // active this round, so a quiet plan leaves the hot loop (and
+        // the RNG stream: no draws happen) untouched. Delivery is
+        // serial, so drop draws occur in arena order at every thread
+        // count.
+        let perturbed = self.chaos.links_perturbed_at(chaos_round);
+        let drop_p = self.chaos.drop_p();
         for (idx, (from, to, _)) in self.delivering.iter().enumerate() {
             match *to {
                 None => {
                     for &v in self.net.neighbors(*from) {
                         if self.alive[v.index()] {
+                            if perturbed {
+                                if self.chaos.severed_at(
+                                    chaos_round,
+                                    self.net.position(*from),
+                                    self.net.position(v),
+                                ) {
+                                    continue;
+                                }
+                                if drop_p > 0.0
+                                    && self
+                                        .chaos_rng
+                                        .as_mut()
+                                        .is_some_and(|rng| rng.random_bool(drop_p))
+                                {
+                                    continue;
+                                }
+                            }
                             self.inboxes[v.index()].push((*from, idx as u32));
                             self.stats.receptions += 1;
                             if !self.in_frontier[v.index()] {
@@ -368,6 +478,23 @@ where
                 }
                 Some(v) => {
                     if self.alive[v.index()] && self.net.has_edge(*from, v) {
+                        if perturbed {
+                            if self.chaos.severed_at(
+                                chaos_round,
+                                self.net.position(*from),
+                                self.net.position(v),
+                            ) {
+                                continue;
+                            }
+                            if drop_p > 0.0
+                                && self
+                                    .chaos_rng
+                                    .as_mut()
+                                    .is_some_and(|rng| rng.random_bool(drop_p))
+                            {
+                                continue;
+                            }
+                        }
                         self.inboxes[v.index()].push((*from, idx as u32));
                         self.stats.receptions += 1;
                         if !self.in_frontier[v.index()] {
@@ -743,6 +870,117 @@ mod tests {
             for threads in [1usize, 2, 3, 8, 64] {
                 assert_eq!(run_new(plan, threads), want, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn quiet_chaos_plan_is_bit_identical_to_no_plan() {
+        let net = line_net(30);
+        let run = |with_plan: bool| {
+            let mut engine = Engine::new(&net, |id| Gossip {
+                value: (id.index() as u64) * 5,
+            });
+            if with_plan {
+                engine.set_chaos_plan(ChaosPlan::new().with_seed(42));
+            }
+            let stats = engine.run_until_quiescent(1000).unwrap();
+            let values: Vec<u64> = engine.nodes().iter().map(|g| g.value).collect();
+            (stats, engine.round_log().per_round().to_vec(), values)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn drop_probability_one_blackholes_every_delivery() {
+        let net = line_net(6);
+        let mut engine = Engine::new(&net, |id| Gossip {
+            value: id.index() as u64,
+        });
+        engine.set_chaos_plan(ChaosPlan::new().with_drop(1.0));
+        let stats = engine.run_until_quiescent(100).unwrap();
+        assert_eq!(stats.receptions, 0, "every delivery dropped");
+        assert_eq!(engine.node(NodeId(0)).value, 0, "nothing propagated");
+    }
+
+    #[test]
+    fn cut_window_partitions_the_line_while_active() {
+        let net = line_net(6);
+        let mut engine = Engine::new(&net, |_| Relay { has_token: false });
+        let mut plan = ChaosPlan::new();
+        // Sever the link between x=20 and x=30 for the whole run.
+        plan.add_cut(crate::CutWindow {
+            a: Point::new(25.0, -5.0),
+            b: Point::new(25.0, 5.0),
+            from_round: 0,
+            until_round: 8,
+        });
+        engine.set_chaos_plan(plan);
+        let stats = engine.run_until_quiescent(100).unwrap();
+        assert!(stats.quiesced);
+        assert!(engine.node(NodeId(2)).has_token, "west side relayed");
+        assert!(!engine.node(NodeId(3)).has_token, "cut blocked the token");
+    }
+
+    struct FlapProbe {
+        rejoined: usize,
+        recovered: Vec<NodeId>,
+    }
+    impl NodeProcess for FlapProbe {
+        type Msg = ();
+        fn on_init(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[(NodeId, &())]) {}
+        fn on_rejoin(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.rejoined += 1;
+            ctx.broadcast(());
+        }
+        fn on_neighbor_recovered(&mut self, _ctx: &mut Ctx<'_, ()>, recovered: NodeId) {
+            self.recovered.push(recovered);
+        }
+    }
+
+    #[test]
+    fn flapping_node_rejoins_and_neighbors_hear_about_it() {
+        let net = line_net(5);
+        let mut engine = Engine::new(&net, |_| FlapProbe {
+            rejoined: 0,
+            recovered: Vec::new(),
+        });
+        let mut plan = ChaosPlan::new();
+        plan.kill_at(1, NodeId(2));
+        plan.revive_at(3, NodeId(2));
+        engine.set_chaos_plan(plan);
+        let stats = engine.run_until_quiescent(100).unwrap();
+        assert!(stats.quiesced);
+        assert!(engine.is_alive(NodeId(2)), "revived");
+        assert_eq!(engine.node(NodeId(2)).rejoined, 1);
+        assert_eq!(engine.node(NodeId(1)).recovered, vec![NodeId(2)]);
+        assert_eq!(engine.node(NodeId(3)).recovered, vec![NodeId(2)]);
+        assert!(
+            stats.broadcasts >= 1,
+            "the rejoin announcement was transmitted"
+        );
+        assert!(stats.receptions >= 2, "both neighbors heard the rejoin");
+    }
+
+    #[test]
+    fn chaos_drops_are_deterministic_per_seed_and_thread_count() {
+        let net = line_net(40);
+        let run = |threads: usize| {
+            let mut engine = Engine::new(&net, |id| Gossip {
+                value: (id.index() as u64) * 3,
+            });
+            let mut plan = ChaosPlan::new().with_seed(7).with_drop(0.3);
+            plan.kill_at(2, NodeId(11));
+            plan.revive_at(5, NodeId(11));
+            engine.set_chaos_plan(plan);
+            engine.set_threads(threads);
+            let stats = engine.run_until_quiescent(1000).unwrap();
+            let values: Vec<u64> = engine.nodes().iter().map(|g| g.value).collect();
+            (stats, engine.round_log().per_round().to_vec(), values)
+        };
+        let want = run(1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(run(threads), want, "threads={threads}");
         }
     }
 }

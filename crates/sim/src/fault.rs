@@ -33,15 +33,24 @@ impl FailurePlan {
     }
 
     /// Schedules `victim` to fail at the start of `round`.
+    ///
+    /// Victims within a round are kept sorted, so duplicates are caught
+    /// by a binary search instead of a linear scan and `due_at` returns
+    /// a deterministic order regardless of scheduling order.
     pub fn kill_at(&mut self, round: usize, victim: NodeId) {
         match self.entries.binary_search_by_key(&round, |e| e.0) {
             Ok(i) => {
-                if !self.entries[i].1.contains(&victim) {
-                    self.entries[i].1.push(victim);
+                if let Err(j) = self.entries[i].1.binary_search(&victim) {
+                    self.entries[i].1.insert(j, victim);
                 }
             }
             Err(i) => self.entries.insert(i, (round, vec![victim])),
         }
+    }
+
+    /// Rounds with scheduled failures, ascending, with their victims.
+    pub fn entries(&self) -> &[(usize, Vec<NodeId>)] {
+        &self.entries
     }
 
     /// Victims scheduled for `round` (empty slice when none).
@@ -78,6 +87,18 @@ mod tests {
         plan.kill_at(2, NodeId(1));
         plan.kill_at(2, NodeId(1));
         assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn victims_stay_sorted_within_a_round() {
+        let mut plan = FailurePlan::new();
+        plan.kill_at(4, NodeId(9));
+        plan.kill_at(4, NodeId(3));
+        plan.kill_at(4, NodeId(6));
+        plan.kill_at(4, NodeId(3)); // duplicate collapses
+        assert_eq!(plan.due_at(4), &[NodeId(3), NodeId(6), NodeId(9)]);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.entries().len(), 1);
     }
 
     #[test]

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod async_engine;
+pub mod chaos;
 pub mod engine;
 pub mod fault;
 pub mod legacy;
@@ -64,6 +65,7 @@ pub mod process;
 pub mod stats;
 
 pub use async_engine::{AsyncConfig, AsyncEngine, AsyncStats};
+pub use chaos::{ChaosPlan, CutWindow};
 pub use engine::{auto_threads, Engine, SimError, PARALLEL_NODE_THRESHOLD, THREADS_ENV};
 pub use fault::FailurePlan;
 pub use legacy::LegacyEngine;

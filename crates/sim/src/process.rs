@@ -32,6 +32,20 @@ pub trait NodeProcess {
     fn on_neighbor_failed(&mut self, ctx: &mut Ctx<'_, Self::Msg>, failed: NodeId) {
         let _ = (ctx, failed);
     }
+
+    /// Called on a node when chaos injection revives it (flapping). The
+    /// default does nothing; protocols typically reset local state and
+    /// re-announce so neighbors re-learn them.
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called on live neighbors of a node that just rejoined. The
+    /// default does nothing; protocols typically re-announce so the
+    /// rejoined node rebuilds its neighbor view.
+    fn on_neighbor_recovered(&mut self, ctx: &mut Ctx<'_, Self::Msg>, recovered: NodeId) {
+        let _ = (ctx, recovered);
+    }
 }
 
 /// What a [`NodeProcess`] may observe and do during one callback.

@@ -60,6 +60,12 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         default: "100",
     },
     EnvKnob {
+        name: "SP_CHAOS_SPEC",
+        summary: "Chaos recipe (grammar: `class:k=v[@roundN]+…`) injected by the \
+                  `chaos_resilience` bench's delivery and construction rows.",
+        default: "region:r=0.15@round5+drop:p=0.01",
+    },
+    EnvKnob {
         name: "SP_BENCH_SCALE",
         summary: "Set to `large` to include the million-node bench rows \
                   (`construct_1m`, `local_1m`) in sp-bench runs.",

@@ -109,6 +109,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flows_per_network: 0,
         deployment: Scenario::Fa,
         base_seed: 7,
+        chaos: None,
+        mobility: None,
     };
     let results = run_sweep(&sweep_cfg, &Scheme::PAPER_SET);
     let fig6 = figures::fig6(&results);

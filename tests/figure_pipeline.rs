@@ -18,6 +18,8 @@ fn quick(kind: Scenario, seed: u64) -> SweepConfig {
         flows_per_network: 0,
         deployment: kind,
         base_seed: seed,
+        chaos: None,
+        mobility: None,
     }
 }
 
@@ -87,6 +89,8 @@ fn figure_renderers_produce_complete_artifacts() {
             flows_per_network: 0,
             deployment: Scenario::Ia,
             base_seed: 3,
+            chaos: None,
+            mobility: None,
         },
         &Scheme::PAPER_SET,
     );
@@ -131,6 +135,8 @@ fn ablation_schemes_flow_through_sweep() {
         flows_per_network: 0,
         deployment: Scenario::Fa,
         base_seed: 9,
+        chaos: None,
+        mobility: None,
     };
     let schemes = [
         Scheme::Slgf2,
@@ -160,6 +166,8 @@ fn construction_cost_scales_with_density() {
         flows_per_network: 0,
         deployment: Scenario::Ia,
         base_seed: 11,
+        chaos: None,
+        mobility: None,
     };
     let fig = figures::construction_cost_figure(&cfg, 2);
     let bpn = fig.series_by_label("broadcasts/node").unwrap();
