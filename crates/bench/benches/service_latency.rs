@@ -12,7 +12,13 @@
 //!   this is the floor the epoch machinery must not lift;
 //! * `service_churn` — the churner publishes continuously; sessions
 //!   keep re-pinning and every answer is checked against the service
-//!   invariant `answer.epoch <= service.epoch()`.
+//!   invariant `answer.epoch <= service.epoch()`;
+//! * `serve_steady` / `serve_churn` — the same mixes through the
+//!   `sp-serve` wire path: an in-process loopback-TCP server over the
+//!   same service, clients speaking framed `QUERY` (and the churner
+//!   framed `MOVE`), so these rows price the full
+//!   decode → route → encode hop and gate the wire-path p50/p95/p99
+//!   next to the in-process floor.
 //!
 //! Each row records sustained queries/sec plus per-query p50/p95/p99
 //! (`sp_bench::LatencyStats`, aggregated over every query of every
@@ -27,10 +33,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp_bench::{LatencyStats, SampleStats};
-use sp_core::RoutingService;
+use sp_core::{RoutingService, ServiceScheme};
 use sp_geom::Point;
 use sp_net::{deploy::DeploymentConfig, Network, NodeId};
+use sp_serve::{serve_with, ServeClient, ServeConfig};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const NODES: usize = 10_000;
@@ -182,7 +191,97 @@ fn measured_run(
     }
 }
 
-/// Runs one row's configuration `RUNS` times and renders its JSON row.
+/// Serves the query mix once over **loopback TCP**: `clients` wire
+/// clients against an already-running `sp-serve` server over the same
+/// service, plus a background churner publishing through framed `MOVE`
+/// batches when `movers` is set. Every reply is asserted against the
+/// same epoch invariant the in-process rows check.
+fn served_run(
+    service: &RoutingService,
+    addr: SocketAddr,
+    queries: &[(NodeId, NodeId)],
+    clients: usize,
+    movers: Option<usize>,
+) -> RunMeasure {
+    let stop = AtomicBool::new(false);
+    let epoch_before = service.epoch();
+    let mut pooled: Vec<(Vec<f64>, usize)> = Vec::with_capacity(clients);
+    let mut wall = 0.0f64;
+    std::thread::scope(|s| {
+        let churner = movers.map(|m| {
+            let stop = &stop;
+            s.spawn(move || {
+                let mut mover = ServeClient::connect(addr).expect("churner connect");
+                let mut round = service.epoch();
+                let mut batch: Vec<(u32, f64, f64)> = Vec::with_capacity(m);
+                while !stop.load(Ordering::Relaxed) {
+                    batch.clear();
+                    batch.extend(
+                        churn_batch(service.snapshot().value.network(), round, m)
+                            .into_iter()
+                            .map(|(u, p)| (u.index() as u32, p.x, p.y)),
+                    );
+                    mover.move_batch(&batch).expect("wire MOVE");
+                    round += 1;
+                    std::thread::sleep(CHURN_PAUSE);
+                }
+            })
+        });
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("client connect");
+                    let mut lats = Vec::with_capacity(queries.len() / clients + 1);
+                    let mut delivered = 0usize;
+                    for &(src, dst) in queries.iter().skip(w).step_by(clients) {
+                        let t = Instant::now();
+                        let reply = client
+                            .query(
+                                src.index() as u32,
+                                dst.index() as u32,
+                                ServiceScheme::Slgf2,
+                                false,
+                            )
+                            .expect("wire QUERY");
+                        lats.push(t.elapsed().as_secs_f64());
+                        assert!(
+                            reply.epoch <= service.epoch(),
+                            "reply epoch {} ran ahead of the service",
+                            reply.epoch
+                        );
+                        delivered += usize::from(reply.delivered());
+                    }
+                    (lats, delivered)
+                })
+            })
+            .collect();
+        for h in handles {
+            pooled.push(h.join().expect("wire client panicked"));
+        }
+        wall = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        if let Some(c) = churner {
+            c.join().expect("wire churner panicked");
+        }
+    });
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut delivered = 0usize;
+    for (lats, d) in pooled {
+        latencies.extend(lats);
+        delivered += d;
+    }
+    RunMeasure {
+        served: latencies.len(),
+        latencies,
+        wall,
+        delivered,
+        epochs: service.epoch() - epoch_before,
+    }
+}
+
+/// Runs one in-process row's configuration `RUNS` times and renders
+/// its JSON row.
 fn service_row(
     case: &str,
     service: &RoutingService,
@@ -193,6 +292,28 @@ fn service_row(
     let runs: Vec<RunMeasure> = (0..RUNS)
         .map(|_| measured_run(service, queries, workers, movers))
         .collect();
+    render_row(case, &runs, workers, movers)
+}
+
+/// Runs one wire-path row's configuration `RUNS` times and renders its
+/// JSON row with the same key shape (so the bench gate applies the
+/// same qps + latency-slack treatment).
+fn serve_row(
+    case: &str,
+    service: &RoutingService,
+    addr: SocketAddr,
+    queries: &[(NodeId, NodeId)],
+    clients: usize,
+    movers: Option<usize>,
+) -> String {
+    let runs: Vec<RunMeasure> = (0..RUNS)
+        .map(|_| served_run(service, addr, queries, clients, movers))
+        .collect();
+    render_row(case, &runs, clients, movers)
+}
+
+/// Renders a row's pooled runs into its JSON object and progress line.
+fn render_row(case: &str, runs: &[RunMeasure], workers: usize, movers: Option<usize>) -> String {
     let walls: Vec<f64> = runs.iter().map(|r| r.wall).collect();
     let wall = SampleStats::of(&walls);
     let all_lats: Vec<f64> = runs
@@ -229,14 +350,35 @@ fn service_benches(c: &mut Criterion) {
     let cfg = DeploymentConfig::paper_density(NODES);
     let net = Network::from_positions(cfg.deploy_uniform(42), cfg.radius, cfg.area);
     let queries = query_mix(&net);
-    let service = RoutingService::new(net);
+    let service = Arc::new(RoutingService::new(net.clone()));
     let workers = service.threads();
     let movers = churn_movers();
+
+    // The wire rows hit the same service through a loopback sp-serve
+    // front end with a matching worker-pool size.
+    let server = serve_with(
+        Arc::clone(&service),
+        net.clone(),
+        ServeConfig::ephemeral(workers),
+    )
+    .expect("bind loopback server");
+    let addr = server.addr();
 
     let rows = [
         service_row("service_steady", &service, &queries, workers, None),
         service_row("service_churn", &service, &queries, workers, Some(movers)),
+        serve_row("serve_steady", &service, addr, &queries, workers, None),
+        serve_row(
+            "serve_churn",
+            &service,
+            addr,
+            &queries,
+            workers,
+            Some(movers),
+        ),
     ];
+    server.shutdown();
+    server.join();
 
     let json = format!(
         "{{\n  \"benchmark\": \"service_latency\",\n  \"unit\": \"seconds (median over samples; percentiles over all queries)\",\n  \"results\": [\n{}\n  ]\n}}\n",

@@ -76,7 +76,7 @@ pub use router::{
     zone_candidates, zone_type, HopPolicy, RouteBuffer, RouteRef, Routing,
 };
 pub use service::{
-    RoutingService, ServiceAnswer, ServiceBatch, ServiceSession, ServiceSnapshot,
+    RoutingService, ServiceAnswer, ServiceBatch, ServiceScheme, ServiceSession, ServiceSnapshot,
     SERVICE_THREADS_ENV,
 };
 pub use shape::{greedy_region, ShapeEstimate, ShapeMap};

@@ -34,7 +34,9 @@
 //! queries/sec plus p50/p95/p99 per-query latency in CI
 //! (`BENCH_service.json`).
 
-use crate::{RouteBuffer, RouteOutcome, RouteResult, Routing, SafetyInfo, Slgf2Router};
+use crate::{
+    LgfRouter, RouteBuffer, RouteOutcome, RouteResult, Routing, SafetyInfo, Slgf2Router, SlgfRouter,
+};
 use sp_geom::Point;
 use sp_net::{Network, NodeId};
 use sp_sim::ChaosPlan;
@@ -81,6 +83,54 @@ impl ServiceSnapshot {
     /// per query without cost.
     pub fn router(&self) -> Slgf2Router<'_> {
         Slgf2Router::new(&self.info)
+    }
+}
+
+/// The routing schemes a [`ServiceSession`] can answer with. The
+/// service's safety information supports the whole family the paper
+/// compares, so per-query scheme selection costs nothing: every router
+/// here is a few words constructed on the spot over the pinned
+/// snapshot.
+///
+/// The discriminants are stable wire codes — the `sp-serve` TCP front
+/// end carries them verbatim in its `QUERY` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum ServiceScheme {
+    /// SLGF2 (Algorithm 3) — the paper's contribution and the default.
+    #[default]
+    Slgf2 = 0,
+    /// SLGF (the earlier safe-label greedy forwarding \[7\]).
+    Slgf = 1,
+    /// LGF (Algorithm 1) — plain location greedy forwarding.
+    Lgf = 2,
+}
+
+impl ServiceScheme {
+    /// Every servable scheme, in wire-code order.
+    pub const ALL: [ServiceScheme; 3] = [
+        ServiceScheme::Slgf2,
+        ServiceScheme::Slgf,
+        ServiceScheme::Lgf,
+    ];
+
+    /// The stable wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<ServiceScheme> {
+        ServiceScheme::ALL.into_iter().find(|s| s.code() == code)
+    }
+
+    /// The scheme's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceScheme::Slgf2 => "SLGF2",
+            ServiceScheme::Slgf => "SLGF",
+            ServiceScheme::Lgf => "LGF",
+        }
     }
 }
 
@@ -285,14 +335,34 @@ fn answer(
     dst: NodeId,
     buf: &mut RouteBuffer,
 ) -> ServiceAnswer {
-    let r = snap.router().route_into(snap.network(), src, dst, buf);
+    answer_with(snap, ServiceScheme::Slgf2, epoch, src, dst, buf)
+}
+
+/// Routes one query with the requested scheme against `snap` and
+/// stamps `epoch` on the answer. The trace stays behind in `buf`
+/// ([`RouteBuffer::path`]) so callers that stream it out — the
+/// `sp-serve` `TRACE` responses — never clone the path.
+fn answer_with(
+    snap: &ServiceSnapshot,
+    scheme: ServiceScheme,
+    epoch: u64,
+    src: NodeId,
+    dst: NodeId,
+    buf: &mut RouteBuffer,
+) -> ServiceAnswer {
+    let net = snap.network();
+    let r = match scheme {
+        ServiceScheme::Slgf2 => snap.router().route_into(net, src, dst, buf),
+        ServiceScheme::Slgf => SlgfRouter::new(snap.info()).route_into(net, src, dst, buf),
+        ServiceScheme::Lgf => LgfRouter::new().route_into(net, src, dst, buf),
+    };
     ServiceAnswer {
         epoch,
         src,
         dst,
         outcome: r.outcome,
         hops: r.hops(),
-        length: r.length(snap.network()),
+        length: r.length(net),
         perimeter_entries: r.perimeter_entries,
         backup_entries: r.backup_entries,
     }
@@ -364,6 +434,30 @@ impl ServiceSession<'_> {
             .router()
             .route_into(snap.network(), src, dst, &mut self.buf);
         (self.pinned.epoch, r.to_result())
+    }
+
+    /// [`ServiceSession::route`] with per-query scheme selection —
+    /// the entry point the `sp-serve` wire front end dispatches `QUERY`
+    /// frames through. Identical epoch semantics; SLGF2 answers are
+    /// bit-identical to [`ServiceSession::route`].
+    pub fn route_with(&mut self, scheme: ServiceScheme, src: NodeId, dst: NodeId) -> ServiceAnswer {
+        self.refresh();
+        answer_with(
+            &self.pinned.value,
+            scheme,
+            self.pinned.epoch,
+            src,
+            dst,
+            &mut self.buf,
+        )
+    }
+
+    /// The hop trace of the most recent query answered by this session,
+    /// borrowed from the session's reused buffer: source inclusive,
+    /// valid against the answer's stamped epoch. Lets trace consumers
+    /// stream the path without an owned [`RouteResult`] allocation.
+    pub fn last_path(&self) -> &[NodeId] {
+        self.buf.path()
     }
 }
 

@@ -730,8 +730,8 @@ pub fn chaos_delivery_family(
             let mut attempts = Vec::new();
             for &(x, spec) in &ladder {
                 let recipe = spec.map(|s| {
-                    ChaosRecipe::parse(s).expect("A17 ladder specs are well-formed")
                     // sp-analyze: allow(panic, static spec strings validated by the chaos grammar tests)
+                    ChaosRecipe::parse(s).expect("A17 ladder specs are well-formed")
                 });
                 let mut ok = vec![0usize; schemes.len()];
                 let mut total = 0usize;

@@ -66,6 +66,24 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         default: "region:r=0.15@round5+drop:p=0.01",
     },
     EnvKnob {
+        name: "SP_SERVE_THREADS",
+        summary: "Worker threads in the `sp-serve` TCP front end's connection pool \
+                  (one `ServiceSession` + reused route buffer per worker).",
+        default: "available parallelism",
+    },
+    EnvKnob {
+        name: "SP_SERVE_ADDR",
+        summary: "Listen address for the `sp-served` binary (`host:port`; port 0 \
+                  picks an ephemeral port).",
+        default: "127.0.0.1:4617",
+    },
+    EnvKnob {
+        name: "SP_SERVE_TELEMETRY",
+        summary: "Path of the `sp-serve` periodic telemetry JSONL export; unset \
+                  disables the exporter thread.",
+        default: "unset (no export)",
+    },
+    EnvKnob {
         name: "SP_BENCH_SCALE",
         summary: "Set to `large` to include the million-node bench rows \
                   (`construct_1m`, `local_1m`) in sp-bench runs.",
